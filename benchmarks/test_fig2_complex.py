@@ -1,0 +1,38 @@
+"""Figure 2 — complex (LDBC-style) query performance on the ldbc dataset."""
+
+from __future__ import annotations
+
+from repro.bench.report import timing_table
+from repro.queries.complex_ldbc import COMPLEX_QUERIES
+
+from conftest import engine_mean
+
+
+def test_fig2_complex_queries(benchmark, complex_results, save_report):
+    """Regenerate Figure 2 and check the macro-level observations."""
+    table = benchmark.pedantic(
+        lambda: timing_table(complex_results, list(COMPLEX_QUERIES), "ldbc", title="Figure 2: complex queries on ldbc"),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig2_complex", table)
+
+    # Every engine answered every complex query (13 each).
+    assert len(complex_results.query_ids()) == 13
+
+    # Paper: the relational engine is the fastest on roughly half the queries —
+    # the label-restricted short joins — thanks to step conflation.
+    short_join_queries = ("friend1", "friend-tags", "city", "company", "university")
+    relational = engine_mean(complex_results, "relationalgraph", short_join_queries, datasets=["ldbc"])
+    triple = engine_mean(complex_results, "triplegraph", short_join_queries, datasets=["ldbc"])
+    assert relational is not None and triple is not None
+    assert relational < triple
+
+    # Paper: the relational engine loses its lead on multi-hop traversals that
+    # cannot be restricted to one edge label (the last queries of the figure).
+    wins = 0
+    for query_id in ("max-iid", "max-oid", "triangle", "friend2"):
+        ranking = complex_results.ranking("ldbc", query_id)
+        if ranking and not ranking[0][0].startswith("relationalgraph"):
+            wins += 1
+    assert wins >= 2

@@ -1,0 +1,36 @@
+"""Figure 3(b) — insertion operations Q2-Q7."""
+
+from __future__ import annotations
+
+from repro.bench.report import timing_table
+
+from conftest import engine_mean
+
+_INSERTIONS = ("Q2", "Q3", "Q4", "Q5", "Q6", "Q7")
+
+
+def test_fig3b_insertions(benchmark, micro_results, save_report):
+    """Regenerate the insertion figure and check who is fast and who is slow."""
+    table = benchmark.pedantic(
+        lambda: timing_table(micro_results, list(_INSERTIONS), "frb-o", title="Figure 3b: insertions on frb-o"),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig3b_insertions", table)
+
+    bitmap = engine_mean(micro_results, "bitmapgraph", _INSERTIONS)
+    document = engine_mean(micro_results, "documentgraph", _INSERTIONS)
+    native_old = engine_mean(micro_results, "nativelinked-1.9", _INSERTIONS)
+    triple = engine_mean(micro_results, "triplegraph", _INSERTIONS)
+
+    # Paper: Sparksee / ArangoDB / Neo4j 1.9 lead CUD and are essentially
+    # unaffected by dataset size; BlazeGraph is the slowest by a wide margin
+    # because every insert maintains three B+Trees.  (Titan's gap to the
+    # leaders needs larger graphs than the default scale to become visible,
+    # so it is reported in the table but not asserted here.)
+    fastest = min(bitmap, document, native_old)
+    assert triple > 1.5 * fastest
+    small = engine_mean(micro_results, "bitmapgraph", _INSERTIONS, datasets=["frb-s"])
+    large = engine_mean(micro_results, "bitmapgraph", _INSERTIONS, datasets=["frb-l"])
+    assert small is not None and large is not None
+    assert large < small * 20

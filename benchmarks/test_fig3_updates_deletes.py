@@ -1,0 +1,35 @@
+"""Figure 3(c) — update and deletion operations Q16-Q21."""
+
+from __future__ import annotations
+
+from repro.bench.report import timing_table
+
+from conftest import engine_mean
+
+_UPDATES = ("Q16", "Q17")
+_DELETES = ("Q18", "Q19", "Q20", "Q21")
+
+
+def test_fig3c_updates_and_deletions(benchmark, micro_results, save_report):
+    """Regenerate the update/delete figure and check the paper's observations."""
+    table = benchmark.pedantic(
+        lambda: timing_table(
+            micro_results, list(_UPDATES + _DELETES), "frb-o", title="Figure 3c: updates and deletions on frb-o"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig3c_updates_deletes", table)
+
+    # Updates: the bitmap and document engines stay at the fast end, the triple
+    # store at the slow end (every property change rewrites reified statements).
+    bitmap = engine_mean(micro_results, "bitmapgraph", _UPDATES)
+    triple = engine_mean(micro_results, "triplegraph", _UPDATES)
+    assert bitmap is not None and triple is not None and bitmap < triple
+
+    # Deletions: the columnar engine's tombstones keep edge deletion in the same
+    # ballpark as (or cheaper than) edge insertion with consistency checks.
+    columnar_insert = engine_mean(micro_results, "columnargraph-0.5", ("Q3", "Q4"))
+    columnar_delete = engine_mean(micro_results, "columnargraph-0.5", ("Q19",))
+    assert columnar_delete is not None and columnar_insert is not None
+    assert columnar_delete < columnar_insert * 3

@@ -1,0 +1,25 @@
+"""Figure 4(b) — search by identifier, Q14-Q15."""
+
+from __future__ import annotations
+
+from repro.bench.report import timing_table
+
+from conftest import engine_mean
+
+
+def test_fig4b_search_by_id(benchmark, micro_results, save_report):
+    """Regenerate the by-id figure: id lookups are much faster than other selections."""
+    table = benchmark.pedantic(
+        lambda: timing_table(micro_results, ["Q14", "Q15"], "frb-m", title="Figure 4b: search by id on frb-m"),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig4b_by_id", table)
+
+    for engine_substring in ("nativelinked-1.9", "bitmapgraph", "relationalgraph", "documentgraph"):
+        by_id = engine_mean(micro_results, engine_substring, ("Q14", "Q15"))
+        scans = engine_mean(micro_results, engine_substring, ("Q8", "Q9", "Q11"))
+        assert by_id is not None and scans is not None
+        # The paper: search by id "differs significantly from all the other
+        # selection queries and is in general much faster".
+        assert by_id < scans, f"{engine_substring}: id lookup should beat full selections"

@@ -1,0 +1,42 @@
+"""Figure 4(a) — general selections Q8-Q13."""
+
+from __future__ import annotations
+
+from repro.bench.report import timing_table
+
+from conftest import engine_mean
+
+_SELECTIONS = ("Q8", "Q9", "Q10", "Q11", "Q12", "Q13")
+
+
+def test_fig4a_general_selections(benchmark, micro_results, save_report):
+    """Regenerate the selection figure and check the paper's observations."""
+    table = benchmark.pedantic(
+        lambda: timing_table(micro_results, list(_SELECTIONS), "frb-m", title="Figure 4a: selections on frb-m"),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig4a_selections", table)
+
+    # Edge counting/iteration: the bitmap engine answers from population counts
+    # and stays ahead of the column-store scan, which walks every row.
+    bitmap_counts = engine_mean(micro_results, "bitmapgraph", ("Q9",))
+    columnar_counts = engine_mean(micro_results, "columnargraph-0.5", ("Q9",))
+    assert bitmap_counts is not None and columnar_counts is not None
+    assert bitmap_counts < columnar_counts
+
+    # Equality search on edge labels: the per-label tables make the relational
+    # engine an order of magnitude faster than every other family (the paper's
+    # "few queries where the RDBMS-backed system works best").
+    relational_label = engine_mean(micro_results, "relationalgraph", ("Q13",))
+    native_label = engine_mean(micro_results, "nativelinked-1.9", ("Q13",))
+    triple_label = engine_mean(micro_results, "triplegraph", ("Q13",))
+    assert relational_label is not None and native_label is not None and triple_label is not None
+    assert relational_label < native_label / 2
+    assert relational_label < triple_label / 2
+
+    # Property search: the triple store sits at the slow end of the field.
+    relational_search = engine_mean(micro_results, "relationalgraph", ("Q11", "Q13"))
+    triple_search = engine_mean(micro_results, "triplegraph", ("Q11", "Q13"))
+    assert relational_search is not None and triple_search is not None
+    assert relational_search < triple_search

@@ -1,0 +1,52 @@
+"""Figure 7(b) — label-constrained BFS (Q33) and shortest path (Q35) on ldbc."""
+
+from __future__ import annotations
+
+from repro.bench.report import format_seconds, format_table
+from repro.queries import query_by_id
+
+from conftest import ENGINES
+
+_DATASET = "ldbc"
+_DEPTHS = (2,)
+
+
+def test_fig7b_label_constrained_traversals(benchmark, loaded_pool, plan_for, runner, save_report):
+    """Regenerate the label-constrained traversal figure on the social network."""
+    plan = plan_for(_DATASET)
+    bfs_params = dict(plan.params_for("Q33", count=1)[0])
+    bfs_params["label"] = "knows"
+    sp_params = dict(plan.params_for("Q35", count=1)[0])
+    sp_params["label"] = "knows"
+
+    def sweep():
+        timings: dict[tuple[str, str], float] = {}
+        for engine_id in ENGINES:
+            loaded = loaded_pool(engine_id, _DATASET)
+            for depth in _DEPTHS:
+                params = dict(bfs_params)
+                params["depth"] = depth
+                result = runner.run_single(loaded, query_by_id("Q33"), params)
+                if result.ok:
+                    timings[(engine_id, f"Q33 d={depth}")] = result.elapsed
+            result = runner.run_single(loaded, query_by_id("Q35"), sp_params)
+            if result.ok:
+                timings[(engine_id, "Q35")] = result.elapsed
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    columns = [f"Q33 d={depth}" for depth in _DEPTHS] + ["Q35"]
+    rows = [[engine_id] + [format_seconds(timings.get((engine_id, column))) for column in columns] for engine_id in ENGINES]
+    table = format_table(["Engine"] + columns, rows, title="Figure 7b: label-constrained BFS/SP on ldbc")
+    save_report("fig7b_labelled", table)
+
+    # The paper: the native linked-record engine stays the fastest family on the
+    # label-filtered traversals; the label filter rescues nobody completely.
+    for column in columns:
+        native = min(
+            value for (engine_id, col), value in timings.items()
+            if col == column and engine_id.startswith("nativelinked")
+        )
+        slowest = max(value for (_engine_id, col), value in timings.items() if col == column)
+        assert native <= slowest

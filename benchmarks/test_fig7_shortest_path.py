@@ -1,0 +1,29 @@
+"""Figure 7(a) — unlabelled shortest path (Q34) across the Freebase samples."""
+
+from __future__ import annotations
+
+from repro.bench.report import dataset_sweep_table
+
+from conftest import FRB_DATASETS, engine_mean
+
+
+def test_fig7a_shortest_path(benchmark, micro_results, save_report):
+    """Regenerate the shortest-path figure and check the native/hybrid ordering."""
+    table = benchmark.pedantic(
+        lambda: dataset_sweep_table(micro_results, "Q34", FRB_DATASETS, title="Figure 7a: shortest path (Q34)"),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig7a_shortest_path", table)
+
+    native = engine_mean(micro_results, "nativelinked-1.9", ("Q34",))
+    indirect = engine_mean(micro_results, "nativeindirect", ("Q34",))
+    relational = engine_mean(micro_results, "relationalgraph", ("Q34",))
+    triple = engine_mean(micro_results, "triplegraph", ("Q34",))
+
+    # The paper: native engines lead, Sqlg is the slowest because it joins over
+    # every edge table, BlazeGraph sits towards the slow end as well.
+    assert native is not None and relational is not None
+    assert min(native, indirect or native) < relational
+    if triple is not None:
+        assert native < triple

@@ -1,0 +1,35 @@
+"""Table 3 — dataset characteristics."""
+
+from __future__ import annotations
+
+from repro.bench.report import rows_table
+from repro.datasets import compute_statistics, get_dataset
+
+_ORDER = ["yeast", "mico", "frb-o", "frb-s", "frb-m", "frb-l", "ldbc"]
+_HEADERS = ["Dataset", "|V|", "|E|", "|L|", "#", "Maxim", "Density", "Modularity", "Avg", "Max", "Delta"]
+
+
+def test_table3_dataset_characteristics(benchmark, save_report):
+    """Regenerate Table 3 and check the published shape relations hold."""
+
+    def build():
+        return {
+            name: compute_statistics(get_dataset(name, scale=0.15), diameter_samples=4)
+            for name in _ORDER
+        }
+
+    stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [stats[name].as_row() for name in _ORDER]
+    save_report("table3_datasets", rows_table(_HEADERS, rows, title="Table 3: dataset characteristics (scale=0.15)"))
+
+    # Shape checks from the paper's Table 3 discussion:
+    # ldbc is the only single-component dataset; Frb samples are fragmented.
+    assert stats["ldbc"].component_count == 1
+    assert stats["frb-m"].component_count > 50
+    # MiCo and ldbc/Yeast are orders of magnitude denser than the Frb samples.
+    assert stats["mico"].density > 10 * stats["frb-l"].density
+    assert stats["yeast"].density > stats["frb-l"].density
+    # Frb-S has by far the richest edge-label vocabulary relative to its size.
+    assert stats["frb-s"].label_count > stats["frb-o"].label_count
+    # The largest sample really is the largest.
+    assert stats["frb-l"].vertex_count == max(stats[name].vertex_count for name in _ORDER)

@@ -1,0 +1,52 @@
+"""Compare all simulated engines on a knowledge-graph workload.
+
+This is the paper's core scenario in miniature: load a Freebase-like sample
+into every engine, run a handful of representative microbenchmark queries
+(selection, search by id, neighbourhood, degree filter, BFS), and print the
+per-engine timing table plus the space-occupancy comparison.
+
+Run with::
+
+    python examples/compare_engines.py [--scale 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import BenchmarkSuite, measure_space
+from repro.bench.report import space_table, timing_table
+from repro.bench.summary import summary_table
+from repro.config import BenchConfig
+from repro.datasets import get_dataset
+from repro.engines import DEFAULT_ENGINES
+
+_QUERIES = ["Q8", "Q11", "Q13", "Q14", "Q22", "Q23", "Q28", "Q31", "Q32", "Q34"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3, help="dataset scale factor")
+    parser.add_argument("--dataset", default="frb-o", help="dataset name (default frb-o)")
+    args = parser.parse_args()
+
+    suite = BenchmarkSuite(
+        engine_ids=list(DEFAULT_ENGINES),
+        dataset_names=[args.dataset],
+        scale=args.scale,
+        bench_config=BenchConfig(timeout=30.0, batch_size=3),
+        query_ids=_QUERIES,
+    )
+    results = suite.run_micro()
+    print(timing_table(results, ["Q1"] + _QUERIES, args.dataset, title=f"Microbenchmark on {args.dataset}"))
+    print()
+
+    dataset = get_dataset(args.dataset, scale=args.scale)
+    measurements = [measure_space(engine_id, dataset) for engine_id in DEFAULT_ENGINES]
+    print(space_table(measurements))
+    print()
+    print(summary_table(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Ablation: the effect of attribute indexes on search and on CUD operations.
+
+Reproduces Section 6.4 ("Effect of Indexing") in miniature: run the property
+search Q11 and a few create/update operations with and without an attribute
+index on the searched property, for every engine that supports user-defined
+indexes.
+
+Run with::
+
+    python examples/index_effect.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import QueryRunner
+from repro.bench.workload import ParameterPlan, load_dataset_into
+from repro.bench.report import format_seconds, format_table
+from repro.config import BenchConfig, EngineConfig
+from repro.datasets import get_dataset
+from repro.engines import DEFAULT_ENGINES, create_engine
+from repro.queries import query_by_id
+
+
+def main() -> None:
+    dataset = get_dataset("frb-m", scale=0.4)
+    plan = ParameterPlan(dataset, seed=99)
+    runner = QueryRunner(BenchConfig(timeout=60))
+    search_params = plan.params_for("Q11", count=1)[0]
+    insert_params = plan.params_for("Q2", count=1)[0]
+    indexed_key = search_params["key"]
+
+    rows = []
+    for engine_id in DEFAULT_ENGINES:
+        plain = load_dataset_into(create_engine(engine_id), dataset)
+        baseline_search = runner.run_single(plain, query_by_id("Q11"), search_params)
+        baseline_insert = runner.run_single(plain, query_by_id("Q2"), insert_params)
+
+        engine = create_engine(engine_id)
+        if not engine.supports_vertex_index:
+            rows.append([engine_id, format_seconds(baseline_search.elapsed), "no user indexes", "-", "-"])
+            continue
+        indexed = load_dataset_into(
+            create_engine(engine_id, config=EngineConfig(auto_index_properties=(indexed_key,))), dataset
+        )
+        indexed_search = runner.run_single(indexed, query_by_id("Q11"), search_params)
+        indexed_insert = runner.run_single(indexed, query_by_id("Q2"), insert_params)
+        rows.append(
+            [
+                engine_id,
+                format_seconds(baseline_search.elapsed),
+                format_seconds(indexed_search.elapsed),
+                format_seconds(baseline_insert.elapsed),
+                format_seconds(indexed_insert.elapsed),
+            ]
+        )
+
+    print(
+        format_table(
+            ["Engine", "Q11 (no index)", "Q11 (indexed)", "Q2 (no index)", "Q2 (indexed)"],
+            rows,
+            title=f"Effect of an attribute index on {indexed_key!r} (frb-m)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Social-network scenario: the LDBC-style complex workload on one engine.
+
+Mimics the "new user" tasks the paper derives from the LDBC Social Network
+Benchmark (Figure 2): create an account, fill the profile, register
+interests, and compute friend / place recommendations — all against the
+LDBC-like synthetic dataset.
+
+Run with::
+
+    python examples/social_network_analysis.py [--engine relationalgraph-1.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.workload import load_dataset_into
+from repro.datasets import compute_statistics, get_dataset
+from repro.engines import available_engines, create_engine
+from repro.queries import complex_query_by_id
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", default="nativelinked-1.9", choices=list(available_engines()))
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    dataset = get_dataset("ldbc", scale=args.scale)
+    print("dataset:", compute_statistics(dataset).as_row())
+
+    loaded = load_dataset_into(create_engine(args.engine), dataset)
+    graph = loaded.engine
+    print(f"loaded into {args.engine} in {loaded.load_seconds:.3f}s")
+
+    # Pick an existing member and an existing city/company/tag to interact with.
+    person = next(v for k, v in loaded.vertex_map.items() if str(k).startswith("person:"))
+    city = next(v for k, v in loaded.vertex_map.items() if str(k).startswith("city:"))
+    company = next(v for k, v in loaded.vertex_map.items() if str(k).startswith("company:"))
+    tags = [v for k, v in loaded.vertex_map.items() if str(k).startswith("tag:")][:3]
+
+    # A new user signs up and fills in their profile.
+    account = complex_query_by_id("create")(graph, {"properties": {"firstName": "Noa", "lastName": "Visitor"}})
+    complex_query_by_id("city")(graph, {"person": account, "place": city})
+    complex_query_by_id("company")(graph, {"person": account, "organisation": company})
+    complex_query_by_id("add-tags")(graph, {"person": account, "tags": tags})
+    print("new account wired to", len(list(graph.out_edges(account))), "profile edges")
+
+    # Recommendations for an existing member.
+    friends = complex_query_by_id("friend1")(graph, {"person": person})
+    print("direct friends:", len(friends))
+    recommendations = complex_query_by_id("friend-of-friend")(graph, {"person": person, "k": 5})
+    print("top friend recommendations (vertex, common friends):", recommendations)
+    places = complex_query_by_id("places")(graph, {"person": person, "k": 3})
+    print("most common friend locations:", places)
+    triangles = complex_query_by_id("triangle")(graph, {"person": person})
+    print("friendship triangles through the member:", triangles)
+
+    hubs = complex_query_by_id("max-iid")(graph, {})
+    print("most referenced node:", graph.vertex(hubs["vertex"]).label, "in-degree", hubs["degree"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""The micro/macro-benchmark harness.
+
+This package is the Python materialisation of the paper's evaluation suite
+(Section 5): it loads datasets into engines, binds query parameters from the
+same seeded random choices for every engine, executes queries in isolation
+and in batch with a timeout, measures space occupancy, and renders the
+tables and figures of the evaluation section as plain-text reports.
+"""
+
+from repro.bench.workload import LoadedGraph, ParameterPlan, load_dataset_into
+from repro.bench.runner import ExecutionStatus, QueryExecution, QueryRunner
+from repro.bench.results import ExecutionResult, ResultSet
+from repro.bench.spaces import measure_space
+from repro.bench.suite import BenchmarkSuite
+from repro.bench.summary import evaluation_summary
+from repro.bench import report
+
+__all__ = [
+    "LoadedGraph",
+    "ParameterPlan",
+    "load_dataset_into",
+    "ExecutionStatus",
+    "QueryExecution",
+    "QueryRunner",
+    "ExecutionResult",
+    "ResultSet",
+    "measure_space",
+    "BenchmarkSuite",
+    "evaluation_summary",
+    "report",
+]

@@ -1,0 +1,121 @@
+"""Table 4: the per-category evaluation summary.
+
+The paper condenses its findings into a grid of check marks (best or
+near-to-best performance) and warning signs (low-end performance or
+execution problems) per engine and operation group.  This module computes
+the same grid from a :class:`~repro.bench.results.ResultSet`: an engine gets
+a check for a group when its mean time is within a factor of the group's
+best engine, and a warning when it failed queries in the group or sits at
+the slow end of the field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.results import ResultSet
+
+#: Table 4 column groups: label -> the query ids the group aggregates.
+SUMMARY_GROUPS: dict[str, tuple[str, ...]] = {
+    "Load": ("Q1",),
+    "Insertions": ("Q2", "Q3", "Q4", "Q5", "Q6", "Q7"),
+    "Graph Statistics": ("Q8", "Q9", "Q10"),
+    "Search by Property/Label": ("Q11", "Q12", "Q13"),
+    "Search by Id": ("Q14", "Q15"),
+    "Updates": ("Q16", "Q17"),
+    "Delete Node": ("Q18",),
+    "Other Deletions": ("Q19", "Q20", "Q21"),
+    "Neighbors": ("Q22", "Q23", "Q24"),
+    "Node Edge-Labels": ("Q25", "Q26", "Q27"),
+    "Degree Filter": ("Q28", "Q29", "Q30", "Q31"),
+    "BFS": ("Q32", "Q33"),
+    "Shortest Path": ("Q34", "Q35"),
+}
+
+#: An engine is "near-to-best" when its group mean is within this factor of
+#: the best engine's mean.
+GOOD_FACTOR = 3.0
+#: An engine gets a warning when it is this many times slower than the best,
+#: or when any query of the group failed.
+WARN_FACTOR = 20.0
+
+CHECK = "+"
+WARNING = "!"
+NEUTRAL = "."
+MISSING = " "
+
+
+@dataclass(frozen=True)
+class SummaryCell:
+    """One cell of Table 4."""
+
+    engine: str
+    group: str
+    marker: str
+    mean_elapsed: float | None
+    failures: int
+
+
+def _group_mean(results: ResultSet, engine: str, query_ids: tuple[str, ...]) -> tuple[float | None, int]:
+    """Mean elapsed over the group (None when nothing succeeded) and failure count."""
+    total = 0.0
+    count = 0
+    failures = 0
+    for result in results:
+        if result.engine != engine or result.query_id not in query_ids or result.mode != "single":
+            continue
+        if result.ok:
+            total += result.elapsed
+            count += 1
+        elif result.failed:
+            failures += 1
+    return (total / count if count else None), failures
+
+
+def evaluation_summary(results: ResultSet) -> list[SummaryCell]:
+    """Compute every Table 4 cell from ``results``."""
+    cells: list[SummaryCell] = []
+    engines = results.engines()
+    for group, query_ids in SUMMARY_GROUPS.items():
+        means: dict[str, tuple[float | None, int]] = {
+            engine: _group_mean(results, engine, query_ids) for engine in engines
+        }
+        successful = [mean for mean, _failures in means.values() if mean is not None]
+        best = min(successful) if successful else None
+        for engine in engines:
+            mean, failures = means[engine]
+            marker = _marker(mean, failures, best)
+            cells.append(
+                SummaryCell(engine=engine, group=group, marker=marker, mean_elapsed=mean, failures=failures)
+            )
+    return cells
+
+
+def _marker(mean: float | None, failures: int, best: float | None) -> str:
+    if mean is None and failures == 0:
+        return MISSING
+    if failures > 0:
+        return WARNING
+    if best is None or mean is None:
+        return MISSING
+    if mean <= best * GOOD_FACTOR or mean - best < 1e-4:
+        return CHECK
+    if mean >= best * WARN_FACTOR:
+        return WARNING
+    return NEUTRAL
+
+
+def summary_table(results: ResultSet) -> str:
+    """Render Table 4 as a text grid (one row per engine, one column per group)."""
+    from repro.bench.report import format_table
+
+    engines = results.engines()
+    cells = evaluation_summary(results)
+    by_key = {(cell.engine, cell.group): cell.marker for cell in cells}
+    rows = []
+    for engine in engines:
+        rows.append([engine] + [by_key.get((engine, group), MISSING) for group in SUMMARY_GROUPS])
+    legend = f"legend: '{CHECK}' best/near-best, '{NEUTRAL}' mid-field, '{WARNING}' slow or failed"
+    return format_table(
+        ["Engine"] + list(SUMMARY_GROUPS), rows, title=f"Evaluation summary (Table 4)\n{legend}"
+    )

@@ -1,0 +1,34 @@
+"""Dataset generators and loaders.
+
+The paper evaluates the systems on three real datasets (MiCo, Yeast, and four
+Freebase subsamples) plus a synthetic LDBC social network (Table 3).  The
+real data is not redistributable here, so each dataset is replaced by a
+deterministic generator that reproduces its *shape*: node/edge counts (at a
+configurable scale factor), label cardinality, degree skew, density, and
+connected-component structure — the characteristics the paper's analysis
+actually depends on.
+"""
+
+from repro.datasets.base import Dataset, DatasetSpec, available_datasets, get_dataset, register_dataset
+from repro.datasets.statistics import GraphStatistics, compute_statistics
+from repro.datasets.freebase import frb_l, frb_m, frb_o, frb_s
+from repro.datasets.ldbc import ldbc_social
+from repro.datasets.mico import mico
+from repro.datasets.yeast import yeast
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "available_datasets",
+    "get_dataset",
+    "register_dataset",
+    "GraphStatistics",
+    "compute_statistics",
+    "frb_s",
+    "frb_o",
+    "frb_m",
+    "frb_l",
+    "ldbc_social",
+    "mico",
+    "yeast",
+]

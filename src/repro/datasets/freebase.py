@@ -1,0 +1,143 @@
+"""Freebase-like knowledge-graph samples (Frb-S, Frb-O, Frb-M, Frb-L).
+
+The paper cleans the public Freebase dump and derives four subgraphs: a
+topic-restricted sample (Frb-O) and three random edge samples of 0.1%, 1%,
+and 10% (Frb-S, Frb-M, Frb-L).  Their defining shape characteristics
+(Table 3) are: very many edge labels (hundreds to thousands), extreme
+sparsity, heavy fragmentation into connected components, low average degree,
+and hub nodes with enormous degree.
+
+The generators below reproduce those shapes at a configurable scale.  The
+default sizes keep the published ratios between the four samples while
+staying small enough that the slowest simulated engine can still load them
+in seconds; pass ``scale`` > 1 to grow them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.datasets.base import Dataset, register_dataset
+from repro.datasets.generator import (
+    component_partition,
+    connect_within_component,
+    scaled,
+    zipfian_labels,
+)
+
+#: Topic domains used for node properties and the Frb-O selection.
+_DOMAINS = (
+    "organization",
+    "business",
+    "government",
+    "finance",
+    "geography",
+    "military",
+    "people",
+    "film",
+    "music",
+    "location",
+)
+
+
+def _knowledge_graph(
+    name: str,
+    vertex_count: int,
+    edge_count: int,
+    label_count: int,
+    component_count: int,
+    seed: int,
+    domains: tuple[str, ...] = _DOMAINS,
+) -> Dataset:
+    """Build one Freebase-like sample with the requested shape."""
+    rng = random.Random(seed)
+    vertices: list[dict[str, Any]] = []
+    for index in range(vertex_count):
+        domain = rng.choice(domains)
+        vertices.append(
+            {
+                "id": f"m.{index:07d}",
+                "label": "topic",
+                "properties": {
+                    "mid": f"/m/{index:07d}",
+                    "name": f"{domain.title()} entity {index}",
+                    "domain": domain,
+                    "notable": rng.random() < 0.05,
+                },
+            }
+        )
+    labels, weights = zipfian_labels(rng, label_count, prefix=f"{name}.relation.")
+    vertex_ids = [vertex["id"] for vertex in vertices]
+    components = component_partition(rng, vertex_ids, component_count)
+    edges: list[dict[str, Any]] = []
+    total_members = sum(len(component) for component in components)
+    for component in components:
+        share = int(round(edge_count * len(component) / total_members)) if total_members else 0
+        edges.extend(
+            connect_within_component(rng, component, share, labels, weights)
+        )
+    return Dataset(
+        name=name,
+        vertices=vertices,
+        edges=edges,
+        description=(
+            f"Freebase-like knowledge graph sample ({vertex_count} nodes, "
+            f"~{len(edges)} edges, {label_count} edge labels)"
+        ),
+    )
+
+
+def frb_s(scale: float = 1.0, seed: int = 41) -> Dataset:
+    """Frb-S-like sample: few edges but very many edge labels."""
+    return _knowledge_graph(
+        name="frb-s",
+        vertex_count=scaled(500, scale),
+        edge_count=scaled(300, scale),
+        label_count=scaled(180, scale, minimum=20),
+        component_count=scaled(160, scale, minimum=5),
+        seed=seed,
+    )
+
+
+def frb_o(scale: float = 1.0, seed: int = 42) -> Dataset:
+    """Frb-O-like sample: topic-restricted, denser, moderate label count."""
+    return _knowledge_graph(
+        name="frb-o",
+        vertex_count=scaled(1900, scale),
+        edge_count=scaled(4300, scale),
+        label_count=scaled(42, scale, minimum=10),
+        component_count=scaled(130, scale, minimum=5),
+        seed=seed,
+        domains=("organization", "business", "government", "finance", "geography", "military"),
+    )
+
+
+def frb_m(scale: float = 1.0, seed: int = 43) -> Dataset:
+    """Frb-M-like sample: 1% edge sample, fragmented, many labels."""
+    return _knowledge_graph(
+        name="frb-m",
+        vertex_count=scaled(4000, scale),
+        edge_count=scaled(3100, scale),
+        label_count=scaled(290, scale, minimum=30),
+        component_count=scaled(1100, scale, minimum=10),
+        seed=seed,
+    )
+
+
+def frb_l(scale: float = 1.0, seed: int = 44) -> Dataset:
+    """Frb-L-like sample: the largest sample, used for the scalability points."""
+    return _knowledge_graph(
+        name="frb-l",
+        vertex_count=scaled(9000, scale),
+        edge_count=scaled(10000, scale),
+        label_count=scaled(380, scale, minimum=40),
+        component_count=scaled(640, scale, minimum=10),
+        seed=seed,
+    )
+
+
+register_dataset("frb-s", frb_s, "Freebase-like 0.1% edge sample (label-rich, sparse)")
+register_dataset("frb-o", frb_o, "Freebase-like topic-restricted sample")
+register_dataset("frb-m", frb_m, "Freebase-like 1% edge sample")
+register_dataset("frb-l", frb_l, "Freebase-like 10% edge sample (largest)")

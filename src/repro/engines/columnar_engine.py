@@ -1,0 +1,368 @@
+"""Hybrid engine over a wide-column store (the Titan-like architecture).
+
+Architecture reproduced from the paper (Sections 3.2, 6.2, and 6.4):
+
+* the graph is a collection of adjacency lists: one row per vertex, one
+  column per vertex property and per incident edge;
+* every edge traversal resolves the vertex row through a row-key index
+  before it can slice the adjacency list, so point traversals carry a
+  per-hop index cost;
+* writes go through consistency checks and (unless the schema was declared
+  up front) schema inference, which makes insertions slow — around an order
+  of magnitude slower than the fastest engines in the paper;
+* deletions only write tombstones, which is why the original system improved
+  by almost an order of magnitude on delete operations;
+* adjacency lists compress well (delta-encoded column names), giving the
+  best space footprint on the Freebase-like samples;
+* a graph-centric attribute index can be enabled, and the newer version adds
+  modest per-operation improvements — modelled by
+  :class:`ColumnarV1Engine`, which skips the redundant consistency re-read.
+
+Edge identifiers are ``(source, label, sequence)`` tuples encoded into the
+column name, matching the vertex-centric layout of the original system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator
+
+from repro.config import EngineConfig
+from repro.engines.base import BaseEngine, EngineInfo
+from repro.exceptions import ElementNotFoundError
+from repro.model.elements import Edge, Vertex
+from repro.storage.columnar import ColumnFamilyStore
+from repro.storage.hash_index import HashIndex
+
+_PROPERTY_PREFIX = "p:"
+_OUT_PREFIX = "eo:"
+_IN_PREFIX = "ei:"
+
+
+class ColumnarEngine(BaseEngine):
+    """Graph store over vertex-row adjacency lists in a wide-column store."""
+
+    name = "columnargraph"
+    version = "0.5"
+    kind = "hybrid"
+    supports_vertex_index = True
+
+    #: Whether writes re-read the row for consistency checks (v0.5 behaviour).
+    consistency_checks = True
+
+    info = EngineInfo(
+        system="ColumnarGraph",
+        version="0.5",
+        kind="Hybrid (Columnar)",
+        storage="Vertex-indexed adjacency list",
+        edge_traversal="Row-key index",
+        gremlin="v2.6",
+        query_execution="Programming API, optimized",
+        access="embedded",
+        languages=("Python DSL",),
+    )
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        super().__init__(config)
+        self._rows = ColumnFamilyStore(
+            "graphstore", metrics=self.metrics, consistency_checks=self.consistency_checks
+        )
+        self._vertex_counter = itertools.count(1)
+        self._edge_counter = itertools.count(1)
+        #: edge id -> (source, target, label, out column, in column)
+        self._edge_directory: dict[str, tuple[int, int, str, str, str]] = {}
+        self._vertex_indexes: dict[str, HashIndex] = {}
+        for key in self.config.auto_index_properties:
+            self.create_vertex_index(key)
+
+    # ------------------------------------------------------------------
+    # Vertex CRUD
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, properties: dict[str, Any] | None = None, label: str | None = None) -> Any:
+        properties = properties or {}
+        self.schema.observe_vertex(label, set(properties))
+        vertex_id = next(self._vertex_counter)
+        self._rows.create_row(vertex_id)
+        if label is not None:
+            self._rows.put(vertex_id, _PROPERTY_PREFIX + "_label", label)
+        for key, value in properties.items():
+            self._rows.put(vertex_id, _PROPERTY_PREFIX + key, value)
+        for key, index in self._vertex_indexes.items():
+            if key in properties:
+                index.insert(properties[key], vertex_id)
+        self._log("add_vertex", id=vertex_id)
+        return vertex_id
+
+    def vertex(self, vertex_id: Any) -> Vertex:
+        self._require_vertex(vertex_id)
+        cells = self._rows.row_columns(vertex_id, prefix=_PROPERTY_PREFIX)
+        label = cells.pop(_PROPERTY_PREFIX + "_label", None)
+        properties = {name[len(_PROPERTY_PREFIX) :]: value for name, value in cells.items()}
+        return Vertex(id=vertex_id, label=label, properties=properties)
+
+    def vertex_exists(self, vertex_id: Any) -> bool:
+        return isinstance(vertex_id, int) and self._rows.has_row(vertex_id)
+
+    def vertex_ids(self) -> Iterator[Any]:
+        yield from self._rows.row_keys()
+
+    def remove_vertex(self, vertex_id: Any) -> None:
+        self._require_vertex(vertex_id)
+        for edge_id in list(self.both_edges(vertex_id)):
+            if edge_id in self._edge_directory:
+                self.remove_edge(edge_id)
+        for key, index in self._vertex_indexes.items():
+            value = self._rows.get(vertex_id, _PROPERTY_PREFIX + key)
+            if value is not None:
+                index.delete(value, vertex_id)
+        self._rows.delete_row(vertex_id)
+        self._log("remove_vertex", id=vertex_id)
+
+    def set_vertex_property(self, vertex_id: Any, key: str, value: Any) -> None:
+        self._require_vertex(vertex_id)
+        previous = self._rows.get(vertex_id, _PROPERTY_PREFIX + key)
+        self._rows.put(vertex_id, _PROPERTY_PREFIX + key, value)
+        if key in self._vertex_indexes:
+            if previous is not None:
+                self._vertex_indexes[key].delete(previous, vertex_id)
+            self._vertex_indexes[key].insert(value, vertex_id)
+        self._log("set_vertex_property", id=vertex_id, key=key)
+
+    def remove_vertex_property(self, vertex_id: Any, key: str) -> None:
+        self._require_vertex(vertex_id)
+        previous = self._rows.get(vertex_id, _PROPERTY_PREFIX + key)
+        self._rows.delete_cell(vertex_id, _PROPERTY_PREFIX + key)
+        if key in self._vertex_indexes and previous is not None:
+            self._vertex_indexes[key].delete(previous, vertex_id)
+        self._log("remove_vertex_property", id=vertex_id, key=key)
+
+    def vertex_property(self, vertex_id: Any, key: str) -> Any:
+        self._require_vertex(vertex_id)
+        return self._rows.get(vertex_id, _PROPERTY_PREFIX + key)
+
+    # ------------------------------------------------------------------
+    # Edge CRUD: edges are columns of their endpoint rows
+    # ------------------------------------------------------------------
+
+    def add_edge(
+        self,
+        source_id: Any,
+        target_id: Any,
+        label: str,
+        properties: dict[str, Any] | None = None,
+    ) -> Any:
+        properties = properties or {}
+        self._require_vertex(source_id)
+        self._require_vertex(target_id)
+        self.schema.observe_edge(label, set(properties))
+        sequence = next(self._edge_counter)
+        edge_id = f"t:{sequence}"
+        out_column = f"{_OUT_PREFIX}{label}:{sequence}"
+        in_column = f"{_IN_PREFIX}{label}:{sequence}"
+        payload = {"other": target_id, "label": label, "props": dict(properties), "id": edge_id}
+        self._rows.put(source_id, out_column, payload)
+        reverse = {"other": source_id, "label": label, "props": dict(properties), "id": edge_id}
+        self._rows.put(target_id, in_column, reverse)
+        self._edge_directory[edge_id] = (source_id, target_id, label, out_column, in_column)
+        self._log("add_edge", id=edge_id)
+        return edge_id
+
+    def edge(self, edge_id: Any) -> Edge:
+        source, target, label, out_column, _in_column = self._edge_entry(edge_id)
+        payload = self._rows.get(source, out_column) or {}
+        return Edge(
+            id=edge_id,
+            label=label,
+            source=source,
+            target=target,
+            properties=dict(payload.get("props", {})),
+        )
+
+    def edge_exists(self, edge_id: Any) -> bool:
+        return edge_id in self._edge_directory
+
+    def edge_ids(self) -> Iterator[Any]:
+        # A full edge scan walks every vertex row and slices its out-columns.
+        for vertex_id, columns in self._rows.scan_rows():
+            del vertex_id
+            for name, payload in columns.items():
+                if name.startswith(_OUT_PREFIX):
+                    yield payload["id"]
+
+    def remove_edge(self, edge_id: Any) -> None:
+        source, target, _label, out_column, in_column = self._edge_entry(edge_id)
+        # Tombstone deletes: the cells are marked, not compacted away.
+        if self._rows.has_row(source):
+            self._rows.delete_cell(source, out_column)
+        if self._rows.has_row(target):
+            self._rows.delete_cell(target, in_column)
+        del self._edge_directory[edge_id]
+        self._log("remove_edge", id=edge_id)
+
+    def set_edge_property(self, edge_id: Any, key: str, value: Any) -> None:
+        source, target, _label, out_column, in_column = self._edge_entry(edge_id)
+        for row_key, column in ((source, out_column), (target, in_column)):
+            payload = self._rows.get(row_key, column)
+            if payload is not None:
+                payload = dict(payload)
+                payload["props"] = dict(payload.get("props", {}))
+                payload["props"][key] = value
+                self._rows.put(row_key, column, payload)
+        self._log("set_edge_property", id=edge_id, key=key)
+
+    def remove_edge_property(self, edge_id: Any, key: str) -> None:
+        source, target, _label, out_column, in_column = self._edge_entry(edge_id)
+        for row_key, column in ((source, out_column), (target, in_column)):
+            payload = self._rows.get(row_key, column)
+            if payload is not None and key in payload.get("props", {}):
+                payload = dict(payload)
+                payload["props"] = dict(payload["props"])
+                del payload["props"][key]
+                self._rows.put(row_key, column, payload)
+        self._log("remove_edge_property", id=edge_id, key=key)
+
+    def edge_property(self, edge_id: Any, key: str) -> Any:
+        source, _target, _label, out_column, _in_column = self._edge_entry(edge_id)
+        payload = self._rows.get(source, out_column) or {}
+        return payload.get("props", {}).get(key)
+
+    def edge_endpoints(self, edge_id: Any) -> tuple[Any, Any]:
+        source, target, _label, _out_column, _in_column = self._edge_entry(edge_id)
+        # The endpoints still require resolving the source row through the
+        # row-key index, as a real adjacency-list layout would.
+        self._rows.row_index.lookup(source)
+        return source, target
+
+    def edge_label(self, edge_id: Any) -> str:
+        _source, _target, label, _out_column, _in_column = self._edge_entry(edge_id)
+        return label
+
+    # ------------------------------------------------------------------
+    # Traversal primitives: row-key index lookup + column slice per hop
+    # ------------------------------------------------------------------
+
+    def out_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        yield from self._incident(vertex_id, _OUT_PREFIX, label)
+
+    def in_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        yield from self._incident(vertex_id, _IN_PREFIX, label)
+
+    def _incident(self, vertex_id: Any, prefix: str, label: str | None) -> Iterator[Any]:
+        self._require_vertex(vertex_id)
+        slice_prefix = prefix if label is None else f"{prefix}{label}:"
+        columns = self._rows.row_columns(vertex_id, prefix=slice_prefix)
+        for payload in columns.values():
+            yield payload["id"]
+
+    # ------------------------------------------------------------------
+    # Search primitives
+    # ------------------------------------------------------------------
+
+    def vertices_by_property(self, key: str, value: Any) -> Iterator[Any]:
+        if key in self._vertex_indexes:
+            yield from self._vertex_indexes[key].lookup(value)
+            return
+        column = _PROPERTY_PREFIX + key
+        for vertex_id, columns in self._rows.scan_rows():
+            if columns.get(column) == value:
+                yield vertex_id
+
+    def edges_by_property(self, key: str, value: Any) -> Iterator[Any]:
+        for vertex_id, columns in self._rows.scan_rows():
+            del vertex_id
+            for name, payload in columns.items():
+                if name.startswith(_OUT_PREFIX) and payload.get("props", {}).get(key) == value:
+                    yield payload["id"]
+
+    def edges_by_label(self, label: str) -> Iterator[Any]:
+        prefix = f"{_OUT_PREFIX}{label}:"
+        for vertex_id in self._rows.row_keys():
+            columns = self._rows.row_columns(vertex_id, prefix=prefix)
+            for payload in columns.values():
+                yield payload["id"]
+
+    def distinct_edge_labels(self) -> set[str]:
+        labels: set[str] = set()
+        for _vertex_id, columns in self._rows.scan_rows():
+            for name, payload in columns.items():
+                if name.startswith(_OUT_PREFIX):
+                    labels.add(payload["label"])
+        return labels
+
+    # ------------------------------------------------------------------
+    # Attribute indexes (graph-centric index)
+    # ------------------------------------------------------------------
+
+    def create_vertex_index(self, key: str) -> None:
+        if key in self._vertex_indexes:
+            return
+        index = HashIndex(f"graphindex-{key}", metrics=self.metrics)
+        column = _PROPERTY_PREFIX + key
+        for vertex_id, columns in self._rows.scan_rows():
+            if column in columns:
+                index.insert(columns[column], vertex_id)
+        self._vertex_indexes[key] = index
+        self._indexed_vertex_properties.add(key)
+
+    # ------------------------------------------------------------------
+    # Internals & space accounting
+    # ------------------------------------------------------------------
+
+    def _edge_entry(self, edge_id: Any) -> tuple[int, int, str, str, str]:
+        try:
+            return self._edge_directory[edge_id]
+        except KeyError:
+            raise ElementNotFoundError("edge", edge_id) from None
+
+    def _require_vertex(self, vertex_id: Any) -> None:
+        if not self.vertex_exists(vertex_id):
+            raise ElementNotFoundError("vertex", vertex_id)
+
+    def space_breakdown(self) -> dict[str, int]:
+        # Adjacency lists are delta-encoded: within a row, consecutive edge
+        # columns share their label prefix and store only small id deltas, so
+        # an edge costs a handful of bytes instead of a full record.  This is
+        # what makes the columnar engine the most compact on the dense
+        # Freebase-like samples (paper, Section 6.2).
+        adjacency_bytes = 0
+        property_bytes = 0
+        for _vertex_id, columns in self._rows.scan_rows():
+            adjacency_bytes += 16  # row header and key
+            for name, payload in columns.items():
+                if name.startswith(_PROPERTY_PREFIX):
+                    property_bytes += 8 + len(str(payload))
+                else:
+                    adjacency_bytes += 6  # delta-encoded neighbour id + label ref
+                    props = payload.get("props", {}) if isinstance(payload, dict) else {}
+                    for key, value in props.items():
+                        property_bytes += 4 + len(str(key)) + len(str(value))
+        index_bytes = sum(index.size_in_bytes for index in self._vertex_indexes.values())
+        return {
+            "adjacency-rows": adjacency_bytes,
+            "properties": property_bytes,
+            "row-key-index": self._rows.row_index.size_in_bytes,
+            "edge-directory": len(self._edge_directory) * 24,
+            "graph-indexes": index_bytes,
+            "wal": self.wal.size_in_bytes,
+        }
+
+
+class ColumnarV1Engine(ColumnarEngine):
+    """The production-ready v1.0 variant: no redundant consistency re-read."""
+
+    name = "columnargraph-v1"
+    version = "1.0"
+    consistency_checks = False
+
+    info = EngineInfo(
+        system="ColumnarGraph",
+        version="1.0",
+        kind="Hybrid (Columnar)",
+        storage="Vertex-indexed adjacency list",
+        edge_traversal="Row-key index",
+        gremlin="v3.0",
+        query_execution="Programming API, optimized",
+        access="embedded",
+        languages=("Python DSL",),
+    )

@@ -1,0 +1,435 @@
+"""Hybrid engine over a relational schema (the Sqlg/Postgres-like architecture).
+
+Architecture reproduced from the paper (Sections 3.1, 3.2, 6.3, and 6.4):
+
+* one table per vertex label and one join table per edge label; vertex and
+  edge properties are columns, so a property key seen for the first time
+  triggers an ``ALTER TABLE`` (which is why property insertion on existing
+  elements is comparatively slow);
+* endpoint columns of every edge table carry foreign-key indexes, so
+  traversals restricted to a single edge label become indexed joins and are
+  fast;
+* traversals that cannot name a label must union the scan over *every* edge
+  table, which is the engine's weak spot on unfiltered traversals, BFS, and
+  shortest paths;
+* equality search on properties or labels maps to plain relational scans /
+  index lookups and is where this engine shines;
+* labels have a maximum length (a PostgreSQL identifier limit), reproduced
+  here as a configurable cap.
+
+Vertex ids are ``"<table>:<row id>"`` strings; edge ids likewise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.config import EngineConfig
+from repro.engines.base import BaseEngine, EngineInfo
+from repro.exceptions import ElementNotFoundError, SchemaError
+from repro.model.elements import Edge, Vertex
+from repro.storage.relational import Column, RelationalDatabase
+
+_VERTEX_PREFIX = "V_"
+_EDGE_PREFIX = "E_"
+_DEFAULT_VERTEX_LABEL = "vertex"
+#: PostgreSQL-style identifier length limit (the paper notes Sqlg needs
+#: special handling for long labels).
+_MAX_LABEL_LENGTH = 63
+#: Reserved column names of edge tables.
+_EDGE_SYSTEM_COLUMNS = ("id", "source", "target", "source_table", "target_table")
+
+
+class RelationalEngine(BaseEngine):
+    """Graph store over per-label relational tables with foreign-key indexes."""
+
+    name = "relationalgraph"
+    version = "1.2"
+    kind = "hybrid"
+    supports_vertex_index = True
+
+    info = EngineInfo(
+        system="RelationalGraph",
+        version="1.2",
+        kind="Hybrid (Relational)",
+        storage="Tables",
+        edge_traversal="Table join",
+        gremlin="v3.2",
+        query_execution="SQL, optimized",
+        access="embedded (JDBC-like)",
+        languages=("Python DSL", "SQL"),
+    )
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        super().__init__(config)
+        self._db = RelationalDatabase("graphdb", metrics=self.metrics)
+        #: property keys that should be indexed in every vertex table.
+        self._indexed_keys: set[str] = set(self.config.auto_index_properties)
+        for key in self._indexed_keys:
+            self._indexed_vertex_properties.add(key)
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+
+    def _vertex_table(self, label: str | None) -> str:
+        label = label or _DEFAULT_VERTEX_LABEL
+        self._check_label(label)
+        table_name = _VERTEX_PREFIX + label
+        if not self._db.has_table(table_name):
+            self._db.create_table(table_name, [Column("id", "bigint", nullable=False)])
+            for key in self._indexed_keys:
+                table = self._db.table(table_name)
+                table.add_column(Column(key))
+                table.create_index(key)
+        return table_name
+
+    def _edge_table(self, label: str) -> str:
+        self._check_label(label)
+        table_name = _EDGE_PREFIX + label
+        if not self._db.has_table(table_name):
+            table = self._db.create_table(
+                table_name,
+                [
+                    Column("id", "bigint", nullable=False),
+                    Column("source", "text", nullable=False),
+                    Column("target", "text", nullable=False),
+                    Column("source_table", "text", nullable=False),
+                    Column("target_table", "text", nullable=False),
+                ],
+            )
+            # Foreign-key indexes on both endpoints, as Sqlg creates.
+            table.create_index("source")
+            table.create_index("target")
+        return table_name
+
+    def _check_label(self, label: str) -> None:
+        if len(label) > _MAX_LABEL_LENGTH:
+            raise SchemaError(
+                f"label {label!r} exceeds the {_MAX_LABEL_LENGTH}-character limit"
+            )
+
+    def _vertex_tables(self) -> list[str]:
+        return [name for name in self._db.table_names() if name.startswith(_VERTEX_PREFIX)]
+
+    def _edge_tables(self) -> list[str]:
+        return [name for name in self._db.table_names() if name.startswith(_EDGE_PREFIX)]
+
+    @staticmethod
+    def _split_id(element_id: Any) -> tuple[str, int]:
+        table, _, row = str(element_id).rpartition(":")
+        try:
+            return table, int(row)
+        except ValueError:
+            raise ElementNotFoundError("element", element_id) from None
+
+    # ------------------------------------------------------------------
+    # Vertex CRUD
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, properties: dict[str, Any] | None = None, label: str | None = None) -> Any:
+        properties = properties or {}
+        self.schema.observe_vertex(label, set(properties))
+        table_name = self._vertex_table(label)
+        table = self._db.table(table_name)
+        for key in properties:
+            if not table.schema.has_column(key):
+                table.add_column(Column(key))
+                if key in self._indexed_keys:
+                    table.create_index(key)
+        row_id = table.insert(dict(properties))
+        self._log("add_vertex", id=row_id)
+        return f"{table_name}:{row_id}"
+
+    def vertex(self, vertex_id: Any) -> Vertex:
+        table_name, row_id = self._split_id(vertex_id)
+        if not self._db.has_table(table_name) or not self._db.table(table_name).exists(row_id):
+            raise ElementNotFoundError("vertex", vertex_id)
+        row = self._db.table(table_name).get(row_id)
+        label = table_name[len(_VERTEX_PREFIX) :]
+        properties = {
+            key: value for key, value in row.items() if key != "id" and value is not None
+        }
+        if label == _DEFAULT_VERTEX_LABEL:
+            label_value: str | None = None
+        else:
+            label_value = label
+        return Vertex(id=vertex_id, label=label_value, properties=properties)
+
+    def vertex_exists(self, vertex_id: Any) -> bool:
+        try:
+            table_name, row_id = self._split_id(vertex_id)
+        except ElementNotFoundError:
+            return False
+        return (
+            table_name.startswith(_VERTEX_PREFIX)
+            and self._db.has_table(table_name)
+            and self._db.table(table_name).exists(row_id)
+        )
+
+    def vertex_ids(self) -> Iterator[Any]:
+        for table_name in self._vertex_tables():
+            for row in self._db.table(table_name).rows():
+                yield f"{table_name}:{row['id']}"
+
+    def remove_vertex(self, vertex_id: Any) -> None:
+        table_name, row_id = self._split_id(vertex_id)
+        if not self._db.has_table(table_name) or not self._db.table(table_name).exists(row_id):
+            raise ElementNotFoundError("vertex", vertex_id)
+        # Cascade: delete incident edges from every edge table.
+        for edge_table in self._edge_tables():
+            table = self._db.table(edge_table)
+            table.delete_where(
+                lambda row: row["source"] == str(vertex_id) or row["target"] == str(vertex_id)
+            )
+        self._db.table(table_name).delete(row_id)
+        self._log("remove_vertex", id=vertex_id)
+
+    def set_vertex_property(self, vertex_id: Any, key: str, value: Any) -> None:
+        table_name, row_id = self._split_id(vertex_id)
+        if not self._db.has_table(table_name) or not self._db.table(table_name).exists(row_id):
+            raise ElementNotFoundError("vertex", vertex_id)
+        table = self._db.table(table_name)
+        if not table.schema.has_column(key):
+            # Adding a property key not seen before changes the table
+            # structure, the slow path the paper observed for this engine.
+            table.add_column(Column(key))
+            if key in self._indexed_keys:
+                table.create_index(key)
+        table.update(row_id, {key: value})
+        self._log("set_vertex_property", id=vertex_id, key=key)
+
+    def remove_vertex_property(self, vertex_id: Any, key: str) -> None:
+        table_name, row_id = self._split_id(vertex_id)
+        if not self._db.has_table(table_name) or not self._db.table(table_name).exists(row_id):
+            raise ElementNotFoundError("vertex", vertex_id)
+        table = self._db.table(table_name)
+        if table.schema.has_column(key):
+            table.update(row_id, {key: None})
+        self._log("remove_vertex_property", id=vertex_id, key=key)
+
+    def vertex_property(self, vertex_id: Any, key: str) -> Any:
+        table_name, row_id = self._split_id(vertex_id)
+        if not self._db.has_table(table_name) or not self._db.table(table_name).exists(row_id):
+            raise ElementNotFoundError("vertex", vertex_id)
+        row = self._db.table(table_name).get(row_id)
+        return row.get(key)
+
+    # ------------------------------------------------------------------
+    # Edge CRUD
+    # ------------------------------------------------------------------
+
+    def add_edge(
+        self,
+        source_id: Any,
+        target_id: Any,
+        label: str,
+        properties: dict[str, Any] | None = None,
+    ) -> Any:
+        properties = properties or {}
+        if not self.vertex_exists(source_id):
+            raise ElementNotFoundError("vertex", source_id)
+        if not self.vertex_exists(target_id):
+            raise ElementNotFoundError("vertex", target_id)
+        self.schema.observe_edge(label, set(properties))
+        table_name = self._edge_table(label)
+        table = self._db.table(table_name)
+        for key in properties:
+            if not table.schema.has_column(key):
+                table.add_column(Column(key))
+        source_table, _ = self._split_id(source_id)
+        target_table, _ = self._split_id(target_id)
+        row = dict(properties)
+        row.update(
+            {
+                "source": str(source_id),
+                "target": str(target_id),
+                "source_table": source_table,
+                "target_table": target_table,
+            }
+        )
+        row_id = table.insert(row)
+        self._log("add_edge", id=row_id)
+        return f"{table_name}:{row_id}"
+
+    def edge(self, edge_id: Any) -> Edge:
+        table_name, row_id = self._split_id(edge_id)
+        if not self._db.has_table(table_name) or not self._db.table(table_name).exists(row_id):
+            raise ElementNotFoundError("edge", edge_id)
+        row = self._db.table(table_name).get(row_id)
+        label = table_name[len(_EDGE_PREFIX) :]
+        properties = {
+            key: value
+            for key, value in row.items()
+            if key not in _EDGE_SYSTEM_COLUMNS and value is not None
+        }
+        return Edge(
+            id=edge_id,
+            label=label,
+            source=row["source"],
+            target=row["target"],
+            properties=properties,
+        )
+
+    def edge_exists(self, edge_id: Any) -> bool:
+        try:
+            table_name, row_id = self._split_id(edge_id)
+        except ElementNotFoundError:
+            return False
+        return (
+            table_name.startswith(_EDGE_PREFIX)
+            and self._db.has_table(table_name)
+            and self._db.table(table_name).exists(row_id)
+        )
+
+    def edge_ids(self) -> Iterator[Any]:
+        for table_name in self._edge_tables():
+            for row in self._db.table(table_name).rows():
+                yield f"{table_name}:{row['id']}"
+
+    def remove_edge(self, edge_id: Any) -> None:
+        table_name, row_id = self._split_id(edge_id)
+        if not self._db.has_table(table_name) or not self._db.table(table_name).exists(row_id):
+            raise ElementNotFoundError("edge", edge_id)
+        self._db.table(table_name).delete(row_id)
+        self._log("remove_edge", id=edge_id)
+
+    def set_edge_property(self, edge_id: Any, key: str, value: Any) -> None:
+        table_name, row_id = self._split_id(edge_id)
+        if not self._db.has_table(table_name) or not self._db.table(table_name).exists(row_id):
+            raise ElementNotFoundError("edge", edge_id)
+        table = self._db.table(table_name)
+        if not table.schema.has_column(key):
+            table.add_column(Column(key))
+        table.update(row_id, {key: value})
+        self._log("set_edge_property", id=edge_id, key=key)
+
+    def remove_edge_property(self, edge_id: Any, key: str) -> None:
+        table_name, row_id = self._split_id(edge_id)
+        if not self._db.has_table(table_name) or not self._db.table(table_name).exists(row_id):
+            raise ElementNotFoundError("edge", edge_id)
+        table = self._db.table(table_name)
+        if table.schema.has_column(key):
+            table.update(row_id, {key: None})
+        self._log("remove_edge_property", id=edge_id, key=key)
+
+    def edge_property(self, edge_id: Any, key: str) -> Any:
+        table_name, row_id = self._split_id(edge_id)
+        if not self._db.has_table(table_name) or not self._db.table(table_name).exists(row_id):
+            raise ElementNotFoundError("edge", edge_id)
+        return self._db.table(table_name).get(row_id).get(key)
+
+    def edge_endpoints(self, edge_id: Any) -> tuple[Any, Any]:
+        table_name, row_id = self._split_id(edge_id)
+        if not self._db.has_table(table_name) or not self._db.table(table_name).exists(row_id):
+            raise ElementNotFoundError("edge", edge_id)
+        row = self._db.table(table_name).get(row_id)
+        return row["source"], row["target"]
+
+    def edge_label(self, edge_id: Any) -> str:
+        table_name, _row_id = self._split_id(edge_id)
+        if not table_name.startswith(_EDGE_PREFIX) or not self._db.has_table(table_name):
+            raise ElementNotFoundError("edge", edge_id)
+        return table_name[len(_EDGE_PREFIX) :]
+
+    # ------------------------------------------------------------------
+    # Traversal primitives: joins over edge tables
+    # ------------------------------------------------------------------
+
+    def out_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        yield from self._incident(vertex_id, "source", label)
+
+    def in_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        yield from self._incident(vertex_id, "target", label)
+
+    def _incident(self, vertex_id: Any, endpoint_column: str, label: str | None) -> Iterator[Any]:
+        if not self.vertex_exists(vertex_id):
+            raise ElementNotFoundError("vertex", vertex_id)
+        if label is not None:
+            table_name = _EDGE_PREFIX + label
+            tables = [table_name] if self._db.has_table(table_name) else []
+        else:
+            # No label restriction: the query must union over every edge table.
+            tables = self._edge_tables()
+        for table_name in tables:
+            table = self._db.table(table_name)
+            if table.has_index(endpoint_column):
+                rows = table.index_scan(endpoint_column, str(vertex_id))
+            else:
+                rows = table.seq_scan(lambda row: row[endpoint_column] == str(vertex_id))
+            for row in rows:
+                yield f"{table_name}:{row['id']}"
+
+    # ------------------------------------------------------------------
+    # Search primitives: relational scans and index lookups
+    # ------------------------------------------------------------------
+
+    def vertices_by_property(self, key: str, value: Any) -> Iterator[Any]:
+        for table_name in self._vertex_tables():
+            table = self._db.table(table_name)
+            if not table.schema.has_column(key):
+                continue
+            for row in table.select(key, value):
+                yield f"{table_name}:{row['id']}"
+
+    def edges_by_property(self, key: str, value: Any) -> Iterator[Any]:
+        for table_name in self._edge_tables():
+            table = self._db.table(table_name)
+            if not table.schema.has_column(key):
+                continue
+            for row in table.select(key, value):
+                yield f"{table_name}:{row['id']}"
+
+    def edges_by_label(self, label: str) -> Iterator[Any]:
+        table_name = _EDGE_PREFIX + label
+        if not self._db.has_table(table_name):
+            return
+        for row in self._db.table(table_name).rows():
+            yield f"{table_name}:{row['id']}"
+
+    def distinct_edge_labels(self) -> set[str]:
+        # The catalog knows the edge labels: one table per label.
+        return {
+            name[len(_EDGE_PREFIX) :]
+            for name in self._edge_tables()
+            if len(self._db.table(name)) > 0
+        }
+
+    def vertex_count(self) -> int:
+        return sum(self._db.count(name) for name in self._vertex_tables())
+
+    def edge_count(self) -> int:
+        return sum(self._db.count(name) for name in self._edge_tables())
+
+    # ------------------------------------------------------------------
+    # Attribute indexes
+    # ------------------------------------------------------------------
+
+    def create_vertex_index(self, key: str) -> None:
+        self._indexed_keys.add(key)
+        self._indexed_vertex_properties.add(key)
+        for table_name in self._vertex_tables():
+            table = self._db.table(table_name)
+            if table.schema.has_column(key):
+                table.create_index(key)
+
+    # ------------------------------------------------------------------
+    # Space accounting & access to the underlying database
+    # ------------------------------------------------------------------
+
+    @property
+    def database(self) -> RelationalDatabase:
+        """The underlying relational database (used by the step optimizer)."""
+        return self._db
+
+    def space_breakdown(self) -> dict[str, int]:
+        vertex_bytes = sum(
+            self._db.table(name).size_in_bytes for name in self._vertex_tables()
+        )
+        edge_bytes = sum(self._db.table(name).size_in_bytes for name in self._edge_tables())
+        return {
+            "vertex-tables": vertex_bytes,
+            "edge-tables": edge_bytes,
+            "catalog": len(self._db.table_names()) * 256,
+            "wal": self.wal.size_in_bytes,
+        }

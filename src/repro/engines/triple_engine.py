@@ -1,0 +1,290 @@
+"""Hybrid engine over an RDF triple store (the BlazeGraph-like architecture).
+
+Architecture reproduced from the paper (Sections 3.2, 6.2, and 6.4):
+
+* the whole graph is stored as Subject-Predicate-Object statements indexed
+  three times (SPO, POS, OSP) in B+Trees;
+* every edge is *reified*: the edge identifier becomes the subject of
+  statements describing its endpoints, label, and properties, so traversing
+  one edge requires several B+Tree probes;
+* outside bulk-load mode, each insertion updates and rebalances the three
+  B+Trees, which makes loading and CUD operations orders of magnitude slower
+  than the other engines;
+* a pre-allocated journal plus the three index permutations give the engine
+  roughly three times the disk footprint of its competitors;
+* Gremlin-style steps are executed one by one against the statement API, so
+  nothing benefits from SPARQL-style query optimisation.
+
+The engine exposes no user-controlled attribute indexes (the original system
+offers none either).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator
+
+from repro.config import EngineConfig
+from repro.engines.base import BaseEngine, EngineInfo
+from repro.exceptions import ElementNotFoundError
+from repro.model.elements import Edge, Vertex
+from repro.storage.triple_store import TripleStore
+
+_TYPE = "rdf:type"
+_SUBJECT = "rdf:subject"
+_PREDICATE = "rdf:predicate"
+_OBJECT = "rdf:object"
+_LABEL = "graph:label"
+_PROPERTY_PREFIX = "prop:"
+_VERTEX_TYPE = "graph:Vertex"
+_EDGE_TYPE = "graph:Edge"
+
+
+class TripleEngine(BaseEngine):
+    """Graph store over reified SPO statements in three B+Tree permutations."""
+
+    name = "triplegraph"
+    version = "2.1"
+    kind = "hybrid"
+    supports_vertex_index = False
+
+    info = EngineInfo(
+        system="TripleGraph",
+        version="2.1.4",
+        kind="Hybrid (RDF)",
+        storage="RDF statements",
+        edge_traversal="B+Tree",
+        gremlin="v3.2",
+        query_execution="Programming API, non-optimized",
+        access="embedded",
+        languages=("Python DSL", "SPARQL-like"),
+    )
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        super().__init__(config)
+        self._triples = TripleStore("journal", metrics=self.metrics)
+        self._vertex_counter = itertools.count(1)
+        self._edge_counter = itertools.count(1)
+        self._vertex_ids: set[str] = set()
+        self._edge_ids: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+
+    def begin_bulk_load(self) -> None:
+        super().begin_bulk_load()
+        if self.config.bulk_load:
+            self._triples.begin_bulk_load()
+
+    def end_bulk_load(self) -> None:
+        if self.config.bulk_load:
+            self._triples.end_bulk_load()
+        super().end_bulk_load()
+
+    # ------------------------------------------------------------------
+    # Vertex CRUD
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, properties: dict[str, Any] | None = None, label: str | None = None) -> Any:
+        properties = properties or {}
+        self.schema.observe_vertex(label, set(properties))
+        vertex_id = f"vertex:{next(self._vertex_counter)}"
+        self._triples.add(vertex_id, _TYPE, _VERTEX_TYPE)
+        if label is not None:
+            self._triples.add(vertex_id, _LABEL, label)
+        for key, value in properties.items():
+            self._triples.add(vertex_id, _PROPERTY_PREFIX + key, value)
+        self._vertex_ids.add(vertex_id)
+        self._log("add_vertex", id=vertex_id)
+        return vertex_id
+
+    def vertex(self, vertex_id: Any) -> Vertex:
+        self._require_vertex(vertex_id)
+        label = None
+        properties: dict[str, Any] = {}
+        for triple in self._triples.match(subject=vertex_id):
+            if triple.predicate == _LABEL:
+                label = triple.object
+            elif str(triple.predicate).startswith(_PROPERTY_PREFIX):
+                properties[str(triple.predicate)[len(_PROPERTY_PREFIX) :]] = triple.object
+        return Vertex(id=vertex_id, label=label, properties=properties)
+
+    def vertex_exists(self, vertex_id: Any) -> bool:
+        return vertex_id in self._vertex_ids
+
+    def vertex_ids(self) -> Iterator[Any]:
+        for triple in self._triples.match(predicate=_TYPE, object_=_VERTEX_TYPE):
+            yield triple.subject
+
+    def remove_vertex(self, vertex_id: Any) -> None:
+        self._require_vertex(vertex_id)
+        for edge_id in list(self.both_edges(vertex_id)):
+            if edge_id in self._edge_ids:
+                self.remove_edge(edge_id)
+        self._triples.remove(vertex_id)
+        self._vertex_ids.discard(vertex_id)
+        self._log("remove_vertex", id=vertex_id)
+
+    def set_vertex_property(self, vertex_id: Any, key: str, value: Any) -> None:
+        self._require_vertex(vertex_id)
+        self._triples.remove(vertex_id, _PROPERTY_PREFIX + key)
+        self._triples.add(vertex_id, _PROPERTY_PREFIX + key, value)
+        self._log("set_vertex_property", id=vertex_id, key=key)
+
+    def remove_vertex_property(self, vertex_id: Any, key: str) -> None:
+        self._require_vertex(vertex_id)
+        self._triples.remove(vertex_id, _PROPERTY_PREFIX + key)
+        self._log("remove_vertex_property", id=vertex_id, key=key)
+
+    def vertex_property(self, vertex_id: Any, key: str) -> Any:
+        self._require_vertex(vertex_id)
+        for triple in self._triples.match(subject=vertex_id, predicate=_PROPERTY_PREFIX + key):
+            return triple.object
+        return None
+
+    # ------------------------------------------------------------------
+    # Edge CRUD (reified statements)
+    # ------------------------------------------------------------------
+
+    def add_edge(
+        self,
+        source_id: Any,
+        target_id: Any,
+        label: str,
+        properties: dict[str, Any] | None = None,
+    ) -> Any:
+        properties = properties or {}
+        self._require_vertex(source_id)
+        self._require_vertex(target_id)
+        self.schema.observe_edge(label, set(properties))
+        edge_id = f"edge:{next(self._edge_counter)}"
+        self._triples.add(edge_id, _TYPE, _EDGE_TYPE)
+        self._triples.add(edge_id, _SUBJECT, source_id)
+        self._triples.add(edge_id, _OBJECT, target_id)
+        self._triples.add(edge_id, _PREDICATE, label)
+        for key, value in properties.items():
+            self._triples.add(edge_id, _PROPERTY_PREFIX + key, value)
+        self._edge_ids.add(edge_id)
+        self._log("add_edge", id=edge_id)
+        return edge_id
+
+    def edge(self, edge_id: Any) -> Edge:
+        self._require_edge(edge_id)
+        source = target = None
+        label = ""
+        properties: dict[str, Any] = {}
+        for triple in self._triples.match(subject=edge_id):
+            if triple.predicate == _SUBJECT:
+                source = triple.object
+            elif triple.predicate == _OBJECT:
+                target = triple.object
+            elif triple.predicate == _PREDICATE:
+                label = triple.object
+            elif str(triple.predicate).startswith(_PROPERTY_PREFIX):
+                properties[str(triple.predicate)[len(_PROPERTY_PREFIX) :]] = triple.object
+        return Edge(id=edge_id, label=label, source=source, target=target, properties=properties)
+
+    def edge_exists(self, edge_id: Any) -> bool:
+        return edge_id in self._edge_ids
+
+    def edge_ids(self) -> Iterator[Any]:
+        for triple in self._triples.match(predicate=_TYPE, object_=_EDGE_TYPE):
+            yield triple.subject
+
+    def remove_edge(self, edge_id: Any) -> None:
+        self._require_edge(edge_id)
+        self._triples.remove(edge_id)
+        self._edge_ids.discard(edge_id)
+        self._log("remove_edge", id=edge_id)
+
+    def set_edge_property(self, edge_id: Any, key: str, value: Any) -> None:
+        self._require_edge(edge_id)
+        self._triples.remove(edge_id, _PROPERTY_PREFIX + key)
+        self._triples.add(edge_id, _PROPERTY_PREFIX + key, value)
+        self._log("set_edge_property", id=edge_id, key=key)
+
+    def remove_edge_property(self, edge_id: Any, key: str) -> None:
+        self._require_edge(edge_id)
+        self._triples.remove(edge_id, _PROPERTY_PREFIX + key)
+        self._log("remove_edge_property", id=edge_id, key=key)
+
+    def edge_property(self, edge_id: Any, key: str) -> Any:
+        self._require_edge(edge_id)
+        for triple in self._triples.match(subject=edge_id, predicate=_PROPERTY_PREFIX + key):
+            return triple.object
+        return None
+
+    def edge_endpoints(self, edge_id: Any) -> tuple[Any, Any]:
+        self._require_edge(edge_id)
+        source = target = None
+        for triple in self._triples.match(subject=edge_id, predicate=_SUBJECT):
+            source = triple.object
+        for triple in self._triples.match(subject=edge_id, predicate=_OBJECT):
+            target = triple.object
+        return source, target
+
+    def edge_label(self, edge_id: Any) -> str:
+        self._require_edge(edge_id)
+        for triple in self._triples.match(subject=edge_id, predicate=_PREDICATE):
+            return triple.object
+        return ""
+
+    # ------------------------------------------------------------------
+    # Traversal primitives: several B+Tree probes per hop
+    # ------------------------------------------------------------------
+
+    def out_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        self._require_vertex(vertex_id)
+        for triple in self._triples.match(predicate=_SUBJECT, object_=vertex_id):
+            edge_id = triple.subject
+            if label is None or self.edge_label(edge_id) == label:
+                yield edge_id
+
+    def in_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        self._require_vertex(vertex_id)
+        for triple in self._triples.match(predicate=_OBJECT, object_=vertex_id):
+            edge_id = triple.subject
+            if label is None or self.edge_label(edge_id) == label:
+                yield edge_id
+
+    # ------------------------------------------------------------------
+    # Search primitives
+    # ------------------------------------------------------------------
+
+    def vertices_by_property(self, key: str, value: Any) -> Iterator[Any]:
+        for triple in self._triples.match(predicate=_PROPERTY_PREFIX + key, object_=value):
+            if triple.subject in self._vertex_ids:
+                yield triple.subject
+
+    def edges_by_property(self, key: str, value: Any) -> Iterator[Any]:
+        for triple in self._triples.match(predicate=_PROPERTY_PREFIX + key, object_=value):
+            if triple.subject in self._edge_ids:
+                yield triple.subject
+
+    def edges_by_label(self, label: str) -> Iterator[Any]:
+        for triple in self._triples.match(predicate=_PREDICATE, object_=label):
+            yield triple.subject
+
+    def distinct_edge_labels(self) -> set[str]:
+        return {
+            triple.object for triple in self._triples.match(predicate=_PREDICATE)
+        }
+
+    # ------------------------------------------------------------------
+    # Internals & space accounting
+    # ------------------------------------------------------------------
+
+    def _require_vertex(self, vertex_id: Any) -> None:
+        if vertex_id not in self._vertex_ids:
+            raise ElementNotFoundError("vertex", vertex_id)
+
+    def _require_edge(self, edge_id: Any) -> None:
+        if edge_id not in self._edge_ids:
+            raise ElementNotFoundError("edge", edge_id)
+
+    def space_breakdown(self) -> dict[str, int]:
+        return {
+            "journal-and-indexes": self._triples.size_in_bytes,
+            "wal": self.wal.size_in_bytes,
+        }

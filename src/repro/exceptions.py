@@ -1,0 +1,86 @@
+"""Exception hierarchy for the graph microbenchmark suite.
+
+Every error raised by the library derives from :class:`GraphBenchError` so
+that callers can catch a single base class.  The more specific subclasses
+mirror the failure modes discussed in the paper: queries that time out,
+engines that exhaust their memory budget, and malformed data or queries.
+"""
+
+from __future__ import annotations
+
+
+class GraphBenchError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class StorageError(GraphBenchError):
+    """A storage substrate was used incorrectly or reached an invalid state."""
+
+
+class ElementNotFoundError(GraphBenchError):
+    """A vertex, edge, or property lookup by identifier failed."""
+
+    def __init__(self, kind: str, identifier: object) -> None:
+        super().__init__(f"{kind} with id {identifier!r} does not exist")
+        self.kind = kind
+        self.identifier = identifier
+
+
+class DuplicateElementError(GraphBenchError):
+    """An element with the same identifier already exists."""
+
+
+class SchemaError(GraphBenchError):
+    """A label or property violates the engine's schema constraints."""
+
+
+class QueryError(GraphBenchError):
+    """A query was malformed or referenced unknown parameters."""
+
+
+class UnsupportedOperationError(GraphBenchError):
+    """The engine does not support the requested operation.
+
+    Mirrors the paper's observations that some systems lack user-controlled
+    indexes or cannot complete certain operations.
+    """
+
+
+class QueryTimeoutError(GraphBenchError):
+    """A query exceeded the harness timeout (paper: 2-hour wall-clock limit)."""
+
+    def __init__(self, query: str, elapsed: float, limit: float) -> None:
+        super().__init__(
+            f"query {query!r} exceeded the timeout: {elapsed:.3f}s > {limit:.3f}s"
+        )
+        self.query = query
+        self.elapsed = elapsed
+        self.limit = limit
+
+
+class MemoryBudgetExceededError(GraphBenchError):
+    """An engine exhausted its simulated memory budget.
+
+    Reproduces the paper's Sparksee failure on the degree-filter queries
+    (Q28-Q31), which exhausted RAM and swap on the Freebase samples.
+    """
+
+    def __init__(self, engine: str, used: int, budget: int) -> None:
+        super().__init__(
+            f"engine {engine!r} exceeded its memory budget: {used} > {budget} bytes"
+        )
+        self.engine = engine
+        self.used = used
+        self.budget = budget
+
+
+class TransactionError(GraphBenchError):
+    """A transactional operation could not be completed."""
+
+
+class DatasetError(GraphBenchError):
+    """A dataset could not be generated, loaded, or parsed."""
+
+
+class BenchmarkError(GraphBenchError):
+    """The benchmark harness was configured or used incorrectly."""

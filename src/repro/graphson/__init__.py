@@ -1,0 +1,14 @@
+"""GraphSON-flavoured JSON input and output.
+
+The paper's test suite exchanges every dataset as a GraphSON file (plain
+JSON) so that all systems load exactly the same input (Section 5).  This
+package provides the equivalent reader and writer for the classic
+adjacency-free GraphSON layout: a single JSON document with a ``vertices``
+array and an ``edges`` array, using the ``_id`` / ``_label`` / ``_outV`` /
+``_inV`` field names of GraphSON 1.0.
+"""
+
+from repro.graphson.reader import read_graphson, loads_graphson
+from repro.graphson.writer import write_graphson, dumps_graphson
+
+__all__ = ["read_graphson", "loads_graphson", "write_graphson", "dumps_graphson"]

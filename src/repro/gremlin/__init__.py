@@ -1,0 +1,14 @@
+"""A Gremlin-style traversal DSL and evaluation machine.
+
+Every query in the paper's Table 2 is written in Gremlin; this package
+provides the equivalent fluent DSL (:class:`~repro.gremlin.traversal.GraphTraversal`),
+the step implementations (:mod:`repro.gremlin.steps`), the evaluator
+(:mod:`repro.gremlin.machine`), and the step-conflation optimizer applied for
+engines that, like the relational one, translate several steps into a single
+native query (:mod:`repro.gremlin.optimizer`).
+"""
+
+from repro.gremlin.traversal import GraphTraversal, Traverser
+from repro.gremlin.machine import TraversalMachine
+
+__all__ = ["GraphTraversal", "Traverser", "TraversalMachine"]

@@ -1,0 +1,51 @@
+"""The traversal evaluation machine.
+
+The machine takes a step pipeline built by
+:class:`~repro.gremlin.traversal.GraphTraversal`, optionally rewrites it with
+the :mod:`~repro.gremlin.optimizer` (only for engines that conflate steps
+into native queries, mirroring the paper's observation that most systems
+translate Gremlin one step at a time), and then streams traversers through
+the steps.  Intermediate materialisations are charged against the engine's
+memory budget so that queries building huge intermediate results can fail the
+way they did in the paper.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.gremlin import steps as S
+from repro.gremlin.optimizer import optimize
+from repro.gremlin.traversal import Traverser
+from repro.model.graph import GraphDatabase
+
+
+@dataclass
+class TraversalContext:
+    """Execution context handed to every step."""
+
+    graph: GraphDatabase
+
+    def charge_materialization(self, obj: Any) -> None:
+        """Charge an intermediate object against the engine's memory budget."""
+        metrics = getattr(self.graph, "metrics", None)
+        if metrics is not None:
+            metrics.allocate(max(16, sys.getsizeof(obj, 64)))
+
+
+class TraversalMachine:
+    """Evaluates a step pipeline against one engine."""
+
+    def __init__(self, graph: GraphDatabase) -> None:
+        self.graph = graph
+        self.context = TraversalContext(graph=graph)
+
+    def run(self, steps: list[S.Step]) -> Iterator[Traverser]:
+        """Optimize (when the engine supports it) and execute ``steps``."""
+        pipeline = optimize(self.graph, steps)
+        stream: Iterator[Traverser] = iter([Traverser(obj=None, kind="start")])
+        for step in pipeline:
+            stream = step.apply(stream, self.context)
+        return stream

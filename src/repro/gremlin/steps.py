@@ -1,0 +1,492 @@
+"""Step implementations of the Gremlin-style traversal machine.
+
+A *step* consumes a stream of :class:`~repro.gremlin.traversal.Traverser`
+objects and produces a new stream.  Steps are deliberately thin: all graph
+work is delegated to the engine's primitive operations so that the cost of a
+query lands on the engine's storage structures, exactly as in the paper's
+setup where Gremlin steps are translated one-by-one onto each system's API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, TYPE_CHECKING
+
+from repro.exceptions import QueryError
+from repro.model.elements import Direction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gremlin.machine import TraversalContext
+    from repro.gremlin.traversal import Traverser
+
+
+class Step:
+    """Base class of every traversal step."""
+
+    #: Short Gremlin-like name used in explain output.
+    name = "step"
+
+    def apply(self, traversers: Iterable["Traverser"], ctx: "TraversalContext") -> Iterator["Traverser"]:
+        """Transform the incoming traverser stream."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Return a human-readable description used by ``explain()``."""
+        return self.name
+
+
+@dataclass
+class VStep(Step):
+    """``g.V()`` / ``g.V(id)``: start from every vertex or from given ids."""
+
+    ids: tuple[Any, ...] = ()
+    name = "V"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            if self.ids:
+                for vertex_id in self.ids:
+                    if ctx.graph.vertex_exists(vertex_id):
+                        yield traverser.spawn(vertex_id, kind="vertex")
+            else:
+                for vertex_id in ctx.graph.vertex_ids():
+                    yield traverser.spawn(vertex_id, kind="vertex")
+
+    def describe(self) -> str:
+        return f"V({', '.join(map(repr, self.ids))})"
+
+
+@dataclass
+class EStep(Step):
+    """``g.E()`` / ``g.E(id)``: start from every edge or from given ids."""
+
+    ids: tuple[Any, ...] = ()
+    name = "E"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            if self.ids:
+                for edge_id in self.ids:
+                    if ctx.graph.edge_exists(edge_id):
+                        yield traverser.spawn(edge_id, kind="edge")
+            else:
+                for edge_id in ctx.graph.edge_ids():
+                    yield traverser.spawn(edge_id, kind="edge")
+
+    def describe(self) -> str:
+        return f"E({', '.join(map(repr, self.ids))})"
+
+
+@dataclass
+class HasStep(Step):
+    """``has(key, value)`` / ``has('label', value)``: filter by property or label."""
+
+    key: str
+    value: Any
+    name = "has"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            if self._matches(traverser, ctx):
+                yield traverser
+
+    def _matches(self, traverser: "Traverser", ctx: "TraversalContext") -> bool:
+        graph = ctx.graph
+        if traverser.kind == "vertex":
+            if self.key == "label":
+                return graph.vertex(traverser.obj).label == self.value
+            return graph.vertex_property(traverser.obj, self.key) == self.value
+        if traverser.kind == "edge":
+            if self.key == "label":
+                return graph.edge_label(traverser.obj) == self.value
+            return graph.edge_property(traverser.obj, self.key) == self.value
+        return False
+
+    def describe(self) -> str:
+        return f"has({self.key!r}, {self.value!r})"
+
+
+@dataclass
+class IndexedVertexLookupStep(Step):
+    """Conflation of ``V().has(key, value)`` into one engine-level lookup.
+
+    Installed by the optimizer for engines that translate step chains into
+    native queries (the relational engine's single-SQL-statement behaviour)
+    or that expose an attribute index for the property.
+    """
+
+    key: str
+    value: Any
+    name = "V+has(index)"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            for vertex_id in ctx.graph.vertices_by_property(self.key, self.value):
+                yield traverser.spawn(vertex_id, kind="vertex")
+
+    def describe(self) -> str:
+        return f"V().has({self.key!r}, {self.value!r}) [conflated]"
+
+
+@dataclass
+class EdgeLabelLookupStep(Step):
+    """Conflation of ``E().has('label', l)`` into one engine-level lookup."""
+
+    label: str
+    name = "E+hasLabel"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            for edge_id in ctx.graph.edges_by_label(self.label):
+                yield traverser.spawn(edge_id, kind="edge")
+
+    def describe(self) -> str:
+        return f"E().has('label', {self.label!r}) [conflated]"
+
+
+@dataclass
+class TraversalStep(Step):
+    """``out`` / ``in`` / ``both``: move from vertices to adjacent vertices."""
+
+    direction: Direction
+    labels: tuple[str, ...] = ()
+    name = "adjacent"
+
+    def apply(self, traversers, ctx):
+        graph = ctx.graph
+        for traverser in traversers:
+            labels = self.labels or (None,)
+            for label in labels:
+                for neighbor in graph.neighbors(traverser.obj, self.direction, label):
+                    yield traverser.spawn(neighbor, kind="vertex")
+
+    def describe(self) -> str:
+        return f"{self.direction.value}({', '.join(self.labels)})"
+
+
+@dataclass
+class IncidentEdgesStep(Step):
+    """``outE`` / ``inE`` / ``bothE``: move from vertices to incident edges."""
+
+    direction: Direction
+    labels: tuple[str, ...] = ()
+    name = "incident"
+
+    def apply(self, traversers, ctx):
+        graph = ctx.graph
+        for traverser in traversers:
+            labels = self.labels or (None,)
+            for label in labels:
+                for edge_id in graph.edges_for(traverser.obj, self.direction, label):
+                    yield traverser.spawn(edge_id, kind="edge")
+
+    def describe(self) -> str:
+        return f"{self.direction.value}E({', '.join(self.labels)})"
+
+
+@dataclass
+class EdgeVertexStep(Step):
+    """``outV`` / ``inV`` / ``otherV``: move from edges to their endpoints."""
+
+    which: str  # "out", "in", or "other"
+    name = "edge-vertex"
+
+    def apply(self, traversers, ctx):
+        graph = ctx.graph
+        for traverser in traversers:
+            source, target = graph.edge_endpoints(traverser.obj)
+            if self.which == "out":
+                yield traverser.spawn(source, kind="vertex")
+            elif self.which == "in":
+                yield traverser.spawn(target, kind="vertex")
+            else:
+                previous = traverser.previous_vertex()
+                other = target if previous == source else source
+                yield traverser.spawn(other, kind="vertex")
+
+    def describe(self) -> str:
+        return f"{self.which}V()"
+
+
+@dataclass
+class LabelStep(Step):
+    """``label()``: map elements to their label."""
+
+    name = "label"
+
+    def apply(self, traversers, ctx):
+        graph = ctx.graph
+        for traverser in traversers:
+            if traverser.kind == "edge":
+                yield traverser.spawn(graph.edge_label(traverser.obj), kind="value")
+            else:
+                yield traverser.spawn(graph.vertex(traverser.obj).label, kind="value")
+
+
+@dataclass
+class ValuesStep(Step):
+    """``values(key)``: map elements to one of their property values."""
+
+    key: str
+    name = "values"
+
+    def apply(self, traversers, ctx):
+        graph = ctx.graph
+        for traverser in traversers:
+            if traverser.kind == "vertex":
+                value = graph.vertex_property(traverser.obj, self.key)
+            else:
+                value = graph.edge_property(traverser.obj, self.key)
+            if value is not None:
+                yield traverser.spawn(value, kind="value")
+
+    def describe(self) -> str:
+        return f"values({self.key!r})"
+
+
+@dataclass
+class IdStep(Step):
+    """``id()``: map elements to their identifier."""
+
+    name = "id"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            yield traverser.spawn(traverser.obj, kind="value")
+
+
+@dataclass
+class DedupStep(Step):
+    """``dedup()``: drop duplicate traverser objects."""
+
+    name = "dedup"
+
+    def apply(self, traversers, ctx):
+        seen: set[Any] = set()
+        for traverser in traversers:
+            key = traverser.obj
+            if key in seen:
+                continue
+            seen.add(key)
+            ctx.charge_materialization(key)
+            yield traverser
+
+
+@dataclass
+class FilterStep(Step):
+    """``filter{...}``: keep traversers for which ``predicate(graph, obj)`` holds."""
+
+    predicate: Callable[[Any, Any], bool]
+    label: str = "lambda"
+    name = "filter"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            if self.predicate(ctx.graph, traverser.obj):
+                yield traverser
+
+    def describe(self) -> str:
+        return f"filter({self.label})"
+
+
+@dataclass
+class SideEffectStoreStep(Step):
+    """``store(x)``: add each traverser object to an external collection."""
+
+    collection: set
+    name = "store"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            self.collection.add(traverser.obj)
+            yield traverser
+
+
+@dataclass
+class ExceptStep(Step):
+    """``except(x)``: drop traversers whose object is in the collection."""
+
+    collection: Iterable[Any]
+    name = "except"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            if traverser.obj not in self.collection:
+                yield traverser
+
+
+@dataclass
+class RetainStep(Step):
+    """``retain(x)``: keep only traversers whose object is in the collection."""
+
+    collection: Iterable[Any]
+    name = "retain"
+
+    def apply(self, traversers, ctx):
+        allowed = set(self.collection)
+        for traverser in traversers:
+            if traverser.obj in allowed:
+                yield traverser
+
+
+@dataclass
+class LimitStep(Step):
+    """``limit(n)``: keep only the first ``n`` traversers."""
+
+    count: int
+    name = "limit"
+
+    def apply(self, traversers, ctx):
+        emitted = 0
+        for traverser in traversers:
+            if emitted >= self.count:
+                return
+            emitted += 1
+            yield traverser
+
+    def describe(self) -> str:
+        return f"limit({self.count})"
+
+
+@dataclass
+class OrderStep(Step):
+    """``order().by(...)``: sort traversers by a key function (materialises)."""
+
+    key: Callable[[Any, Any], Any] | None = None
+    reverse: bool = False
+    name = "order"
+
+    def apply(self, traversers, ctx):
+        materialised = list(traversers)
+        for traverser in materialised:
+            ctx.charge_materialization(traverser.obj)
+        if self.key is None:
+            materialised.sort(key=lambda t: _order_key(t.obj), reverse=self.reverse)
+        else:
+            materialised.sort(key=lambda t: _order_key(self.key(ctx.graph, t.obj)), reverse=self.reverse)
+        yield from materialised
+
+
+def _order_key(value: Any) -> tuple[str, Any]:
+    """Totally order heterogeneous values by (type name, value)."""
+    try:
+        hash(value)
+    except TypeError:
+        value = repr(value)
+    return (type(value).__name__, value)
+
+
+@dataclass
+class AsStep(Step):
+    """``as('x')``: label the current position for a later ``loop('x')``."""
+
+    label: str
+    name = "as"
+
+    def apply(self, traversers, ctx):
+        yield from traversers
+
+    def describe(self) -> str:
+        return f"as({self.label!r})"
+
+
+@dataclass
+class LoopStep(Step):
+    """``loop('x'){while}``: repeat the section that starts at ``as('x')``.
+
+    The loop body is the sub-pipeline of steps between the matching
+    :class:`AsStep` and this step.  After each pass, every traverser is fed
+    to ``while_condition`` (called with ``(loops, object, graph)``); those for
+    which it returns True re-enter the body, the others are emitted.  The
+    traversal machine wires ``body_steps`` when the pipeline is assembled.
+    """
+
+    label: str
+    while_condition: Callable[[int, Any, Any], bool]
+    emit_all: bool = False
+    max_loops: int = 64
+    body_steps: list[Step] = field(default_factory=list)
+    name = "loop"
+
+    def apply(self, traversers, ctx):
+        current = list(traversers)
+        loops = 0
+        while current and loops < self.max_loops:
+            loops += 1
+            produced: list["Traverser"] = []
+            stream: Iterable["Traverser"] = iter(current)
+            for step in self.body_steps:
+                stream = step.apply(stream, ctx)
+            for traverser in stream:
+                traverser = traverser.with_loops(loops)
+                ctx.charge_materialization(traverser.obj)
+                produced.append(traverser)
+            if self.emit_all:
+                yield from produced
+            next_round: list["Traverser"] = []
+            for traverser in produced:
+                if self.while_condition(loops, traverser.obj, ctx.graph):
+                    next_round.append(traverser)
+                elif not self.emit_all:
+                    yield traverser
+            current = next_round
+        if loops >= self.max_loops and current and not self.emit_all:
+            yield from current
+
+    def describe(self) -> str:
+        return f"loop({self.label!r})"
+
+
+@dataclass
+class PathStep(Step):
+    """``path()``: replace each traverser object with the path it walked."""
+
+    name = "path"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            yield traverser.spawn(tuple(traverser.path), kind="value", extend_path=False)
+
+
+@dataclass
+class CountStep(Step):
+    """``count()``: reduce the stream to a single number."""
+
+    name = "count"
+
+    def apply(self, traversers, ctx):
+        total = sum(1 for _traverser in traversers)
+        from repro.gremlin.traversal import Traverser  # local import to avoid cycle
+
+        yield Traverser(obj=total, kind="value", path=(total,))
+
+
+@dataclass
+class GroupCountStep(Step):
+    """``groupCount()``: reduce the stream to an object -> occurrences map."""
+
+    name = "groupCount"
+
+    def apply(self, traversers, ctx):
+        counts: dict[Any, int] = {}
+        for traverser in traversers:
+            counts[traverser.obj] = counts.get(traverser.obj, 0) + 1
+            ctx.charge_materialization(traverser.obj)
+        from repro.gremlin.traversal import Traverser  # local import to avoid cycle
+
+        yield Traverser(obj=counts, kind="value", path=(counts,))
+
+
+def build_loop_section(steps: list[Step], loop_step: LoopStep) -> list[Step]:
+    """Extract the body of ``loop_step`` from ``steps``.
+
+    Returns the pipeline with the body steps (everything after the matching
+    ``as`` marker) moved inside ``loop_step.body_steps``.  Raises
+    :class:`QueryError` if the marker is missing.
+    """
+    for position in range(len(steps) - 1, -1, -1):
+        step = steps[position]
+        if isinstance(step, AsStep) and step.label == loop_step.label:
+            loop_step.body_steps = steps[position + 1 :]
+            return steps[: position + 1] + [loop_step]
+    raise QueryError(f"loop({loop_step.label!r}) has no matching as({loop_step.label!r}) step")

@@ -1,0 +1,7 @@
+"""The attributed property-graph model shared by every engine."""
+
+from repro.model.elements import Edge, Vertex, Direction
+from repro.model.graph import GraphDatabase
+from repro.model.schema import GraphSchema
+
+__all__ = ["Vertex", "Edge", "Direction", "GraphDatabase", "GraphSchema"]

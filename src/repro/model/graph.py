@@ -1,0 +1,331 @@
+"""The abstract graph database interface every engine implements.
+
+The paper accesses every system through Gremlin, i.e. through a common set of
+primitive operations (Table 2): CRUD on vertices, edges, and properties, plus
+local traversal primitives.  :class:`GraphDatabase` is the Python equivalent
+of that common surface.  Engines implement the abstract primitives on top of
+their own storage substrates; everything else (neighbour expansion, degree,
+counts, bulk loading, the Gremlin traversal entry point) has a default
+implementation written purely in terms of those primitives, which concrete
+engines may override when their architecture provides a cheaper path (e.g.
+bitmap-based counting in the Sparksee-like engine).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.model.elements import Direction, Edge, Vertex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gremlin.traversal import GraphTraversal
+
+
+class GraphDatabase(abc.ABC):
+    """Abstract attributed-graph database.
+
+    Identifiers are opaque to callers: each engine hands out its own vertex
+    and edge ids (integers for most engines, strings for the document
+    engine), and every other method takes those ids back.
+    """
+
+    #: Human-readable engine name, e.g. ``"nativelinked"``.
+    name: str = "abstract"
+    #: Version tag used when a system is modelled in two versions.
+    version: str = "1.0"
+    #: ``"native"`` or ``"hybrid"`` (paper Table 1, "Type").
+    kind: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Vertex CRUD (abstract primitives)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def add_vertex(self, properties: dict[str, Any] | None = None, label: str | None = None) -> Any:
+        """Create a vertex with ``properties`` and return its id (Q2)."""
+
+    @abc.abstractmethod
+    def vertex(self, vertex_id: Any) -> Vertex:
+        """Return the vertex with ``vertex_id`` (Q14); raise if absent."""
+
+    @abc.abstractmethod
+    def vertex_exists(self, vertex_id: Any) -> bool:
+        """True if ``vertex_id`` refers to a live vertex."""
+
+    @abc.abstractmethod
+    def vertex_ids(self) -> Iterator[Any]:
+        """Iterate over every vertex id (a full node scan)."""
+
+    @abc.abstractmethod
+    def remove_vertex(self, vertex_id: Any) -> None:
+        """Delete a vertex, its properties, and its incident edges (Q18)."""
+
+    @abc.abstractmethod
+    def set_vertex_property(self, vertex_id: Any, key: str, value: Any) -> None:
+        """Create or update one vertex property (Q5 / Q16)."""
+
+    @abc.abstractmethod
+    def remove_vertex_property(self, vertex_id: Any, key: str) -> None:
+        """Remove one vertex property (Q20)."""
+
+    @abc.abstractmethod
+    def vertex_property(self, vertex_id: Any, key: str) -> Any:
+        """Return the value of one vertex property (None if absent)."""
+
+    # ------------------------------------------------------------------
+    # Edge CRUD (abstract primitives)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def add_edge(
+        self,
+        source_id: Any,
+        target_id: Any,
+        label: str,
+        properties: dict[str, Any] | None = None,
+    ) -> Any:
+        """Create an edge from ``source_id`` to ``target_id`` (Q3 / Q4)."""
+
+    @abc.abstractmethod
+    def edge(self, edge_id: Any) -> Edge:
+        """Return the edge with ``edge_id`` (Q15); raise if absent."""
+
+    @abc.abstractmethod
+    def edge_exists(self, edge_id: Any) -> bool:
+        """True if ``edge_id`` refers to a live edge."""
+
+    @abc.abstractmethod
+    def edge_ids(self) -> Iterator[Any]:
+        """Iterate over every edge id (a full edge scan)."""
+
+    @abc.abstractmethod
+    def remove_edge(self, edge_id: Any) -> None:
+        """Delete an edge and its properties (Q19)."""
+
+    @abc.abstractmethod
+    def set_edge_property(self, edge_id: Any, key: str, value: Any) -> None:
+        """Create or update one edge property (Q6 / Q17)."""
+
+    @abc.abstractmethod
+    def remove_edge_property(self, edge_id: Any, key: str) -> None:
+        """Remove one edge property (Q21)."""
+
+    @abc.abstractmethod
+    def edge_property(self, edge_id: Any, key: str) -> Any:
+        """Return the value of one edge property (None if absent)."""
+
+    @abc.abstractmethod
+    def edge_endpoints(self, edge_id: Any) -> tuple[Any, Any]:
+        """Return (source id, target id) of an edge without its properties."""
+
+    @abc.abstractmethod
+    def edge_label(self, edge_id: Any) -> str:
+        """Return the label of an edge without its properties."""
+
+    # ------------------------------------------------------------------
+    # Structural traversal primitives (abstract)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def out_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        """Iterate over ids of edges leaving ``vertex_id`` (optionally by label)."""
+
+    @abc.abstractmethod
+    def in_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        """Iterate over ids of edges entering ``vertex_id`` (optionally by label)."""
+
+    # ------------------------------------------------------------------
+    # Search primitives (abstract)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def vertices_by_property(self, key: str, value: Any) -> Iterator[Any]:
+        """Iterate over ids of vertices where property ``key`` equals ``value`` (Q11)."""
+
+    @abc.abstractmethod
+    def edges_by_property(self, key: str, value: Any) -> Iterator[Any]:
+        """Iterate over ids of edges where property ``key`` equals ``value`` (Q12)."""
+
+    @abc.abstractmethod
+    def edges_by_label(self, label: str) -> Iterator[Any]:
+        """Iterate over ids of edges with the given label (Q13)."""
+
+    # ------------------------------------------------------------------
+    # Attribute indexes (Section 6.4, "Effect of Indexing")
+    # ------------------------------------------------------------------
+
+    #: Whether the engine supports user-controlled attribute indexes at all
+    #: (BlazeGraph does not, per the paper).
+    supports_vertex_index: bool = True
+
+    def create_vertex_index(self, key: str) -> None:
+        """Create an attribute index on vertex property ``key``.
+
+        The default implementation raises; engines that support attribute
+        indexes override it.
+        """
+        from repro.exceptions import UnsupportedOperationError
+
+        raise UnsupportedOperationError(
+            f"engine {self.name!r} does not support user-defined vertex indexes"
+        )
+
+    def has_vertex_index(self, key: str) -> bool:
+        """True if an attribute index exists on vertex property ``key``."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Derived operations (default implementations)
+    # ------------------------------------------------------------------
+
+    def both_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        """Iterate over edges incident to ``vertex_id`` in either direction."""
+        yield from self.out_edges(vertex_id, label)
+        yield from self.in_edges(vertex_id, label)
+
+    def edges_for(
+        self, vertex_id: Any, direction: Direction, label: str | None = None
+    ) -> Iterator[Any]:
+        """Dispatch to :meth:`out_edges` / :meth:`in_edges` / :meth:`both_edges`."""
+        if direction is Direction.OUT:
+            return self.out_edges(vertex_id, label)
+        if direction is Direction.IN:
+            return self.in_edges(vertex_id, label)
+        return self.both_edges(vertex_id, label)
+
+    def out_neighbors(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        """Vertices reachable over outgoing edges (Q23)."""
+        for edge_id in self.out_edges(vertex_id, label):
+            _source, target = self.edge_endpoints(edge_id)
+            yield target
+
+    def in_neighbors(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        """Vertices reachable over incoming edges (Q22)."""
+        for edge_id in self.in_edges(vertex_id, label):
+            source, _target = self.edge_endpoints(edge_id)
+            yield source
+
+    def both_neighbors(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        """Vertices adjacent in either direction (Q24)."""
+        for edge_id in self.out_edges(vertex_id, label):
+            _source, target = self.edge_endpoints(edge_id)
+            yield target
+        for edge_id in self.in_edges(vertex_id, label):
+            source, _target = self.edge_endpoints(edge_id)
+            yield source
+
+    def neighbors(
+        self, vertex_id: Any, direction: Direction, label: str | None = None
+    ) -> Iterator[Any]:
+        """Adjacent vertex ids in the given direction."""
+        if direction is Direction.OUT:
+            return self.out_neighbors(vertex_id, label)
+        if direction is Direction.IN:
+            return self.in_neighbors(vertex_id, label)
+        return self.both_neighbors(vertex_id, label)
+
+    def degree(self, vertex_id: Any, direction: Direction = Direction.BOTH) -> int:
+        """Number of incident edges in ``direction`` (used by Q28-Q30)."""
+        return sum(1 for _edge in self.edges_for(vertex_id, direction))
+
+    def vertex_count(self) -> int:
+        """Total number of vertices (Q8)."""
+        return sum(1 for _vertex in self.vertex_ids())
+
+    def edge_count(self) -> int:
+        """Total number of edges (Q9)."""
+        return sum(1 for _edge in self.edge_ids())
+
+    def distinct_edge_labels(self) -> set[str]:
+        """The set of edge labels in use (Q10)."""
+        return {self.edge_label(edge_id) for edge_id in self.edge_ids()}
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over fully materialised vertices."""
+        for vertex_id in self.vertex_ids():
+            yield self.vertex(vertex_id)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over fully materialised edges."""
+        for edge_id in self.edge_ids():
+            yield self.edge(edge_id)
+
+    def vertex_properties(self, vertex_id: Any) -> dict[str, Any]:
+        """Return every property of a vertex (default: materialise the vertex)."""
+        return dict(self.vertex(vertex_id).properties)
+
+    def edge_properties(self, edge_id: Any) -> dict[str, Any]:
+        """Return every property of an edge (default: materialise the edge)."""
+        return dict(self.edge(edge_id).properties)
+
+    # ------------------------------------------------------------------
+    # Bulk loading (Q1)
+    # ------------------------------------------------------------------
+
+    def begin_bulk_load(self) -> None:
+        """Hook called before a bulk load; engines may relax index maintenance."""
+
+    def end_bulk_load(self) -> None:
+        """Hook called after a bulk load; engines rebuild deferred structures."""
+
+    def load(self, vertices: Iterable[dict[str, Any]], edges: Iterable[dict[str, Any]]) -> dict[Any, Any]:
+        """Load a dataset in bulk (Q1) and return the external→internal id map.
+
+        ``vertices`` are dictionaries with at least an ``"id"`` key plus
+        optional ``"label"`` and ``"properties"``; ``edges`` have ``"source"``,
+        ``"target"``, ``"label"``, and optional ``"properties"`` referring to
+        the external vertex ids.
+        """
+        self.begin_bulk_load()
+        id_map: dict[Any, Any] = {}
+        try:
+            for vertex in vertices:
+                internal = self.add_vertex(
+                    properties=vertex.get("properties") or {},
+                    label=vertex.get("label"),
+                )
+                id_map[vertex["id"]] = internal
+            for edge in edges:
+                self.add_edge(
+                    id_map[edge["source"]],
+                    id_map[edge["target"]],
+                    edge.get("label", "edge"),
+                    properties=edge.get("properties") or {},
+                )
+        finally:
+            self.end_bulk_load()
+        return id_map
+
+    # ------------------------------------------------------------------
+    # Space accounting (Figure 1a/b)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def space_breakdown(self) -> dict[str, int]:
+        """Return per-structure simulated on-disk sizes in bytes."""
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Total simulated on-disk footprint."""
+        return sum(self.space_breakdown().values())
+
+    # ------------------------------------------------------------------
+    # Gremlin entry point
+    # ------------------------------------------------------------------
+
+    def traversal(self) -> "GraphTraversal":
+        """Return a new Gremlin-style traversal rooted at this database."""
+        from repro.gremlin.traversal import GraphTraversal
+
+        return GraphTraversal(self)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release engine resources (a no-op for the in-memory engines)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.name} v{self.version}>"

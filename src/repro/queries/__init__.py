@@ -1,0 +1,28 @@
+"""The benchmark query suite.
+
+:mod:`repro.queries.registry` exposes the 35 primitive operations of the
+paper's Table 2 (grouped into Load, Create, Read, Update, Delete, and
+Traversal categories) and :mod:`repro.queries.complex_ldbc` the 13
+LDBC-inspired complex queries used for the macro/micro comparison of
+Figure 2.
+"""
+
+from repro.queries.base import Query, QueryCategory
+from repro.queries.registry import (
+    MICRO_QUERIES,
+    queries_by_category,
+    query_by_id,
+    query_ids,
+)
+from repro.queries.complex_ldbc import COMPLEX_QUERIES, complex_query_by_id
+
+__all__ = [
+    "Query",
+    "QueryCategory",
+    "MICRO_QUERIES",
+    "queries_by_category",
+    "query_by_id",
+    "query_ids",
+    "COMPLEX_QUERIES",
+    "complex_query_by_id",
+]

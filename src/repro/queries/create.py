@@ -1,0 +1,123 @@
+"""Q2-Q7 — object creation operations (Table 2, category C)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.model.graph import GraphDatabase
+from repro.queries.base import Query, QueryCategory
+
+
+class AddVertex(Query):
+    """Q2: ``g.addVertex(p[])`` — create a new node with properties."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q2",
+            number=2,
+            category=QueryCategory.CREATE,
+            description="Create new node with properties p",
+            gremlin="g.addVertex(p[])",
+            parameters=("properties",),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.add_vertex(dict(params["properties"]), label=params.get("vertex_label"))
+
+
+class AddEdge(Query):
+    """Q3: ``g.addEdge(v1, v2, l)`` — add a labelled edge between two nodes."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q3",
+            number=3,
+            category=QueryCategory.CREATE,
+            description="Add edge <v1, l, v2> from v1 to v2",
+            gremlin="g.addEdge(v1, v2, l)",
+            parameters=("vertex", "vertex2", "label"),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.add_edge(params["vertex"], params["vertex2"], params["label"])
+
+
+class AddEdgeWithProperties(Query):
+    """Q4: ``g.addEdge(v1, v2, l, p[])`` — add an edge carrying properties."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q4",
+            number=4,
+            category=QueryCategory.CREATE,
+            description="Same as Q3, but with properties p",
+            gremlin="g.addEdge(v1, v2, l, p[])",
+            parameters=("vertex", "vertex2", "label", "properties"),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.add_edge(
+            params["vertex"], params["vertex2"], params["label"], dict(params["properties"])
+        )
+
+
+class SetVertexProperty(Query):
+    """Q5: ``v.setProperty(Name, Value)`` — add a new property to a node."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q5",
+            number=5,
+            category=QueryCategory.CREATE,
+            description="Add property Name=Value to node v",
+            gremlin="v.setProperty(Name, Value)",
+            parameters=("vertex", "key", "value"),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        graph.set_vertex_property(params["vertex"], params["key"], params["value"])
+        return params["vertex"]
+
+
+class SetEdgeProperty(Query):
+    """Q6: ``e.setProperty(Name, Value)`` — add a new property to an edge."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q6",
+            number=6,
+            category=QueryCategory.CREATE,
+            description="Add property Name=Value to edge e",
+            gremlin="e.setProperty(Name, Value)",
+            parameters=("edge", "key", "value"),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        graph.set_edge_property(params["edge"], params["key"], params["value"])
+        return params["edge"]
+
+
+class AddVertexWithEdges(Query):
+    """Q7: ``g.addVertex(...); g.addEdge(...)`` — a new node plus its edges."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q7",
+            number=7,
+            category=QueryCategory.CREATE,
+            description="Add a new node, and then edges to it",
+            gremlin="g.addVertex(...); g.addEdge(...)",
+            parameters=("properties", "neighbors", "label"),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        vertex_id = graph.add_vertex(dict(params["properties"]), label=params.get("vertex_label"))
+        for neighbor in params["neighbors"]:
+            graph.add_edge(vertex_id, neighbor, params["label"])
+        return vertex_id

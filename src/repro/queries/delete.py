@@ -1,0 +1,84 @@
+"""Q18-Q21 — deletion operations (Table 2, category D)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.model.graph import GraphDatabase
+from repro.queries.base import Query, QueryCategory
+
+
+class RemoveVertex(Query):
+    """Q18: ``g.removeVertex(id)`` — delete a node, its properties, and its edges."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q18",
+            number=18,
+            category=QueryCategory.DELETE,
+            description="Delete node identified by id",
+            gremlin="g.removeVertex(id)",
+            parameters=("vertex",),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        graph.remove_vertex(params["vertex"])
+        return params["vertex"]
+
+
+class RemoveEdge(Query):
+    """Q19: ``g.removeEdge(id)`` — delete an edge and its properties."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q19",
+            number=19,
+            category=QueryCategory.DELETE,
+            description="Delete edge identified by id",
+            gremlin="g.removeEdge(id)",
+            parameters=("edge",),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        graph.remove_edge(params["edge"])
+        return params["edge"]
+
+
+class RemoveVertexProperty(Query):
+    """Q20: ``v.removeProperty(Name)`` — remove a node property."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q20",
+            number=20,
+            category=QueryCategory.DELETE,
+            description="Remove node property Name from v",
+            gremlin="v.removeProperty(Name)",
+            parameters=("vertex", "key"),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        graph.remove_vertex_property(params["vertex"], params["key"])
+        return params["vertex"]
+
+
+class RemoveEdgeProperty(Query):
+    """Q21: ``e.removeProperty(Name)`` — remove an edge property."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q21",
+            number=21,
+            category=QueryCategory.DELETE,
+            description="Remove edge property Name from e",
+            gremlin="e.removeProperty(Name)",
+            parameters=("edge", "key"),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        graph.remove_edge_property(params["edge"], params["key"])
+        return params["edge"]

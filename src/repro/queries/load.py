@@ -1,0 +1,38 @@
+"""Q1 — bulk loading a dataset (Table 2, category L)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.datasets.base import Dataset
+from repro.exceptions import QueryError
+from repro.model.graph import GraphDatabase
+from repro.queries.base import Query, QueryCategory
+
+
+class LoadGraph(Query):
+    """Q1: ``g.loadGraphSON("/path")`` — load a dataset into the graph.
+
+    The parameter is the :class:`~repro.datasets.base.Dataset` to load (the
+    harness reads or generates it outside the timed region, exactly as the
+    paper excludes file parsing done by vendor-specific loaders).  The query
+    returns the external-to-internal id map so the caller can address loaded
+    elements afterwards.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q1",
+            number=1,
+            category=QueryCategory.LOAD,
+            description="Load dataset into the graph 'g'",
+            gremlin='g.loadGraphSON("/path")',
+            parameters=("dataset",),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        dataset = params["dataset"]
+        if not isinstance(dataset, Dataset):
+            raise QueryError("Q1 expects a Dataset instance under the 'dataset' parameter")
+        return graph.load(dataset.vertices, dataset.edges)

@@ -1,0 +1,149 @@
+"""Q8-Q15 — read operations: statistics, search, and lookups (Table 2, category R)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.model.graph import GraphDatabase
+from repro.queries.base import Query, QueryCategory
+
+
+class CountVertices(Query):
+    """Q8: ``g.V.count()`` — total number of nodes."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q8",
+            number=8,
+            category=QueryCategory.READ,
+            description="Total number of nodes",
+            gremlin="g.V.count()",
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        del params
+        return graph.traversal().V().count()
+
+
+class CountEdges(Query):
+    """Q9: ``g.E.count()`` — total number of edges."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q9",
+            number=9,
+            category=QueryCategory.READ,
+            description="Total number of edges",
+            gremlin="g.E.count()",
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        del params
+        return graph.traversal().E().count()
+
+
+class DistinctEdgeLabels(Query):
+    """Q10: ``g.E.label.dedup()`` — the distinct edge labels."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q10",
+            number=10,
+            category=QueryCategory.READ,
+            description="Existing edge labels (no duplicates)",
+            gremlin="g.E.label.dedup()",
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        del params
+        return graph.traversal().E().label().dedup().to_list()
+
+
+class VerticesByProperty(Query):
+    """Q11: ``g.V.has(Name, Value)`` — nodes with a given property value."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q11",
+            number=11,
+            category=QueryCategory.READ,
+            description="Nodes with property Name=Value",
+            gremlin="g.V.has(Name, Value)",
+            parameters=("key", "value"),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.traversal().V().has(params["key"], params["value"]).to_list()
+
+
+class EdgesByProperty(Query):
+    """Q12: ``g.E.has(Name, Value)`` — edges with a given property value."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q12",
+            number=12,
+            category=QueryCategory.READ,
+            description="Edges with property Name=Value",
+            gremlin="g.E.has(Name, Value)",
+            parameters=("key", "value"),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        key, value = params["key"], params["value"]
+        return [
+            edge_id
+            for edge_id in graph.traversal().E()
+            if graph.edge_property(edge_id, key) == value
+        ]
+
+
+class EdgesByLabel(Query):
+    """Q13: ``g.E.has('label', l)`` — edges with a given label."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q13",
+            number=13,
+            category=QueryCategory.READ,
+            description="Edges with label l",
+            gremlin="g.E.has('label', l)",
+            parameters=("label",),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.traversal().E().has("label", params["label"]).to_list()
+
+
+class VertexById(Query):
+    """Q14: ``g.V(id)`` — retrieve one node by its identifier."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q14",
+            number=14,
+            category=QueryCategory.READ,
+            description="The node with identifier id",
+            gremlin="g.V(id)",
+            parameters=("vertex",),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.vertex(params["vertex"])
+
+
+class EdgeById(Query):
+    """Q15: ``g.E(id)`` — retrieve one edge by its identifier."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q15",
+            number=15,
+            category=QueryCategory.READ,
+            description="The edge with identifier id",
+            gremlin="g.E(id)",
+            parameters=("edge",),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.edge(params["edge"])

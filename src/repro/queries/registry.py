@@ -1,0 +1,68 @@
+"""Registry of the 35 microbenchmark operations (the paper's Table 2)."""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError
+from repro.queries import create, delete, load, read, traversal, update
+from repro.queries.base import Query, QueryCategory
+
+#: Every primitive operation, in Table 2 order, keyed by its identifier.
+MICRO_QUERIES: dict[str, Query] = {
+    query.id: query
+    for query in (
+        load.LoadGraph(),
+        create.AddVertex(),
+        create.AddEdge(),
+        create.AddEdgeWithProperties(),
+        create.SetVertexProperty(),
+        create.SetEdgeProperty(),
+        create.AddVertexWithEdges(),
+        read.CountVertices(),
+        read.CountEdges(),
+        read.DistinctEdgeLabels(),
+        read.VerticesByProperty(),
+        read.EdgesByProperty(),
+        read.EdgesByLabel(),
+        read.VertexById(),
+        read.EdgeById(),
+        update.UpdateVertexProperty(),
+        update.UpdateEdgeProperty(),
+        delete.RemoveVertex(),
+        delete.RemoveEdge(),
+        delete.RemoveVertexProperty(),
+        delete.RemoveEdgeProperty(),
+        traversal.InNeighbors(),
+        traversal.OutNeighbors(),
+        traversal.BothNeighborsByLabel(),
+        traversal.InEdgeLabels(),
+        traversal.OutEdgeLabels(),
+        traversal.BothEdgeLabels(),
+        traversal.MinInDegree(),
+        traversal.MinOutDegree(),
+        traversal.MinDegree(),
+        traversal.NodesWithIncomingEdge(),
+        traversal.BreadthFirstSearch(),
+        traversal.BreadthFirstSearchByLabel(),
+        traversal.ShortestPath(),
+        traversal.ShortestPathByLabel(),
+    )
+}
+
+
+def query_ids() -> tuple[str, ...]:
+    """Return every query identifier in Table 2 order."""
+    return tuple(MICRO_QUERIES)
+
+
+def query_by_id(query_id: str) -> Query:
+    """Return the query registered under ``query_id`` (e.g. ``"Q22"``)."""
+    try:
+        return MICRO_QUERIES[query_id]
+    except KeyError:
+        known = ", ".join(MICRO_QUERIES)
+        raise QueryError(f"unknown query {query_id!r}; known queries: {known}") from None
+
+
+def queries_by_category(category: QueryCategory) -> list[Query]:
+    """Return the queries belonging to ``category``, in Table 2 order."""
+    return [query for query in MICRO_QUERIES.values() if query.category is category]

@@ -1,0 +1,339 @@
+"""Q22-Q35 — traversal operations (Table 2, category T).
+
+These are the queries where the paper's native and hybrid architectures
+diverge the most: local neighbourhood access (Q22-Q27), whole-graph degree
+filters (Q28-Q31), breadth-first traversal (Q32-Q33), and shortest paths
+(Q34-Q35).  Every query is expressed through the Gremlin-style traversal DSL
+so that the per-engine primitives do the actual work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.model.graph import GraphDatabase
+from repro.queries.base import Query, QueryCategory
+
+
+class InNeighbors(Query):
+    """Q22: ``v.in()`` — nodes adjacent to v via incoming edges."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q22",
+            number=22,
+            category=QueryCategory.TRAVERSAL,
+            description="Nodes adjacent to v via incoming edges",
+            gremlin="v.in()",
+            parameters=("vertex",),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.traversal().V(params["vertex"]).in_().to_list()
+
+
+class OutNeighbors(Query):
+    """Q23: ``v.out()`` — nodes adjacent to v via outgoing edges."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q23",
+            number=23,
+            category=QueryCategory.TRAVERSAL,
+            description="Nodes adjacent to v via outgoing edges",
+            gremlin="v.out()",
+            parameters=("vertex",),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.traversal().V(params["vertex"]).out().to_list()
+
+
+class BothNeighborsByLabel(Query):
+    """Q24: ``v.both('l')`` — neighbours over edges with a given label."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q24",
+            number=24,
+            category=QueryCategory.TRAVERSAL,
+            description="Nodes adjacent to v via edges labeled l",
+            gremlin="v.both('l')",
+            parameters=("vertex", "label"),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.traversal().V(params["vertex"]).both(params["label"]).to_list()
+
+
+class InEdgeLabels(Query):
+    """Q25: ``v.inE.label.dedup()`` — labels of incoming edges."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q25",
+            number=25,
+            category=QueryCategory.TRAVERSAL,
+            description="Labels of incoming edges of v (no duplicates)",
+            gremlin="v.inE.label.dedup()",
+            parameters=("vertex",),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.traversal().V(params["vertex"]).in_e().label().dedup().to_list()
+
+
+class OutEdgeLabels(Query):
+    """Q26: ``v.outE.label.dedup()`` — labels of outgoing edges."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q26",
+            number=26,
+            category=QueryCategory.TRAVERSAL,
+            description="Labels of outgoing edges of v (no duplicates)",
+            gremlin="v.outE.label.dedup()",
+            parameters=("vertex",),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.traversal().V(params["vertex"]).out_e().label().dedup().to_list()
+
+
+class BothEdgeLabels(Query):
+    """Q27: ``v.bothE.label.dedup()`` — labels of all incident edges."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q27",
+            number=27,
+            category=QueryCategory.TRAVERSAL,
+            description="Labels of edges of v (no duplicates)",
+            gremlin="v.bothE.label.dedup()",
+            parameters=("vertex",),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return graph.traversal().V(params["vertex"]).both_e().label().dedup().to_list()
+
+
+class _DegreeFilter(Query):
+    """Shared implementation of the whole-graph degree filters Q28-Q30."""
+
+    direction_method = "both_edges"
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        threshold = params["k"]
+        edges_for = getattr(graph, self.direction_method)
+
+        def at_least_k(inner_graph: GraphDatabase, vertex_id: Any) -> bool:
+            del inner_graph
+            count = 0
+            for _edge_id in edges_for(vertex_id):
+                count += 1
+                if count >= threshold:
+                    return True
+            return False
+
+        return (
+            graph.traversal()
+            .V()
+            .filter(at_least_k, label=f"{self.direction_method}.count() >= {threshold}")
+            .to_list()
+        )
+
+
+class MinInDegree(_DegreeFilter):
+    """Q28: ``g.V.filter{it.inE.count()>=k}`` — nodes of at least k in-degree."""
+
+    direction_method = "in_edges"
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q28",
+            number=28,
+            category=QueryCategory.TRAVERSAL,
+            description="Nodes of at least k-incoming-degree",
+            gremlin="g.V.filter{it.inE.count()>=k}",
+            parameters=("k",),
+        )
+
+
+class MinOutDegree(_DegreeFilter):
+    """Q29: ``g.V.filter{it.outE.count()>=k}`` — nodes of at least k out-degree."""
+
+    direction_method = "out_edges"
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q29",
+            number=29,
+            category=QueryCategory.TRAVERSAL,
+            description="Nodes of at least k-outgoing-degree",
+            gremlin="g.V.filter{it.outE.count()>=k}",
+            parameters=("k",),
+        )
+
+
+class MinDegree(_DegreeFilter):
+    """Q30: ``g.V.filter{it.bothE.count()>=k}`` — nodes of at least k degree."""
+
+    direction_method = "both_edges"
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q30",
+            number=30,
+            category=QueryCategory.TRAVERSAL,
+            description="Nodes of at least k-degree",
+            gremlin="g.V.filter{it.bothE.count()>=k}",
+            parameters=("k",),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        # The bitmap engine resolves degree through its incidence bitmaps; the
+        # generic path would bypass that (and its memory behaviour), so route
+        # through ``degree`` explicitly for BOTH.
+        threshold = params["k"]
+        from repro.model.elements import Direction
+
+        def at_least_k(inner_graph: GraphDatabase, vertex_id: Any) -> bool:
+            return inner_graph.degree(vertex_id, Direction.BOTH) >= threshold
+
+        return (
+            graph.traversal()
+            .V()
+            .filter(at_least_k, label=f"bothE.count() >= {threshold}")
+            .to_list()
+        )
+
+
+class NodesWithIncomingEdge(Query):
+    """Q31: ``g.V.out.dedup()`` — nodes having at least one incoming edge."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q31",
+            number=31,
+            category=QueryCategory.TRAVERSAL,
+            description="Nodes having an incoming edge",
+            gremlin="g.V.out.dedup()",
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        del params
+        return graph.traversal().V().out().dedup().to_list()
+
+
+class BreadthFirstSearch(Query):
+    """Q32: ``v.as('i').both().except(vs).store(vs).loop('i')`` — BFS from v."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q32",
+            number=32,
+            category=QueryCategory.TRAVERSAL,
+            description="Nodes reached via breadth-first traversal from v",
+            gremlin="v.as('i').both().except(vs).store(j).loop('i')",
+            parameters=("vertex", "depth"),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        depth = params["depth"]
+        visited: set[Any] = {params["vertex"]}
+        return (
+            graph.traversal()
+            .V(params["vertex"])
+            .as_("i")
+            .both()
+            .except_(visited)
+            .store(visited)
+            .loop("i", lambda loops, obj, g: loops < depth, emit_all=True)
+            .to_list()
+        )
+
+
+class BreadthFirstSearchByLabel(Query):
+    """Q33: label-constrained breadth-first traversal from v."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q33",
+            number=33,
+            category=QueryCategory.TRAVERSAL,
+            description="Nodes reached via breadth-first traversal from v on labels ls",
+            gremlin="v.as('i').both(*ls).except(j).store(vs).loop('i')",
+            parameters=("vertex", "depth", "label"),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        depth = params["depth"]
+        visited: set[Any] = {params["vertex"]}
+        return (
+            graph.traversal()
+            .V(params["vertex"])
+            .as_("i")
+            .both(params["label"])
+            .except_(visited)
+            .store(visited)
+            .loop("i", lambda loops, obj, g: loops < depth, emit_all=True)
+            .to_list()
+        )
+
+
+class ShortestPath(Query):
+    """Q34: unweighted shortest path from v1 to v2."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q34",
+            number=34,
+            category=QueryCategory.TRAVERSAL,
+            description="Unweighted shortest path from v1 to v2",
+            gremlin=(
+                "v1.as('i').both().except(j).store(j)"
+                ".loop('i'){!it.object.equals(v2)}.retain([v2]).path()"
+            ),
+            parameters=("vertex", "vertex2"),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return _shortest_path(graph, params["vertex"], params["vertex2"], label=None)
+
+
+class ShortestPathByLabel(Query):
+    """Q35: shortest path from v1 to v2 following only edges labelled l."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q35",
+            number=35,
+            category=QueryCategory.TRAVERSAL,
+            description="Same as Q34, but only following label l",
+            gremlin="Shortest Path on 'l'",
+            parameters=("vertex", "vertex2", "label"),
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        return _shortest_path(graph, params["vertex"], params["vertex2"], label=params["label"])
+
+
+def _shortest_path(
+    graph: GraphDatabase, source: Any, target: Any, label: str | None, max_depth: int = 32
+) -> list[tuple[Any, ...]]:
+    """Run the Q34/Q35 loop-based shortest-path traversal."""
+    visited: set[Any] = {source}
+    traversal = graph.traversal().V(source).as_("i")
+    traversal = traversal.both(label) if label is not None else traversal.both()
+    paths = (
+        traversal.except_(visited)
+        .store(visited)
+        .loop(
+            "i",
+            lambda loops, obj, g: obj != target and loops < max_depth,
+            max_loops=max_depth,
+        )
+        .retain([target])
+        .paths()
+    )
+    return paths

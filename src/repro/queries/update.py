@@ -1,0 +1,46 @@
+"""Q16-Q17 — property update operations (Table 2, category U)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.model.graph import GraphDatabase
+from repro.queries.base import Query, QueryCategory
+
+
+class UpdateVertexProperty(Query):
+    """Q16: ``v.setProperty(Name, Value)`` — update an existing node property."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q16",
+            number=16,
+            category=QueryCategory.UPDATE,
+            description="Update property Name for vertex v",
+            gremlin="v.setProperty(Name, Value)",
+            parameters=("vertex", "key", "value"),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        graph.set_vertex_property(params["vertex"], params["key"], params["value"])
+        return params["vertex"]
+
+
+class UpdateEdgeProperty(Query):
+    """Q17: ``e.setProperty(Name, Value)`` — update an existing edge property."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            id="Q17",
+            number=17,
+            category=QueryCategory.UPDATE,
+            description="Update property Name for edge e",
+            gremlin="e.setProperty(Name, Value)",
+            parameters=("edge", "key", "value"),
+            mutates=True,
+        )
+
+    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
+        graph.set_edge_property(params["edge"], params["key"], params["value"])
+        return params["edge"]

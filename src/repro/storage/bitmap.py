@@ -1,0 +1,187 @@
+"""Bitmaps and bitmap indexes in the style of Sparksee/DEX.
+
+Sparksee partitions the graph into "clusters of bitmaps": for every label and
+every attribute value there is a bitmap whose *i*-th bit is set when object
+*i* has that label or value, plus maps from object ids to values
+(paper, Section 3.2).  Set-oriented operations become bitwise algebra, which
+is why Sparksee shines at counts and CUD operations, while operations that
+materialise many intermediate bitmaps can blow up memory — the failure the
+paper observed on the degree-filter queries.
+
+:class:`Bitmap` is an integer-backed bitset with algebra and population
+count; :class:`BitmapIndex` maintains one bitmap per distinct value plus the
+id -> value map.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.storage.metrics import StorageMetrics
+
+
+class Bitmap:
+    """A growable bitset backed by a single Python integer."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Iterable[int] | int = 0) -> None:
+        if isinstance(bits, int):
+            self._bits = bits
+        else:
+            value = 0
+            for position in bits:
+                value |= 1 << position
+            self._bits = value
+
+    # -- single-bit operations ---------------------------------------------
+
+    def set(self, position: int) -> None:
+        self._bits |= 1 << position
+
+    def clear(self, position: int) -> None:
+        self._bits &= ~(1 << position)
+
+    def get(self, position: int) -> bool:
+        return bool((self._bits >> position) & 1)
+
+    # -- algebra ---------------------------------------------------------------
+
+    def union(self, other: "Bitmap") -> "Bitmap":
+        return Bitmap(self._bits | other._bits)
+
+    def intersection(self, other: "Bitmap") -> "Bitmap":
+        return Bitmap(self._bits & other._bits)
+
+    def difference(self, other: "Bitmap") -> "Bitmap":
+        return Bitmap(self._bits & ~other._bits)
+
+    def __or__(self, other: "Bitmap") -> "Bitmap":
+        return self.union(other)
+
+    def __and__(self, other: "Bitmap") -> "Bitmap":
+        return self.intersection(other)
+
+    def __sub__(self, other: "Bitmap") -> "Bitmap":
+        return self.difference(other)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Bitmap) and self._bits == other._bits
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely needed
+        return hash(self._bits)
+
+    # -- inspection -----------------------------------------------------------
+
+    def cardinality(self) -> int:
+        """Number of set bits (population count)."""
+        return self._bits.bit_count()
+
+    def is_empty(self) -> bool:
+        return self._bits == 0
+
+    def __len__(self) -> int:
+        return self.cardinality()
+
+    def __iter__(self) -> Iterator[int]:
+        """Yield set bit positions in increasing order."""
+        bits = self._bits
+        position = 0
+        while bits:
+            if bits & 1:
+                yield position
+            bits >>= 1
+            position += 1
+
+    def to_list(self) -> list[int]:
+        return list(self)
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Approximate storage footprint (bit length rounded up to bytes)."""
+        return max(1, (self._bits.bit_length() + 7) // 8)
+
+    def copy(self) -> "Bitmap":
+        return Bitmap(self._bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Bitmap(cardinality={self.cardinality()})"
+
+
+class BitmapIndex:
+    """A value -> bitmap index plus an object-id -> value map.
+
+    This is the Sparksee data structure for one attribute or for labels: the
+    map answers "what value does object *i* have?" and the per-value bitmap
+    answers "which objects have value *v*?".
+    """
+
+    def __init__(self, name: str = "bitmap-index", metrics: StorageMetrics | None = None) -> None:
+        self.name = name
+        self.metrics = metrics if metrics is not None else StorageMetrics(owner=name)
+        self._value_bitmaps: dict[Any, Bitmap] = {}
+        self._object_values: dict[int, Any] = {}
+
+    def __len__(self) -> int:
+        """Number of objects with an entry in this index."""
+        return len(self._object_values)
+
+    @property
+    def distinct_values(self) -> int:
+        return len(self._value_bitmaps)
+
+    @property
+    def size_in_bytes(self) -> int:
+        total = len(self._object_values) * 16
+        for bitmap in self._value_bitmaps.values():
+            total += bitmap.size_in_bytes
+        return total
+
+    # -- updates ----------------------------------------------------------------
+
+    def set_value(self, object_id: int, value: Any) -> None:
+        """Associate ``object_id`` with ``value``, replacing any previous value."""
+        self.metrics.charge_index_update()
+        previous = self._object_values.get(object_id)
+        if previous is not None and previous in self._value_bitmaps:
+            self._value_bitmaps[previous].clear(object_id)
+            if self._value_bitmaps[previous].is_empty():
+                del self._value_bitmaps[previous]
+        self._object_values[object_id] = value
+        self._value_bitmaps.setdefault(value, Bitmap()).set(object_id)
+
+    def remove_object(self, object_id: int) -> None:
+        """Drop ``object_id`` from the index (no error if absent)."""
+        self.metrics.charge_index_update()
+        value = self._object_values.pop(object_id, None)
+        if value is not None and value in self._value_bitmaps:
+            self._value_bitmaps[value].clear(object_id)
+            if self._value_bitmaps[value].is_empty():
+                del self._value_bitmaps[value]
+
+    # -- queries --------------------------------------------------------------------
+
+    def value_of(self, object_id: int) -> Any:
+        """Return the value associated with ``object_id`` (or None)."""
+        self.metrics.charge_index_probe()
+        return self._object_values.get(object_id)
+
+    def objects_with_value(self, value: Any) -> Bitmap:
+        """Return (a copy of) the bitmap of objects holding ``value``."""
+        self.metrics.charge_index_probe()
+        bitmap = self._value_bitmaps.get(value)
+        return bitmap.copy() if bitmap is not None else Bitmap()
+
+    def values(self) -> Iterator[Any]:
+        """Yield the distinct indexed values."""
+        for value in self._value_bitmaps:
+            self.metrics.charge_index_probe()
+            yield value
+
+    def all_objects(self) -> Bitmap:
+        """Return the bitmap of every indexed object id."""
+        result = Bitmap()
+        for object_id in self._object_values:
+            result.set(object_id)
+        self.metrics.charge_index_probe()
+        return result

@@ -1,0 +1,324 @@
+"""A B+Tree with explicit node fan-out and per-operation accounting.
+
+BlazeGraph keeps its whole graph in B+Tree-indexed journal files and updates
+and rebalances those trees after every insertion unless bulk loading is
+enabled (paper, Sections 3.2 and 6.2).  Sparksee and the relational engine
+also rely on tree-shaped indexes.  This module implements a textbook B+Tree:
+
+* internal nodes route by key, leaves hold (key, values) lists;
+* leaves are chained for ordered range scans;
+* every descent charges one index probe per level, every structural change
+  charges index updates — so tree height shows up in the benchmark numbers.
+
+Keys may be any totally ordered Python values of a consistent type.  Each key
+maps to a list of values (duplicates allowed), which matches the way the
+engines use indexes (e.g. property value -> element ids).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from repro.exceptions import StorageError
+from repro.storage.metrics import StorageMetrics
+
+_DEFAULT_ORDER = 64
+
+
+class _Node:
+    """Base class for B+Tree nodes."""
+
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+
+    @property
+    def is_leaf(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class _LeafNode(_Node):
+    __slots__ = ("values", "next_leaf")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.values: list[list[Any]] = []
+        self.next_leaf: _LeafNode | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+class _InternalNode(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: list[_Node] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+
+class BPlusTree:
+    """An order-``order`` B+Tree mapping keys to lists of values.
+
+    Parameters
+    ----------
+    name:
+        Index name, used for diagnostics and metrics ownership.
+    order:
+        Maximum number of keys per node; nodes split when they exceed it.
+    metrics:
+        Counter charged for probes, updates, and leaf scans.
+    unique:
+        When true, inserting an existing key replaces its values instead of
+        appending, and duplicate inserts raise no error.
+    """
+
+    def __init__(
+        self,
+        name: str = "btree",
+        order: int = _DEFAULT_ORDER,
+        metrics: StorageMetrics | None = None,
+        unique: bool = False,
+    ) -> None:
+        if order < 3:
+            raise StorageError("B+Tree order must be at least 3")
+        self.name = name
+        self.order = order
+        self.unique = unique
+        self.metrics = metrics if metrics is not None else StorageMetrics(owner=name)
+        self._root: _Node = _LeafNode()
+        self._size = 0  # number of (key, value) pairs
+        self._key_count = 0
+        self._height = 1
+        self._rebalance_count = 0
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total number of stored (key, value) pairs."""
+        return self._size
+
+    @property
+    def key_count(self) -> int:
+        """Number of distinct keys."""
+        return self._key_count
+
+    @property
+    def height(self) -> int:
+        """Current height of the tree (1 = a single leaf)."""
+        return self._height
+
+    @property
+    def rebalance_count(self) -> int:
+        """Number of node splits performed; a proxy for maintenance cost."""
+        return self._rebalance_count
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Rough simulated on-disk footprint of the index."""
+        return self._size * 32 + self._key_count * 16
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``value`` under ``key``, splitting nodes as necessary."""
+        self.metrics.charge_index_update()
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            middle_key, right = split
+            new_root = _InternalNode()
+            new_root.keys = [middle_key]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+            self._rebalance_count += 1
+
+    def _insert(self, node: _Node, key: Any, value: Any):
+        if node.is_leaf:
+            return self._insert_into_leaf(node, key, value)  # type: ignore[arg-type]
+        internal = node  # type: ignore[assignment]
+        assert isinstance(internal, _InternalNode)
+        self.metrics.charge_index_probe()
+        index = bisect.bisect_right(internal.keys, key)
+        split = self._insert(internal.children[index], key, value)
+        if split is None:
+            return None
+        middle_key, right = split
+        internal.keys.insert(index, middle_key)
+        internal.children.insert(index + 1, right)
+        if len(internal.keys) <= self.order:
+            return None
+        return self._split_internal(internal)
+
+    def _insert_into_leaf(self, leaf: _LeafNode, key: Any, value: Any):
+        self.metrics.charge_index_probe()
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            if self.unique:
+                removed = len(leaf.values[index])
+                leaf.values[index] = [value]
+                self._size += 1 - removed
+            else:
+                leaf.values[index].append(value)
+                self._size += 1
+            return None
+        leaf.keys.insert(index, key)
+        leaf.values.insert(index, [value])
+        self._size += 1
+        self._key_count += 1
+        if len(leaf.keys) <= self.order:
+            return None
+        return self._split_leaf(leaf)
+
+    def _split_leaf(self, leaf: _LeafNode):
+        self._rebalance_count += 1
+        self.metrics.charge_index_update()
+        middle = len(leaf.keys) // 2
+        right = _LeafNode()
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        right.next_leaf = leaf.next_leaf
+        leaf.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _InternalNode):
+        self._rebalance_count += 1
+        self.metrics.charge_index_update()
+        middle = len(node.keys) // 2
+        middle_key = node.keys[middle]
+        right = _InternalNode()
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return middle_key, right
+
+    # -- lookup -------------------------------------------------------------
+
+    def search(self, key: Any) -> list[Any]:
+        """Return the list of values stored under ``key`` (empty if absent)."""
+        leaf, index = self._find_leaf(key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def contains(self, key: Any) -> bool:
+        """True if ``key`` has at least one stored value."""
+        leaf, index = self._find_leaf(key)
+        return index < len(leaf.keys) and leaf.keys[index] == key
+
+    def _find_leaf(self, key: Any) -> tuple[_LeafNode, int]:
+        node = self._root
+        while not node.is_leaf:
+            self.metrics.charge_index_probe()
+            internal = node
+            assert isinstance(internal, _InternalNode)
+            index = bisect.bisect_right(internal.keys, key)
+            node = internal.children[index]
+        self.metrics.charge_index_probe()
+        leaf = node
+        assert isinstance(leaf, _LeafNode)
+        return leaf, bisect.bisect_left(leaf.keys, key)
+
+    # -- range scans -----------------------------------------------------------
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Yield (key, value) pairs with low <= key <= high in key order."""
+        if low is None:
+            leaf: _LeafNode | None = self._leftmost_leaf()
+            index = 0
+        else:
+            leaf, index = self._find_leaf(low)
+            if not include_low:
+                while (
+                    leaf is not None
+                    and index < len(leaf.keys)
+                    and leaf.keys[index] == low
+                ):
+                    index += 1
+                    if index >= len(leaf.keys):
+                        leaf = leaf.next_leaf
+                        index = 0
+                        break
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if high is not None:
+                    if key > high or (key == high and not include_high):
+                        return
+                self.metrics.charge_index_probe()
+                for value in leaf.values[index]:
+                    yield key, value
+                index += 1
+            leaf = leaf.next_leaf
+            index = 0
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Yield every (key, value) pair in key order."""
+        return self.range()
+
+    def keys(self) -> Iterator[Any]:
+        """Yield distinct keys in order."""
+        leaf: _LeafNode | None = self._leftmost_leaf()
+        while leaf is not None:
+            for key in leaf.keys:
+                self.metrics.charge_index_probe()
+                yield key
+            leaf = leaf.next_leaf
+
+    def _leftmost_leaf(self) -> _LeafNode:
+        node = self._root
+        while not node.is_leaf:
+            internal = node
+            assert isinstance(internal, _InternalNode)
+            node = internal.children[0]
+        leaf = node
+        assert isinstance(leaf, _LeafNode)
+        return leaf
+
+    # -- deletion -----------------------------------------------------------------
+
+    def delete(self, key: Any, value: Any = None) -> int:
+        """Delete ``value`` from ``key`` (or all values when ``value`` is None).
+
+        Returns the number of (key, value) pairs removed.  Underflowed leaves
+        are left in place (lazy deletion), which matches the journal-style
+        behaviour of the systems being modelled and keeps the structure
+        simple; the keys themselves are removed when their value list empties.
+        """
+        self.metrics.charge_index_update()
+        leaf, index = self._find_leaf(key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return 0
+        if value is None:
+            removed = len(leaf.values[index])
+            del leaf.keys[index]
+            del leaf.values[index]
+            self._size -= removed
+            self._key_count -= 1
+            return removed
+        bucket = leaf.values[index]
+        if value not in bucket:
+            return 0
+        bucket.remove(value)
+        self._size -= 1
+        if not bucket:
+            del leaf.keys[index]
+            del leaf.values[index]
+            self._key_count -= 1
+        return 1

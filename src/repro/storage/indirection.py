@@ -1,0 +1,90 @@
+"""OrientDB-style logical-to-physical record indirection.
+
+OrientDB record identifiers do not encode a physical position; they point
+into an append-only mapping structure that resolves a logical rid to the
+record's current physical location (paper, Section 3.2).  The indirection
+makes it possible to move records without changing their identifiers, at the
+price of one extra lookup per record access.
+
+:class:`IndirectionTable` models that map.  Engines that use it pay one index
+probe per resolution, which is how the simulated OrientDB engine ends up
+slightly more expensive per record access than the direct-offset store while
+keeping the same asymptotic behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ElementNotFoundError
+from repro.storage.metrics import StorageMetrics
+
+
+@dataclass
+class _MappingEntry:
+    """One append-only mapping entry: a logical id and its physical position."""
+
+    logical_id: int
+    physical_position: int
+    live: bool = True
+
+
+class IndirectionTable:
+    """Append-only map from logical record ids to physical positions."""
+
+    def __init__(self, name: str, metrics: StorageMetrics | None = None) -> None:
+        self.name = name
+        self.metrics = metrics if metrics is not None else StorageMetrics(owner=name)
+        self._entries: list[_MappingEntry] = []
+        self._current: dict[int, int] = {}
+        self._next_logical = 0
+
+    def __len__(self) -> int:
+        """Number of live logical ids."""
+        return len(self._current)
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Simulated size: every append-only entry stays on disk."""
+        return len(self._entries) * 16
+
+    def allocate(self, physical_position: int) -> int:
+        """Register a new logical id pointing at ``physical_position``."""
+        logical_id = self._next_logical
+        self._next_logical += 1
+        self._entries.append(_MappingEntry(logical_id, physical_position))
+        self._current[logical_id] = physical_position
+        self.metrics.charge_index_update()
+        return logical_id
+
+    def resolve(self, logical_id: int) -> int:
+        """Return the physical position for ``logical_id`` (one index probe)."""
+        self.metrics.charge_index_probe()
+        try:
+            return self._current[logical_id]
+        except KeyError:
+            raise ElementNotFoundError(self.name, logical_id) from None
+
+    def relocate(self, logical_id: int, new_physical_position: int) -> None:
+        """Append a new mapping entry; the logical id is unchanged."""
+        if logical_id not in self._current:
+            raise ElementNotFoundError(self.name, logical_id)
+        self._entries.append(_MappingEntry(logical_id, new_physical_position))
+        self._current[logical_id] = new_physical_position
+        self.metrics.charge_index_update()
+
+    def free(self, logical_id: int) -> None:
+        """Drop the logical id (the append-only history keeps its entries)."""
+        if logical_id not in self._current:
+            raise ElementNotFoundError(self.name, logical_id)
+        del self._current[logical_id]
+        self._entries.append(_MappingEntry(logical_id, -1, live=False))
+        self.metrics.charge_index_update()
+
+    def exists(self, logical_id: int) -> bool:
+        return logical_id in self._current
+
+    def live_ids(self) -> list[int]:
+        """Return the live logical ids in allocation order (a map scan)."""
+        self.metrics.charge_index_probe(max(1, len(self._current)))
+        return sorted(self._current)

@@ -1,0 +1,155 @@
+"""A page-file abstraction with read/write accounting.
+
+Real graph databases persist their record files, journals, and indexes as
+fixed-size pages on disk.  The simulated engines keep pages in memory but go
+through this abstraction so that every access is charged to the owning
+engine's :class:`~repro.storage.metrics.StorageMetrics`, which lets the
+benchmark harness report logical I/O that is proportional to the work a real
+disk-backed system would perform.
+"""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_PAGE_SIZE
+from repro.exceptions import StorageError
+from repro.storage.metrics import StorageMetrics
+
+
+class PageFile:
+    """An append-extendable sequence of byte pages.
+
+    Parameters
+    ----------
+    name:
+        Human-readable file name, used only for diagnostics.
+    page_size:
+        Size in bytes of each page.
+    metrics:
+        Counter object charged for every page read and write.  When ``None``
+        a private, unreported counter is used.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        metrics: StorageMetrics | None = None,
+    ) -> None:
+        if page_size <= 0:
+            raise StorageError(f"page size must be positive, got {page_size}")
+        self.name = name
+        self.page_size = page_size
+        self.metrics = metrics if metrics is not None else StorageMetrics(owner=name)
+        self._pages: list[bytearray] = []
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages currently allocated."""
+        return len(self._pages)
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Total allocated size of the file in bytes."""
+        return len(self._pages) * self.page_size
+
+    def allocate_page(self) -> int:
+        """Append a new zeroed page and return its page number."""
+        self._pages.append(bytearray(self.page_size))
+        self.metrics.charge_page_write(1, self.page_size)
+        return len(self._pages) - 1
+
+    def ensure_pages(self, count: int) -> None:
+        """Grow the file until it holds at least ``count`` pages."""
+        while len(self._pages) < count:
+            self.allocate_page()
+
+    # -- page access ---------------------------------------------------------
+
+    def read_page(self, page_no: int) -> bytes:
+        """Return a copy of page ``page_no`` and charge one page read."""
+        self._check_page(page_no)
+        self.metrics.charge_page_read(1, self.page_size)
+        return bytes(self._pages[page_no])
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        """Overwrite page ``page_no`` with ``data`` (padded with zeros)."""
+        self._check_page(page_no)
+        if len(data) > self.page_size:
+            raise StorageError(
+                f"data of {len(data)} bytes does not fit page size {self.page_size}"
+            )
+        page = bytearray(self.page_size)
+        page[: len(data)] = data
+        self._pages[page_no] = page
+        self.metrics.charge_page_write(1, self.page_size)
+
+    # -- byte-range access ---------------------------------------------------
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at absolute ``offset``.
+
+        The read is charged per page touched, mirroring how a fixed-size
+        record store pays a single page read for a record access.
+        """
+        if offset < 0 or length < 0:
+            raise StorageError("offset and length must be non-negative")
+        end = offset + length
+        if end > self.size_in_bytes:
+            raise StorageError(
+                f"read of [{offset}, {end}) beyond end of file {self.name!r} "
+                f"({self.size_in_bytes} bytes)"
+            )
+        first_page = offset // self.page_size
+        last_page = (end - 1) // self.page_size if length else first_page
+        self.metrics.charge_page_read(last_page - first_page + 1, length)
+        out = bytearray()
+        for page_no in range(first_page, last_page + 1):
+            page = self._pages[page_no]
+            start = offset - page_no * self.page_size if page_no == first_page else 0
+            stop = (
+                end - page_no * self.page_size
+                if page_no == last_page
+                else self.page_size
+            )
+            out.extend(page[start:stop])
+        return bytes(out)
+
+    def write_at(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at absolute ``offset``, growing the file as needed."""
+        if offset < 0:
+            raise StorageError("offset must be non-negative")
+        end = offset + len(data)
+        needed_pages = (end + self.page_size - 1) // self.page_size
+        self.ensure_pages(needed_pages)
+        first_page = offset // self.page_size
+        last_page = (end - 1) // self.page_size if data else first_page
+        self.metrics.charge_page_write(last_page - first_page + 1, len(data))
+        cursor = 0
+        for page_no in range(first_page, last_page + 1):
+            page = self._pages[page_no]
+            start = offset - page_no * self.page_size if page_no == first_page else 0
+            stop = (
+                end - page_no * self.page_size
+                if page_no == last_page
+                else self.page_size
+            )
+            chunk = data[cursor : cursor + (stop - start)]
+            page[start : start + len(chunk)] = chunk
+            cursor += len(chunk)
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_page(self, page_no: int) -> None:
+        if page_no < 0 or page_no >= len(self._pages):
+            raise StorageError(
+                f"page {page_no} out of range for file {self.name!r} "
+                f"with {len(self._pages)} pages"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"PageFile(name={self.name!r}, pages={self.page_count}, "
+            f"page_size={self.page_size})"
+        )

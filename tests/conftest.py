@@ -1,0 +1,64 @@
+"""Shared fixtures: engines, small datasets, and loaded graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import load_dataset_into
+from repro.config import EngineConfig
+from repro.datasets import get_dataset
+from repro.datasets.base import Dataset
+from repro.engines import ALL_ENGINES, DEFAULT_ENGINES, create_engine
+
+
+@pytest.fixture(params=DEFAULT_ENGINES)
+def engine(request):
+    """A fresh instance of each default engine (one version per system)."""
+    return create_engine(request.param)
+
+
+@pytest.fixture(params=ALL_ENGINES)
+def any_engine(request):
+    """A fresh instance of every registered engine, including both versions."""
+    return create_engine(request.param)
+
+
+@pytest.fixture
+def small_dataset() -> Dataset:
+    """A tiny deterministic graph used by conformance and query tests."""
+    vertices = [
+        {"id": f"n{index}", "label": "person" if index % 2 == 0 else "place",
+         "properties": {"name": f"node-{index}", "rank": index}}
+        for index in range(8)
+    ]
+    edges = [
+        {"source": "n0", "target": "n1", "label": "knows", "properties": {"weight": 1}},
+        {"source": "n1", "target": "n2", "label": "knows", "properties": {"weight": 2}},
+        {"source": "n2", "target": "n3", "label": "visits", "properties": {}},
+        {"source": "n3", "target": "n4", "label": "knows", "properties": {"weight": 3}},
+        {"source": "n4", "target": "n5", "label": "visits", "properties": {}},
+        {"source": "n0", "target": "n5", "label": "visits", "properties": {}},
+        {"source": "n5", "target": "n6", "label": "knows", "properties": {"weight": 4}},
+        {"source": "n6", "target": "n7", "label": "knows", "properties": {"weight": 5}},
+        {"source": "n0", "target": "n7", "label": "knows", "properties": {"weight": 6}},
+        {"source": "n2", "target": "n0", "label": "knows", "properties": {"weight": 7}},
+    ]
+    return Dataset(name="tiny", vertices=vertices, edges=edges, description="test graph")
+
+
+@pytest.fixture
+def loaded(engine, small_dataset):
+    """The small dataset loaded into each default engine."""
+    return load_dataset_into(engine, small_dataset)
+
+
+@pytest.fixture(scope="session")
+def ldbc_dataset() -> Dataset:
+    """A small LDBC-like social network shared across query tests."""
+    return get_dataset("ldbc", scale=0.4, seed=7)
+
+
+@pytest.fixture
+def small_config() -> EngineConfig:
+    """An engine configuration with a tiny memory budget for OOM tests."""
+    return EngineConfig(memory_budget=20_000)

@@ -1,0 +1,207 @@
+"""Traversal DSL and machine semantics, checked against every engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.gremlin.optimizer import engine_optimizes, optimize
+from repro.gremlin import steps as S
+
+
+class TestStartSteps:
+    def test_v_yields_all_vertices(self, loaded):
+        assert loaded.engine.traversal().V().count() == loaded.dataset.vertex_count
+
+    def test_v_with_id(self, loaded):
+        vertex = loaded.vertex_map["n0"]
+        assert loaded.engine.traversal().V(vertex).to_list() == [vertex]
+
+    def test_v_with_unknown_id_is_empty(self, loaded):
+        assert loaded.engine.traversal().V("nope").to_list() == []
+
+    def test_e_yields_all_edges(self, loaded):
+        assert loaded.engine.traversal().E().count() == loaded.dataset.edge_count
+
+    def test_e_with_id(self, loaded):
+        edge = loaded.edge_map[0]
+        assert loaded.engine.traversal().E(edge).to_list() == [edge]
+
+
+class TestFiltersAndProjections:
+    def test_has_on_vertex_property(self, loaded):
+        expected = loaded.vertex_map["n2"]
+        assert loaded.engine.traversal().V().has("name", "node-2").to_list() == [expected]
+
+    def test_has_label_on_vertices(self, loaded):
+        persons = loaded.engine.traversal().V().has_label("person").count()
+        assert persons == 4
+
+    def test_has_label_on_edges(self, loaded):
+        knows = loaded.engine.traversal().E().has("label", "knows").count()
+        assert knows == 7
+
+    def test_values_projection(self, loaded):
+        names = set(loaded.engine.traversal().V().values("name"))
+        assert names == {f"node-{index}" for index in range(8)}
+
+    def test_label_projection_dedup(self, loaded):
+        labels = set(loaded.engine.traversal().E().label().dedup())
+        assert labels == {"knows", "visits"}
+
+    def test_filter_with_lambda(self, loaded):
+        high_rank = loaded.engine.traversal().V().filter(
+            lambda graph, vertex: graph.vertex_property(vertex, "rank") >= 6
+        ).count()
+        assert high_rank == 2
+
+    def test_dedup(self, loaded):
+        raw = loaded.engine.traversal().V().out().count()
+        unique = loaded.engine.traversal().V().out().dedup().count()
+        assert unique <= raw
+
+    def test_limit(self, loaded):
+        assert loaded.engine.traversal().V().limit(3).count() == 3
+
+    def test_order_by_key(self, loaded):
+        ranks = loaded.engine.traversal().V().order(
+            key=lambda graph, vertex: graph.vertex_property(vertex, "rank")
+        ).values("rank").to_list()
+        assert ranks == sorted(ranks)
+
+    def test_id_step(self, loaded):
+        ids = loaded.engine.traversal().V().id().to_set()
+        assert ids == set(loaded.vertex_map.values())
+
+    def test_count_and_group_count(self, loaded):
+        counts = loaded.engine.traversal().V().out().group_count().next()
+        assert sum(counts.values()) == loaded.engine.traversal().V().out().count()
+
+    def test_next_raises_on_empty(self, loaded):
+        with pytest.raises(QueryError):
+            loaded.engine.traversal().V().has("name", "missing").next()
+
+    def test_first_returns_default(self, loaded):
+        assert loaded.engine.traversal().V().has("name", "missing").first("x") == "x"
+
+
+class TestAdjacencySteps:
+    def test_out_in_both(self, loaded):
+        n0 = loaded.vertex_map["n0"]
+        out_names = {loaded.engine.vertex(v).properties["name"] for v in loaded.engine.traversal().V(n0).out()}
+        assert out_names == {"node-1", "node-5", "node-7"}
+        in_names = {loaded.engine.vertex(v).properties["name"] for v in loaded.engine.traversal().V(n0).in_()}
+        assert in_names == {"node-2"}
+        assert loaded.engine.traversal().V(n0).both().count() == 4
+
+    def test_label_restricted_adjacency(self, loaded):
+        n0 = loaded.vertex_map["n0"]
+        knows_only = loaded.engine.traversal().V(n0).out("knows").count()
+        assert knows_only == 2
+
+    def test_incident_edge_steps(self, loaded):
+        n0 = loaded.vertex_map["n0"]
+        assert loaded.engine.traversal().V(n0).out_e().count() == 3
+        assert loaded.engine.traversal().V(n0).in_e().count() == 1
+        assert loaded.engine.traversal().V(n0).both_e().count() == 4
+
+    def test_edge_vertex_steps(self, loaded):
+        edge = loaded.edge_map[0]  # n0 -knows-> n1
+        assert loaded.engine.traversal().E(edge).out_v().to_list() == [loaded.vertex_map["n0"]]
+        assert loaded.engine.traversal().E(edge).in_v().to_list() == [loaded.vertex_map["n1"]]
+
+    def test_multi_hop(self, loaded):
+        n0 = loaded.vertex_map["n0"]
+        two_hop = loaded.engine.traversal().V(n0).out().out().dedup().to_set()
+        assert loaded.vertex_map["n2"] in two_hop or loaded.vertex_map["n6"] in two_hop
+
+
+class TestLoopsAndPaths:
+    def test_bfs_loop_collects_reachable_nodes(self, loaded):
+        n0 = loaded.vertex_map["n0"]
+        visited = {n0}
+        reached = (
+            loaded.engine.traversal()
+            .V(n0)
+            .as_("i")
+            .both()
+            .except_(visited)
+            .store(visited)
+            .loop("i", lambda loops, obj, graph: loops < 2, emit_all=True)
+            .to_list()
+        )
+        names = {loaded.engine.vertex(v).properties["name"] for v in reached}
+        assert {"node-1", "node-5", "node-7", "node-2"} <= names
+
+    def test_loop_without_as_raises(self, loaded):
+        with pytest.raises(QueryError):
+            loaded.engine.traversal().V().both().loop("missing", lambda loops, obj, graph: False)
+
+    def test_shortest_path_loop(self, loaded):
+        source = loaded.vertex_map["n0"]
+        target = loaded.vertex_map["n4"]
+        visited = {source}
+        paths = (
+            loaded.engine.traversal()
+            .V(source)
+            .as_("i")
+            .both()
+            .except_(visited)
+            .store(visited)
+            .loop("i", lambda loops, obj, graph: obj != target and loops < 10)
+            .retain([target])
+            .paths()
+        )
+        assert paths
+        # n0 -> n5 -> n4 (or an equally short alternative): 3 nodes on the path.
+        assert min(len(path) for path in paths) == 3
+
+    def test_path_step_returns_visited_sequence(self, loaded):
+        n0 = loaded.vertex_map["n0"]
+        paths = loaded.engine.traversal().V(n0).out().path().to_list()
+        assert all(path[0] == n0 and len(path) == 2 for path in paths)
+
+    def test_store_and_except(self, loaded):
+        n0 = loaded.vertex_map["n0"]
+        seen: set = set()
+        first = loaded.engine.traversal().V(n0).out().store(seen).count()
+        assert len(seen) == first
+        again = loaded.engine.traversal().V(n0).out().except_(seen).count()
+        assert again == 0
+
+    def test_retain(self, loaded):
+        keep = {loaded.vertex_map["n1"]}
+        assert loaded.engine.traversal().V().retain(keep).to_list() == list(keep)
+
+
+class TestOptimizer:
+    def test_only_conflating_engines_rewrite(self, loaded):
+        steps = loaded.engine.traversal().V().has("name", "node-1").steps
+        rewritten = optimize(loaded.engine, steps)
+        if engine_optimizes(loaded.engine):
+            assert isinstance(rewritten[0], S.IndexedVertexLookupStep)
+        else:
+            assert isinstance(rewritten[0], S.VStep)
+
+    def test_index_enables_conflation_everywhere(self, loaded):
+        if not loaded.engine.supports_vertex_index:
+            pytest.skip("engine has no user-defined attribute indexes")
+        loaded.engine.create_vertex_index("name")
+        steps = loaded.engine.traversal().V().has("name", "node-1").steps
+        rewritten = optimize(loaded.engine, steps)
+        assert isinstance(rewritten[0], S.IndexedVertexLookupStep)
+
+    def test_conflated_lookup_matches_naive(self, loaded):
+        naive = set(loaded.engine.traversal().V().has("name", "node-3"))
+        if loaded.engine.supports_vertex_index:
+            loaded.engine.create_vertex_index("name")
+        indexed = set(loaded.engine.traversal().V().has("name", "node-3"))
+        assert naive == indexed == {loaded.vertex_map["n3"]}
+
+    def test_edge_label_conflation_matches_naive(self, loaded):
+        result = loaded.engine.traversal().E().has("label", "visits").count()
+        assert result == 3
+
+    def test_explain_mentions_steps(self, loaded):
+        explanation = loaded.engine.traversal().V().has("a", 1).out().explain()
+        assert "V(" in explanation and "has(" in explanation

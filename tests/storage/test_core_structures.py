@@ -1,0 +1,223 @@
+"""Unit tests for metrics, page files, record stores, and indirection tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ElementNotFoundError, MemoryBudgetExceededError, StorageError
+from repro.storage.indirection import IndirectionTable
+from repro.storage.metrics import MetricsRegistry, StorageMetrics
+from repro.storage.pages import PageFile
+from repro.storage.record_store import RecordStore
+
+
+class TestStorageMetrics:
+    def test_counters_start_at_zero(self):
+        metrics = StorageMetrics()
+        assert metrics.logical_io == 0
+        assert metrics.snapshot()["page_reads"] == 0
+
+    def test_charges_accumulate(self):
+        metrics = StorageMetrics()
+        metrics.charge_page_read(2, 100)
+        metrics.charge_index_probe(3)
+        metrics.charge_record_write(1, 50)
+        assert metrics.page_reads == 2
+        assert metrics.bytes_read == 100
+        assert metrics.index_probes == 3
+        assert metrics.records_written == 1
+        assert metrics.logical_io == 6
+
+    def test_reset_clears_counters(self):
+        metrics = StorageMetrics()
+        metrics.charge_page_write(5, 10)
+        metrics.reset()
+        assert metrics.logical_io == 0
+        assert metrics.bytes_written == 0
+
+    def test_memory_budget_enforced(self):
+        metrics = StorageMetrics(memory_budget=100, owner="test")
+        metrics.allocate(60)
+        with pytest.raises(MemoryBudgetExceededError):
+            metrics.allocate(60)
+
+    def test_release_reduces_usage(self):
+        metrics = StorageMetrics(memory_budget=100)
+        metrics.allocate(80)
+        metrics.release(70)
+        metrics.allocate(60)  # fits again after the release
+        assert metrics.peak_materialized_bytes == 80
+
+    def test_no_budget_means_unlimited(self):
+        metrics = StorageMetrics()
+        metrics.allocate(10**9)
+        assert metrics.peak_materialized_bytes == 10**9
+
+    def test_registry_combines_counters(self):
+        registry = MetricsRegistry()
+        registry.get("a").charge_page_read(1)
+        registry.get("b").charge_page_read(2)
+        assert registry.combined().page_reads == 3
+
+    def test_registry_reuses_instances(self):
+        registry = MetricsRegistry()
+        assert registry.get("x") is registry.get("x")
+
+    def test_registry_reset(self):
+        registry = MetricsRegistry()
+        registry.get("a").charge_index_probe(5)
+        registry.reset()
+        assert registry.combined().index_probes == 0
+
+
+class TestPageFile:
+    def test_allocate_and_read_page(self):
+        pages = PageFile("test", page_size=64)
+        page_no = pages.allocate_page()
+        assert pages.read_page(page_no) == bytes(64)
+
+    def test_write_and_read_roundtrip(self):
+        pages = PageFile("test", page_size=64)
+        pages.allocate_page()
+        pages.write_page(0, b"hello")
+        assert pages.read_page(0)[:5] == b"hello"
+
+    def test_write_at_grows_file(self):
+        pages = PageFile("test", page_size=32)
+        pages.write_at(100, b"abc")
+        assert pages.page_count == 4
+        assert pages.read_at(100, 3) == b"abc"
+
+    def test_read_across_page_boundary(self):
+        pages = PageFile("test", page_size=16)
+        pages.write_at(12, b"boundary")
+        assert pages.read_at(12, 8) == b"boundary"
+
+    def test_read_past_end_raises(self):
+        pages = PageFile("test", page_size=16)
+        pages.allocate_page()
+        with pytest.raises(StorageError):
+            pages.read_at(10, 100)
+
+    def test_oversized_page_write_rejected(self):
+        pages = PageFile("test", page_size=8)
+        pages.allocate_page()
+        with pytest.raises(StorageError):
+            pages.write_page(0, b"far too long for the page")
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            PageFile("bad", page_size=0)
+
+    def test_metrics_charged_for_io(self):
+        metrics = StorageMetrics()
+        pages = PageFile("test", page_size=32, metrics=metrics)
+        pages.write_at(0, b"x" * 40)
+        pages.read_at(0, 40)
+        assert metrics.page_writes >= 2
+        assert metrics.page_reads >= 2
+
+
+class TestRecordStore:
+    def test_allocate_assigns_sequential_ids(self):
+        store = RecordStore("records", record_size=32)
+        assert store.allocate({"a": 1}) == 0
+        assert store.allocate({"a": 2}) == 1
+        assert len(store) == 2
+
+    def test_read_returns_fields(self):
+        store = RecordStore("records")
+        record_id = store.allocate({"kind": "node"})
+        assert store.read(record_id).fields["kind"] == "node"
+
+    def test_update_merges_fields(self):
+        store = RecordStore("records")
+        record_id = store.allocate({"a": 1})
+        store.update(record_id, {"b": 2})
+        assert store.read(record_id).fields == {"a": 1, "b": 2}
+
+    def test_replace_overwrites_fields(self):
+        store = RecordStore("records")
+        record_id = store.allocate({"a": 1})
+        store.replace(record_id, {"c": 3})
+        assert store.read(record_id).fields == {"c": 3}
+
+    def test_free_then_read_raises(self):
+        store = RecordStore("records")
+        record_id = store.allocate()
+        store.free(record_id)
+        assert not store.exists(record_id)
+        with pytest.raises(ElementNotFoundError):
+            store.read(record_id)
+
+    def test_freed_slots_are_reused(self):
+        store = RecordStore("records")
+        first = store.allocate()
+        store.allocate()
+        store.free(first)
+        assert store.allocate() == first
+
+    def test_scan_yields_only_live_records(self):
+        store = RecordStore("records")
+        keep = store.allocate({"v": "keep"})
+        drop = store.allocate({"v": "drop"})
+        store.free(drop)
+        assert [record.record_id for record in store.scan()] == [keep]
+
+    def test_size_grows_with_records(self):
+        store = RecordStore("records", record_size=64)
+        before = store.size_in_bytes
+        for _ in range(10):
+            store.allocate({"x": 1})
+        assert store.size_in_bytes > before
+
+    def test_invalid_record_size_rejected(self):
+        with pytest.raises(StorageError):
+            RecordStore("bad", record_size=0)
+
+
+class TestIndirectionTable:
+    def test_allocate_and_resolve(self):
+        table = IndirectionTable("rids")
+        logical = table.allocate(physical_position=7)
+        assert table.resolve(logical) == 7
+
+    def test_relocate_keeps_logical_id(self):
+        table = IndirectionTable("rids")
+        logical = table.allocate(3)
+        table.relocate(logical, 42)
+        assert table.resolve(logical) == 42
+
+    def test_free_removes_mapping(self):
+        table = IndirectionTable("rids")
+        logical = table.allocate(1)
+        table.free(logical)
+        assert not table.exists(logical)
+        with pytest.raises(ElementNotFoundError):
+            table.resolve(logical)
+
+    def test_unknown_id_raises(self):
+        table = IndirectionTable("rids")
+        with pytest.raises(ElementNotFoundError):
+            table.resolve(99)
+
+    def test_append_only_history_grows_size(self):
+        table = IndirectionTable("rids")
+        logical = table.allocate(0)
+        before = table.size_in_bytes
+        table.relocate(logical, 1)
+        table.relocate(logical, 2)
+        assert table.size_in_bytes > before
+
+    def test_live_ids_sorted(self):
+        table = IndirectionTable("rids")
+        ids = [table.allocate(position) for position in range(5)]
+        table.free(ids[2])
+        assert table.live_ids() == [0, 1, 3, 4]
+
+    def test_resolution_charges_probe(self):
+        metrics = StorageMetrics()
+        table = IndirectionTable("rids", metrics=metrics)
+        logical = table.allocate(0)
+        table.resolve(logical)
+        assert metrics.index_probes >= 1

@@ -1,0 +1,120 @@
+"""Property-based tests of the core storage structures (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.bitmap import Bitmap
+from repro.storage.btree import BPlusTree
+from repro.storage.hash_index import HashIndex
+from repro.storage.triple_store import TripleStore
+
+_keys = st.integers(min_value=-1000, max_value=1000)
+_small_positions = st.integers(min_value=0, max_value=512)
+
+
+class TestBPlusTreeProperties:
+    @given(st.lists(st.tuples(_keys, st.integers()), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_multimap_model(self, pairs):
+        tree = BPlusTree(order=4)
+        model: dict[int, list[int]] = {}
+        for key, value in pairs:
+            tree.insert(key, value)
+            model.setdefault(key, []).append(value)
+        for key, values in model.items():
+            assert sorted(tree.search(key)) == sorted(values)
+        assert len(tree) == sum(len(values) for values in model.values())
+
+    @given(st.lists(_keys, unique=True, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_keys_always_sorted(self, keys):
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert(key, key)
+        assert list(tree.keys()) == sorted(keys)
+
+    @given(st.lists(_keys, unique=True, min_size=1, max_size=100), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_range_matches_filter(self, keys, data):
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert(key, key)
+        low = data.draw(_keys)
+        high = data.draw(_keys.filter(lambda value: value >= low))
+        expected = sorted(key for key in keys if low <= key <= high)
+        assert [key for key, _value in tree.range(low, high)] == expected
+
+    @given(st.lists(_keys, min_size=1, max_size=100), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_delete_then_search_empty(self, keys, data):
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert(key, key)
+        victim = data.draw(st.sampled_from(keys))
+        tree.delete(victim)
+        assert tree.search(victim) == []
+
+
+class TestHashIndexProperties:
+    @given(st.lists(st.tuples(st.text(max_size=8), st.integers()), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_multimap_model(self, pairs):
+        index = HashIndex()
+        model: dict[str, list[int]] = {}
+        for key, value in pairs:
+            index.insert(key, value)
+            model.setdefault(key, []).append(value)
+        for key, values in model.items():
+            assert sorted(index.lookup(key)) == sorted(values)
+        assert index.key_count == len(model)
+
+
+class TestBitmapProperties:
+    @given(st.sets(_small_positions), st.sets(_small_positions))
+    @settings(max_examples=100, deadline=None)
+    def test_algebra_matches_set_algebra(self, left_set, right_set):
+        left, right = Bitmap(left_set), Bitmap(right_set)
+        assert set(left | right) == left_set | right_set
+        assert set(left & right) == left_set & right_set
+        assert set(left - right) == left_set - right_set
+
+    @given(st.sets(_small_positions))
+    @settings(max_examples=100, deadline=None)
+    def test_cardinality_matches_set_size(self, positions):
+        assert Bitmap(positions).cardinality() == len(positions)
+
+    @given(st.sets(_small_positions), _small_positions)
+    @settings(max_examples=100, deadline=None)
+    def test_set_clear_roundtrip(self, positions, extra):
+        bitmap = Bitmap(positions)
+        bitmap.set(extra)
+        assert bitmap.get(extra)
+        bitmap.clear(extra)
+        assert not bitmap.get(extra)
+        assert set(bitmap) == positions - {extra}
+
+
+class TestTripleStoreProperties:
+    _triples = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.sampled_from(["p1", "p2", "p3"]),
+            st.integers(min_value=0, max_value=20),
+        ),
+        max_size=100,
+    )
+
+    @given(_triples)
+    @settings(max_examples=30, deadline=None)
+    def test_pattern_matching_matches_filtering(self, triples):
+        store = TripleStore()
+        for subject, predicate, object_ in triples:
+            store.add(subject, predicate, object_)
+        for subject, predicate, object_ in triples[:10]:
+            by_subject = [t.as_tuple() for t in store.match(subject=subject)]
+            expected = [t for t in triples if t[0] == subject]
+            assert sorted(by_subject) == sorted(expected)
+            by_po = [t.as_tuple() for t in store.match(predicate=predicate, object_=object_)]
+            expected_po = [t for t in triples if t[1] == predicate and t[2] == object_]
+            assert sorted(by_po) == sorted(expected_po)
