@@ -1,0 +1,55 @@
+"""Perf smoke: time Q22-Q35 before/after the bulked traversal machine.
+
+Runs the :mod:`repro.bench.microbench` A/B comparison (legacy per-walker
+executor vs the bulked, path-lazy machine) and writes the per-query
+wall-clock medians to ``BENCH_traversal.json``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf_smoke [--output BENCH_traversal.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.microbench import (
+    DEFAULT_DATASET,
+    DEFAULT_ENGINE,
+    DEFAULT_OUTPUT,
+    format_report,
+    run_traversal_microbench,
+    write_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", default=DEFAULT_ENGINE)
+    parser.add_argument("--dataset", default=DEFAULT_DATASET)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--depth", type=int, default=3, help="BFS depth for Q32/Q33")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    report = run_traversal_microbench(
+        engine_name=args.engine,
+        dataset_name=args.dataset,
+        scale=args.scale,
+        repeats=args.repeats,
+        bfs_depth=args.depth,
+    )
+    path = write_report(report, args.output)
+    print(format_report(report))
+    print(f"\nwrote {path.resolve()}")
+
+    q32 = report["queries"].get("Q32", {}).get("speedup", 0.0)
+    q34 = report["queries"].get("Q34", {}).get("speedup", 0.0)
+    print(f"Q32 speedup: {q32}x, Q34 speedup: {q34}x (target >= 2x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

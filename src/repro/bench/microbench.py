@@ -1,0 +1,118 @@
+"""Before/after microbenchmark for the traversal machine (Q22-Q35).
+
+Times every traversal query twice against the same loaded engine: once with
+the legacy per-walker executor
+(:func:`~repro.gremlin.machine.baseline_execution`, the seed behaviour —
+paths always tracked, no frontier batching, no bulking, no count pushdown)
+and once with the optimized machine.  The per-query wall-clock medians and
+speedups are written to ``BENCH_traversal.json``.
+
+Run it through ``python -m benchmarks.perf_smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.bench.workload import ParameterPlan, load_dataset_into
+from repro.datasets import get_dataset
+from repro.engines import create_engine
+from repro.gremlin.machine import baseline_execution
+from repro.queries import query_by_id
+
+#: The queries the tentpole rewrite targets (Table 2, category T).
+TRAVERSAL_QUERY_IDS = tuple(f"Q{number}" for number in range(22, 36))
+
+#: Default benchmark subject: the dense generated co-authorship-like graph
+#: (its large BFS frontiers are what the frontier batching is for) against
+#: the reference native engine.
+DEFAULT_DATASET = "mico"
+DEFAULT_ENGINE = "nativelinked-1.9"
+DEFAULT_OUTPUT = "BENCH_traversal.json"
+
+
+def _median_seconds(run, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def run_traversal_microbench(
+    engine_name: str = DEFAULT_ENGINE,
+    dataset_name: str = DEFAULT_DATASET,
+    scale: float = 1.0,
+    seed: int = 7,
+    param_seed: int = 42,
+    repeats: int = 5,
+    bfs_depth: int = 3,
+    query_ids: tuple[str, ...] = TRAVERSAL_QUERY_IDS,
+) -> dict[str, Any]:
+    """Time ``query_ids`` before/after the machine rewrite and return a report."""
+    dataset = get_dataset(dataset_name, scale=scale, seed=seed)
+    engine = create_engine(engine_name)
+    loaded = load_dataset_into(engine, dataset)
+    plan = ParameterPlan(dataset, seed=param_seed, depth=bfs_depth)
+
+    queries: dict[str, dict[str, float]] = {}
+    for query_id in query_ids:
+        query = query_by_id(query_id)
+        params = loaded.bind_params(dict(plan.params_for(query_id, count=1)[0]))
+        if "depth" in params:
+            params["depth"] = bfs_depth
+
+        def run_once(query=query, params=params):
+            query(engine, params)
+
+        run_once()  # warm both code paths and the structures once
+        with baseline_execution():
+            baseline = _median_seconds(run_once, repeats)
+        optimized = _median_seconds(run_once, repeats)
+        queries[query_id] = {
+            "baseline_median_s": round(baseline, 6),
+            "optimized_median_s": round(optimized, 6),
+            "speedup": round(baseline / optimized, 3) if optimized > 0 else float("inf"),
+        }
+
+    return {
+        "benchmark": "traversal-machine-microbench",
+        "engine": engine_name,
+        "dataset": {
+            "name": dataset_name,
+            "scale": scale,
+            "seed": seed,
+            "vertices": dataset.vertex_count,
+            "edges": dataset.edge_count,
+        },
+        "bfs_depth": bfs_depth,
+        "repeats": repeats,
+        "queries": queries,
+    }
+
+
+def write_report(report: dict[str, Any], output_path: str | Path = DEFAULT_OUTPUT) -> Path:
+    """Serialise ``report`` to ``output_path`` and return the path."""
+    path = Path(output_path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """Render the report as an aligned text table."""
+    lines = [
+        f"traversal microbench — {report['engine']} on {report['dataset']['name']} "
+        f"(V={report['dataset']['vertices']}, E={report['dataset']['edges']})",
+        f"{'query':<6} {'baseline':>12} {'optimized':>12} {'speedup':>8}",
+    ]
+    for query_id, row in sorted(report["queries"].items(), key=lambda item: int(item[0][1:])):
+        lines.append(
+            f"{query_id:<6} {row['baseline_median_s'] * 1000:>10.2f}ms "
+            f"{row['optimized_median_s'] * 1000:>10.2f}ms {row['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)

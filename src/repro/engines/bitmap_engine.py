@@ -20,7 +20,7 @@ which matches Sparksee's leading position on insert/update/delete.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.config import EngineConfig
 from repro.engines.base import BaseEngine, EngineInfo
@@ -36,6 +36,10 @@ class BitmapEngine(BaseEngine):
     version = "5.1"
     kind = "native"
     supports_vertex_index = True
+    #: Whole-stream counts are population counts over the object bitmaps
+    #: (the system's signature strength), so the optimizer may push
+    #: ``V().count()`` / ``E().count()`` down to them.
+    conflates_counts = True
 
     info = EngineInfo(
         system="BitmapGraph",
@@ -257,6 +261,71 @@ class BitmapEngine(BaseEngine):
             self.metrics.allocate(label_bitmap.size_in_bytes)
             self.metrics.release(label_bitmap.size_in_bytes)
         yield from bitmap
+
+    # ------------------------------------------------------------------
+    # Bulk structural primitives: frontier-wide bitmap passes
+    # ------------------------------------------------------------------
+
+    def vertex_label(self, vertex_id: Any) -> str | None:
+        # One probe of the label structure; the attribute maps stay cold.
+        self._require_vertex(vertex_id)
+        return self._labels.value_of(vertex_id)
+
+    def neighbors_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Expand a frontier with one flat pass over the incidence bitmaps.
+
+        Charges are identical to the per-id path: one incidence probe per
+        vertex per direction (plus the label-bitmap intersection and its
+        transient materialisation when filtered), and one endpoint probe per
+        emitted edge.
+        """
+        incidences = []
+        if direction in (Direction.OUT, Direction.BOTH):
+            incidences.append((self._out_incidence, 1))
+        if direction in (Direction.IN, Direction.BOTH):
+            incidences.append((self._in_incidence, 0))
+        endpoints = self._edge_endpoints
+        metrics = self.metrics
+        for vertex_id in vertex_ids:
+            self._require_vertex(vertex_id)
+            for incidence, endpoint_index in incidences:
+                bitmap = incidence.get(vertex_id, Bitmap())
+                metrics.charge_index_probe()
+                if label is not None:
+                    label_bitmap = self._labels.objects_with_value(label)
+                    bitmap = bitmap & label_bitmap
+                    metrics.allocate(label_bitmap.size_in_bytes)
+                    metrics.release(label_bitmap.size_in_bytes)
+                for edge_id in bitmap:
+                    metrics.charge_index_probe()
+                    yield vertex_id, endpoints[edge_id][endpoint_index]
+
+    def degree_at_least(
+        self, vertex_id: Any, k: int, direction: Direction = Direction.BOTH
+    ) -> bool:
+        """Degree threshold via bitmap cardinality (Q28-Q30).
+
+        Exercises the incidence bitmaps for IN and OUT exactly like
+        :meth:`degree` does for BOTH, including the intermediate bitmap that
+        is charged but never released — the suboptimal memory management
+        behind the paper's out-of-memory failures on the degree filters.
+        """
+        self._require_vertex(vertex_id)
+        out_bitmap = self._out_incidence.get(vertex_id, Bitmap())
+        in_bitmap = self._in_incidence.get(vertex_id, Bitmap())
+        if direction is Direction.OUT:
+            selected = out_bitmap.copy()
+        elif direction is Direction.IN:
+            selected = in_bitmap.copy()
+        else:
+            selected = out_bitmap | in_bitmap
+        self.metrics.allocate(max(64, selected.size_in_bytes))
+        return selected.cardinality() >= k
 
     def degree(self, vertex_id: Any, direction: Direction = Direction.BOTH) -> int:
         """Degree via bitmap cardinality.

@@ -17,12 +17,12 @@ Architecture reproduced from the paper (Section 3.2 and 6):
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.config import EngineConfig
 from repro.engines.base import BaseEngine, EngineInfo
 from repro.exceptions import ElementNotFoundError
-from repro.model.elements import Edge, Vertex
+from repro.model.elements import Direction, Edge, Vertex
 from repro.storage.hash_index import HashIndex
 from repro.storage.indirection import IndirectionTable
 from repro.storage.property_store import PropertyStore
@@ -261,6 +261,61 @@ class NativeIndirectEngine(BaseEngine):
             edge_record = self._edge_record(edge_id)
             if edge_record.fields["label"] == label:
                 yield edge_id
+
+    # ------------------------------------------------------------------
+    # Bulk structural primitives: one pass over the in-record edge lists
+    # ------------------------------------------------------------------
+
+    def vertex_label(self, vertex_id: Any) -> str | None:
+        # One indirection hop plus the vertex record; attributes untouched.
+        return self._vertex_record(vertex_id).fields.get("label")
+
+    def neighbors_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Expand a frontier straight from the per-vertex edge-id lists.
+
+        Charges match the per-id path: one resolved vertex record per vertex
+        per direction, one edge record per emitted edge (plus the label
+        filter's extra edge read when a label is given).
+        """
+        fields = []
+        if direction in (Direction.OUT, Direction.BOTH):
+            fields.append(("out", "target"))
+        if direction in (Direction.IN, Direction.BOTH):
+            fields.append(("in", "source"))
+        for vertex_id in vertex_ids:
+            for field_name, endpoint_field in fields:
+                record = self._vertex_record(vertex_id)
+                for edge_id in record.fields.get(field_name, []):
+                    edge_record = self._edge_record(edge_id)
+                    if label is not None:
+                        if edge_record.fields["label"] != label:
+                            continue
+                        # The naive path reads the edge record a second time
+                        # through edge_endpoints after the label filter.
+                        edge_record = self._edge_record(edge_id)
+                    yield vertex_id, edge_record.fields[endpoint_field]
+
+    def degree_at_least(
+        self, vertex_id: Any, k: int, direction: Direction = Direction.BOTH
+    ) -> bool:
+        # The edge-id lists live inside the vertex record, so degree checks
+        # are list lengths: one record resolution per direction, no edge
+        # touches, early exit between directions.
+        if k <= 0:
+            return True
+        count = 0
+        if direction in (Direction.OUT, Direction.BOTH):
+            count += len(self._vertex_record(vertex_id).fields.get("out", ()))
+            if count >= k:
+                return True
+        if direction in (Direction.IN, Direction.BOTH):
+            count += len(self._vertex_record(vertex_id).fields.get("in", ()))
+        return count >= k
 
     # ------------------------------------------------------------------
     # Search primitives

@@ -24,12 +24,13 @@ Two versions are modelled, as in the paper:
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.config import EngineConfig
 from repro.engines.base import BaseEngine, EngineInfo
 from repro.exceptions import ElementNotFoundError
-from repro.model.elements import Edge, Vertex
+from repro.model.elements import Direction, Edge, Vertex
+from repro.model.graph import GraphDatabase
 from repro.storage.hash_index import HashIndex
 from repro.storage.property_store import PropertyStore
 from repro.storage.record_store import RecordStore
@@ -273,6 +274,98 @@ class NativeLinkedEngine(BaseEngine):
                 yield current
             current = record.fields.get(next_field, _NO_POINTER)
 
+    # ------------------------------------------------------------------
+    # Bulk structural primitives: one flat pass over the record chains
+    # ------------------------------------------------------------------
+
+    def vertex_label(self, vertex_id: Any) -> str | None:
+        # Structural read: one fixed-size node record, no property blocks.
+        record = self._node_store.read(vertex_id)
+        label_id = record.fields.get("label", _NO_POINTER)
+        return self._label_names.get(label_id) if label_id != _NO_POINTER else None
+
+    def neighbors_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Expand a whole frontier by walking the relationship chains once.
+
+        Charges are identical to the per-id path: one node-record read per
+        vertex per direction, one relationship-record read per chain element,
+        and one more per matching edge (the endpoint fetch the naive path
+        performs through ``edge_endpoints``).  Only the per-hop generator
+        chain is gone.
+        """
+        node_read = self._node_store.read
+        rel_slots = self._rel_store.bulk_read_view()
+        rel_size = self._rel_store.record_size
+        metrics = self.metrics
+        passes: list[tuple[str, str, str]] = []
+        if direction in (Direction.OUT, Direction.BOTH):
+            passes.append(("first_out", "next_out", "target"))
+        if direction in (Direction.IN, Direction.BOTH):
+            passes.append(("first_in", "next_in", "source"))
+        label_id = self._labels.get(label) if label is not None else None
+        if label is not None and label_id is None:
+            # Unknown label: the per-id path still reads each node record
+            # before bailing out (_chain), so charge the same.
+            for vertex_id in vertex_ids:
+                for _pass in passes:
+                    node_read(vertex_id)
+            return
+        for vertex_id in vertex_ids:
+            for head_field, next_field, endpoint_field in passes:
+                current = node_read(vertex_id).fields.get(head_field, _NO_POINTER)
+                while current != _NO_POINTER:
+                    # Chain pointers are internally consistent: read the slot
+                    # directly, charging the identical record read.  Matches
+                    # charge twice — the naive path re-reads the record
+                    # through edge_endpoints.
+                    fields = rel_slots[current].fields
+                    metrics.records_read += 1
+                    metrics.bytes_read += rel_size
+                    if label_id is None or fields["label"] == label_id:
+                        metrics.records_read += 1
+                        metrics.bytes_read += rel_size
+                        yield vertex_id, fields[endpoint_field]
+                    current = fields.get(next_field, _NO_POINTER)
+
+    def edges_for_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        node_read = self._node_store.read
+        rel_slots = self._rel_store.bulk_read_view()
+        rel_size = self._rel_store.record_size
+        metrics = self.metrics
+        passes: list[tuple[str, str]] = []
+        if direction in (Direction.OUT, Direction.BOTH):
+            passes.append(("first_out", "next_out"))
+        if direction in (Direction.IN, Direction.BOTH):
+            passes.append(("first_in", "next_in"))
+        label_id = self._labels.get(label) if label is not None else None
+        if label is not None and label_id is None:
+            # Match the per-id path: one node-record read per vertex per
+            # direction even when the label is unknown.
+            for vertex_id in vertex_ids:
+                for _pass in passes:
+                    node_read(vertex_id)
+            return
+        for vertex_id in vertex_ids:
+            for head_field, next_field in passes:
+                current = node_read(vertex_id).fields.get(head_field, _NO_POINTER)
+                while current != _NO_POINTER:
+                    fields = rel_slots[current].fields
+                    metrics.records_read += 1
+                    metrics.bytes_read += rel_size
+                    if label_id is None or fields["label"] == label_id:
+                        yield vertex_id, current
+                    current = fields.get(next_field, _NO_POINTER)
+
     def _unlink(self, vertex_id: Any, edge_id: Any, head_field: str, next_field: str) -> None:
         """Remove ``edge_id`` from one of ``vertex_id``'s relationship chains."""
         node = self._node_store.read(vertex_id)
@@ -461,6 +554,31 @@ class NativeLinkedV3Engine(NativeLinkedEngine):
                 chain.remove(edge_id)
 
     # -- traversals: typed chains help filtered, hurt unfiltered -----------
+
+    def vertex_label(self, vertex_id: Any) -> str | None:
+        # The adapter layer intercepts every call (the paper's v3.0
+        # regression), so even the structural label read pays the wrapper.
+        self._wrap(vertex_id)
+        return super().vertex_label(vertex_id)
+
+    def neighbors_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        # No flat-chain shortcut here: the wrapper layer sits between the
+        # API and the typed chains, so the bulk call degenerates to the
+        # per-id path — exactly the per-call overhead the paper measured.
+        return GraphDatabase.neighbors_many(self, vertex_ids, direction, label)
+
+    def edges_for_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        return GraphDatabase.edges_for_many(self, vertex_ids, direction, label)
 
     def out_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
         yield from self._typed_edges(vertex_id, label, "out", "first_out", "next_out")

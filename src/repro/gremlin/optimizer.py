@@ -11,7 +11,13 @@ rewrites and nothing more:
   when the engine conflates steps (``optimizes_steps``) or when the engine
   has an attribute index on ``key``;
 * ``E() + has('label', l)`` becomes a single label lookup for step-conflating
-  engines (a per-label edge table scan in the relational engine).
+  engines (a per-label edge table scan in the relational engine);
+* **count pushdown** — a whole-stream ``count()`` over a bare scan becomes
+  one native operation (``V().count()`` -> ``vertex_count()``, ``E().count()``
+  -> ``edge_count()``, ``E().has('label', l).count()`` -> a label-scan
+  count) for step-conflating engines and for engines that answer counts from
+  native structures (``conflates_counts``, the bitmap engine's population
+  counts).
 
 Engines that, like the paper's Neo4j/Sparksee/BlazeGraph adapters, evaluate
 steps one by one keep the naive pipeline.
@@ -34,8 +40,19 @@ def engine_optimizes(graph: GraphDatabase) -> bool:
     return "optimized" in query_execution.lower() and "non-optimized" not in query_execution.lower()
 
 
-def optimize(graph: GraphDatabase, steps: list[S.Step]) -> list[S.Step]:
-    """Return the (possibly rewritten) step pipeline for ``graph``."""
+def engine_conflates_counts(graph: GraphDatabase) -> bool:
+    """True if whole-stream counts may be pushed down to native operations."""
+    return engine_optimizes(graph) or bool(getattr(graph, "conflates_counts", False))
+
+
+def optimize(
+    graph: GraphDatabase, steps: list[S.Step], count_pushdown: bool = True
+) -> list[S.Step]:
+    """Return the (possibly rewritten) step pipeline for ``graph``.
+
+    ``count_pushdown=False`` disables only the count rewrite (used by the
+    baseline executor for before/after benchmarking).
+    """
     conflating = engine_optimizes(graph)
     rewritten: list[S.Step] = []
     position = 0
@@ -64,4 +81,30 @@ def optimize(graph: GraphDatabase, steps: list[S.Step]) -> list[S.Step]:
             continue
         rewritten.append(step)
         position += 1
+    if count_pushdown and engine_conflates_counts(graph):
+        rewritten = _push_down_counts(rewritten)
     return rewritten
+
+
+def _push_down_counts(steps: list[S.Step]) -> list[S.Step]:
+    """Rewrite whole-stream counts over bare scans into native count steps."""
+    if len(steps) == 2 and isinstance(steps[1], S.CountStep):
+        head = steps[0]
+        if isinstance(head, S.VStep) and not head.ids:
+            return [S.NativeCountStep(source="V")]
+        if isinstance(head, S.EStep) and not head.ids:
+            return [S.NativeCountStep(source="E")]
+        if isinstance(head, S.EdgeLabelLookupStep):
+            return [S.NativeCountStep(source="E-label", label=head.label)]
+    if (
+        len(steps) == 3
+        and isinstance(steps[2], S.CountStep)
+        and isinstance(steps[0], S.EStep)
+        and not steps[0].ids
+        and isinstance(steps[1], S.HasStep)
+        and steps[1].key == "label"
+    ):
+        # Engines with conflates_counts but no step conflation (the bitmap
+        # engine) still see the raw E().has('label', l) pair here.
+        return [S.NativeCountStep(source="E-label", label=steps[1].value)]
+    return steps

@@ -5,6 +5,20 @@ objects and produces a new stream.  Steps are deliberately thin: all graph
 work is delegated to the engine's primitive operations so that the cost of a
 query lands on the engine's storage structures, exactly as in the paper's
 setup where Gremlin steps are translated one-by-one onto each system's API.
+
+Two executor-level refinements live here (see
+:mod:`~repro.gremlin.machine` for when they are enabled):
+
+* adjacency steps expand whole frontier batches through the engine's bulk
+  primitives (``neighbors_many`` / ``edges_for_many``), keeping the same
+  logical charges and yield order while skipping per-hop generator chains;
+* reducing steps (``count``, ``groupCount``, ``dedup``, ``limit``) honour
+  the ``bulk`` multiplicity carried by merged traversers.
+
+Lambda predicates passed to ``filter(...)`` are assumed pure: the batched
+executor may pull a bounded chunk of walkers before expanding them, so a
+predicate that mutates state shared with a downstream step could observe a
+different interleaving than the per-walker executor.
 """
 
 from __future__ import annotations
@@ -18,6 +32,55 @@ from repro.model.elements import Direction
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gremlin.machine import TraversalContext
     from repro.gremlin.traversal import Traverser
+
+#: How many walkers an adjacency step gathers before one bulk engine call.
+FRONTIER_BATCH = 256
+
+
+def _unique_chunks(traversers: Iterable["Traverser"]) -> Iterator[list["Traverser"]]:
+    """Group walkers into frontier chunks with unique objects.
+
+    Each chunk holds at most :data:`FRONTIER_BATCH` walkers with *unique*
+    objects — a repeated object closes the chunk so the engine is still
+    called once per walker (identical charges to the per-walker path) and
+    so that ``(source, result)`` pairs map back to walkers unambiguously.
+    """
+    batch: list["Traverser"] = []
+    seen: set[Any] = set()
+    for traverser in traversers:
+        if traverser.obj in seen or len(batch) >= FRONTIER_BATCH:
+            yield batch
+            batch = []
+            seen = set()
+        batch.append(traverser)
+        seen.add(traverser.obj)
+    if batch:
+        yield batch
+
+
+def _expand_batches(
+    traversers: Iterable["Traverser"],
+    ctx: "TraversalContext",
+    bulk_expand: Callable[[list[Any]], Iterator[tuple[Any, Any]]],
+    kind: str,
+) -> Iterator["Traverser"]:
+    """Expand walkers through a bulk primitive in frontier chunks."""
+    from repro.gremlin.traversal import Traverser  # local import to avoid cycle
+
+    new = object.__new__
+    setter = object.__setattr__
+    for batch in _unique_chunks(traversers):
+        walkers = {traverser.obj: traverser for traverser in batch}
+        for source, result in bulk_expand([traverser.obj for traverser in batch]):
+            parent = walkers[source]
+            path = parent.path
+            child = new(Traverser)
+            setter(child, "obj", result)
+            setter(child, "kind", kind)
+            setter(child, "path", path if path is None else path + (result,))
+            setter(child, "loops", parent.loops)
+            setter(child, "bulk", parent.bulk)
+            yield child
 
 
 class Step:
@@ -94,7 +157,9 @@ class HasStep(Step):
         graph = ctx.graph
         if traverser.kind == "vertex":
             if self.key == "label":
-                return graph.vertex(traverser.obj).label == self.value
+                # Structural filter: read the label without materialising the
+                # vertex's off-loaded property blocks.
+                return graph.vertex_label(traverser.obj) == self.value
             return graph.vertex_property(traverser.obj, self.key) == self.value
         if traverser.kind == "edge":
             if self.key == "label":
@@ -154,8 +219,21 @@ class TraversalStep(Step):
 
     def apply(self, traversers, ctx):
         graph = ctx.graph
+        labels = self.labels or (None,)
+        if ctx.batching and len(labels) == 1:
+            # Whole-frontier expansion through the engine's bulk primitive.
+            # Multi-label traversals keep the per-walker loop: batching per
+            # label would reorder the stream a downstream except/store could
+            # observe.
+            label = labels[0]
+            yield from _expand_batches(
+                traversers,
+                ctx,
+                lambda ids: graph.neighbors_many(ids, self.direction, label),
+                kind="vertex",
+            )
+            return
         for traverser in traversers:
-            labels = self.labels or (None,)
             for label in labels:
                 for neighbor in graph.neighbors(traverser.obj, self.direction, label):
                     yield traverser.spawn(neighbor, kind="vertex")
@@ -174,8 +252,17 @@ class IncidentEdgesStep(Step):
 
     def apply(self, traversers, ctx):
         graph = ctx.graph
+        labels = self.labels or (None,)
+        if ctx.batching and len(labels) == 1:
+            label = labels[0]
+            yield from _expand_batches(
+                traversers,
+                ctx,
+                lambda ids: graph.edges_for_many(ids, self.direction, label),
+                kind="edge",
+            )
+            return
         for traverser in traversers:
-            labels = self.labels or (None,)
             for label in labels:
                 for edge_id in graph.edges_for(traverser.obj, self.direction, label):
                     yield traverser.spawn(edge_id, kind="edge")
@@ -220,7 +307,8 @@ class LabelStep(Step):
             if traverser.kind == "edge":
                 yield traverser.spawn(graph.edge_label(traverser.obj), kind="value")
             else:
-                yield traverser.spawn(graph.vertex(traverser.obj).label, kind="value")
+                # Structural projection: never touch the property blocks.
+                yield traverser.spawn(graph.vertex_label(traverser.obj), kind="value")
 
 
 @dataclass
@@ -269,7 +357,8 @@ class DedupStep(Step):
                 continue
             seen.add(key)
             ctx.charge_materialization(key)
-            yield traverser
+            # Distinct semantics: a merged traverser collapses to one result.
+            yield traverser if traverser.bulk == 1 else traverser.with_bulk(1)
 
 
 @dataclass
@@ -316,6 +405,59 @@ class ExceptStep(Step):
 
 
 @dataclass
+class FusedExpandExceptStoreStep(Step):
+    """Conflation of ``both(l).except_(x).store(y)`` into one machine step.
+
+    The BFS idiom (Q32-Q35) spends its time streaming every neighbour
+    through three generator layers; this step expands a whole frontier
+    chunk through ``neighbors_many`` and applies the except/store pair
+    inline, preserving the exact per-pair order (and therefore the lazy
+    dedup semantics) of the unfused body.  Installed by the machine's
+    pipeline planner; never built directly by the DSL.
+    """
+
+    direction: Direction
+    label: str | None
+    except_collection: Iterable[Any]
+    store_collection: set
+    name = "adjacent+except+store"
+
+    def apply(self, traversers, ctx):
+        from repro.gremlin.traversal import Traverser  # local import to avoid cycle
+
+        graph = ctx.graph
+        direction = self.direction
+        label = self.label
+        excluded = self.except_collection
+        store = self.store_collection
+        store_add = store.add
+        new = object.__new__
+        setter = object.__setattr__
+        for batch in _unique_chunks(traversers):
+            walkers = {traverser.obj: traverser for traverser in batch}
+            pairs = graph.neighbors_many(
+                [traverser.obj for traverser in batch], direction, label
+            )
+            for source, neighbor in pairs:
+                if neighbor in excluded:
+                    continue
+                store_add(neighbor)
+                parent = walkers[source]
+                path = parent.path
+                child = new(Traverser)
+                setter(child, "obj", neighbor)
+                setter(child, "kind", "vertex")
+                setter(child, "path", path if path is None else path + (neighbor,))
+                setter(child, "loops", parent.loops)
+                setter(child, "bulk", parent.bulk)
+                yield child
+
+    def describe(self) -> str:
+        label = self.label or ""
+        return f"{self.direction.value}({label}).except(x).store(x) [fused]"
+
+
+@dataclass
 class RetainStep(Step):
     """``retain(x)``: keep only traversers whose object is in the collection."""
 
@@ -337,12 +479,13 @@ class LimitStep(Step):
     name = "limit"
 
     def apply(self, traversers, ctx):
-        emitted = 0
+        remaining = self.count
         for traverser in traversers:
-            if emitted >= self.count:
+            if remaining <= 0:
                 return
-            emitted += 1
-            yield traverser
+            take = traverser.bulk if traverser.bulk <= remaining else remaining
+            remaining -= take
+            yield traverser if take == traverser.bulk else traverser.with_bulk(take)
 
     def describe(self) -> str:
         return f"limit({self.count})"
@@ -359,7 +502,7 @@ class OrderStep(Step):
     def apply(self, traversers, ctx):
         materialised = list(traversers)
         for traverser in materialised:
-            ctx.charge_materialization(traverser.obj)
+            ctx.charge_materialization(traverser.obj, count=traverser.bulk)
         if self.key is None:
             materialised.sort(key=lambda t: _order_key(t.obj), reverse=self.reverse)
         else:
@@ -406,6 +549,9 @@ class LoopStep(Step):
     emit_all: bool = False
     max_loops: int = 64
     body_steps: list[Step] = field(default_factory=list)
+    #: Set by the machine's bulking planner: merge each round's frontier,
+    #: collapsing walkers at the same object into one bulked traverser.
+    merge_frontiers: bool = False
     name = "loop"
 
     def apply(self, traversers, ctx):
@@ -419,8 +565,12 @@ class LoopStep(Step):
                 stream = step.apply(stream, ctx)
             for traverser in stream:
                 traverser = traverser.with_loops(loops)
-                ctx.charge_materialization(traverser.obj)
+                # One charge per merged walker keeps memory accounting
+                # identical to the unbulked stream.
+                ctx.charge_materialization(traverser.obj, count=traverser.bulk)
                 produced.append(traverser)
+            if self.merge_frontiers and not ctx.path_tracking:
+                produced = _merge_frontier(produced)
             if self.emit_all:
                 yield from produced
             next_round: list["Traverser"] = []
@@ -437,6 +587,21 @@ class LoopStep(Step):
         return f"loop({self.label!r})"
 
 
+def _merge_frontier(frontier: list["Traverser"]) -> list["Traverser"]:
+    """Collapse walkers positioned at the same object into bulked walkers."""
+    merged: dict[tuple[Any, str], "Traverser"] = {}
+    for traverser in frontier:
+        key = (traverser.obj, traverser.kind)
+        held = merged.get(key)
+        if held is None:
+            merged[key] = traverser
+        else:
+            merged[key] = held.with_bulk(held.bulk + traverser.bulk)
+    if len(merged) == len(frontier):
+        return frontier
+    return list(merged.values())
+
+
 @dataclass
 class PathStep(Step):
     """``path()``: replace each traverser object with the path it walked."""
@@ -450,28 +615,96 @@ class PathStep(Step):
 
 @dataclass
 class CountStep(Step):
-    """``count()``: reduce the stream to a single number."""
+    """``count()``: reduce the stream to a single number (bulk-aware)."""
 
     name = "count"
 
     def apply(self, traversers, ctx):
-        total = sum(1 for _traverser in traversers)
+        total = sum(traverser.bulk for traverser in traversers)
         from repro.gremlin.traversal import Traverser  # local import to avoid cycle
 
         yield Traverser(obj=total, kind="value", path=(total,))
 
 
 @dataclass
+class NativeCountStep(Step):
+    """A whole-stream count conflated into one native engine operation.
+
+    Installed by the optimizer's count pushdown for engines that translate
+    step chains into native queries (``V().count()`` -> ``vertex_count()``,
+    ``E().count()`` -> ``edge_count()``, ``E().has('label', l).count()`` ->
+    a label-scan count).
+    """
+
+    source: str  # "V", "E", or "E-label"
+    label: str | None = None
+    name = "count(native)"
+
+    def apply(self, traversers, ctx):
+        from repro.gremlin.traversal import Traverser  # local import to avoid cycle
+
+        for _traverser in traversers:
+            if self.source == "V":
+                total = ctx.graph.vertex_count()
+            elif self.source == "E":
+                total = ctx.graph.edge_count()
+            else:
+                total = sum(1 for _edge in ctx.graph.edges_by_label(self.label))
+            yield Traverser(obj=total, kind="value", path=(total,))
+
+    def describe(self) -> str:
+        if self.source == "E-label":
+            return f"E().has('label', {self.label!r}).count() [conflated]"
+        return f"{self.source}().count() [conflated]"
+
+
+@dataclass
+class BulkMergeStep(Step):
+    """Merge traversers positioned at the same object into bulked walkers.
+
+    A capacity-bounded barrier (TinkerPop's lazy-barrier idea): up to
+    ``capacity`` walkers are gathered into an insertion-ordered map, so the
+    relative order of first occurrences is preserved and downstream laziness
+    is only deferred by one bounded chunk.  Inserted by the machine's
+    bulking planner for path-free pipelines only.
+    """
+
+    capacity: int = 1024
+    name = "bulk"
+
+    def apply(self, traversers, ctx):
+        merged: dict[tuple[Any, str, int], "Traverser"] = {}
+        for traverser in traversers:
+            key = (traverser.obj, traverser.kind, traverser.loops)
+            held = merged.get(key)
+            if held is None:
+                merged[key] = traverser
+                if len(merged) >= self.capacity:
+                    yield from merged.values()
+                    merged = {}
+            else:
+                merged[key] = held.with_bulk(held.bulk + traverser.bulk)
+        yield from merged.values()
+
+    def describe(self) -> str:
+        return f"bulk({self.capacity})"
+
+
+@dataclass
 class GroupCountStep(Step):
-    """``groupCount()``: reduce the stream to an object -> occurrences map."""
+    """``groupCount()``: reduce the stream to an object -> occurrences map.
+
+    Bulk-aware: a merged traverser contributes its whole multiplicity with
+    one dictionary update.
+    """
 
     name = "groupCount"
 
     def apply(self, traversers, ctx):
         counts: dict[Any, int] = {}
         for traverser in traversers:
-            counts[traverser.obj] = counts.get(traverser.obj, 0) + 1
-            ctx.charge_materialization(traverser.obj)
+            counts[traverser.obj] = counts.get(traverser.obj, 0) + traverser.bulk
+            ctx.charge_materialization(traverser.obj, count=traverser.bulk)
         from repro.gremlin.traversal import Traverser  # local import to avoid cycle
 
         yield Traverser(obj=counts, kind="value", path=(counts,))

@@ -15,7 +15,7 @@ engine, applying the step-conflation optimizer when the engine supports it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.exceptions import QueryError
@@ -24,7 +24,7 @@ from repro.model.elements import Direction
 from repro.model.graph import GraphDatabase
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Traverser:
     """A single walker flowing through the step pipeline.
 
@@ -35,26 +35,62 @@ class Traverser:
     kind:
         ``"vertex"``, ``"edge"``, ``"value"``, or ``"start"``.
     path:
-        The sequence of objects visited so far (used by ``path()``).
+        The sequence of objects visited so far (used by ``path()``), or
+        ``None`` when the pre-execution pipeline analysis decided that no
+        step needs paths — path-free pipelines never allocate path tuples.
     loops:
         Number of loop iterations survived (used by ``loop()``).
+    bulk:
+        How many identical walkers this traverser stands for.  The machine
+        merges traversers positioned at the same object, so reducing steps
+        (``count``, ``groupCount``, ``dedup``) operate on multiplicities
+        instead of O(result) Python objects.
     """
 
     obj: Any
     kind: str = "start"
-    path: tuple[Any, ...] = ()
+    path: tuple[Any, ...] | None = ()
     loops: int = 0
+    bulk: int = 1
 
     def spawn(self, obj: Any, kind: str, extend_path: bool = True) -> "Traverser":
         """Create a child traverser positioned at ``obj``."""
-        new_path = self.path + (obj,) if extend_path else self.path
-        return Traverser(obj=obj, kind=kind, path=new_path, loops=self.loops)
+        path = self.path
+        if path is not None and extend_path:
+            path = path + (obj,)
+        child = object.__new__(Traverser)
+        _set = object.__setattr__
+        _set(child, "obj", obj)
+        _set(child, "kind", kind)
+        _set(child, "path", path)
+        _set(child, "loops", self.loops)
+        _set(child, "bulk", self.bulk)
+        return child
 
     def with_loops(self, loops: int) -> "Traverser":
-        return replace(self, loops=loops)
+        child = object.__new__(Traverser)
+        _set = object.__setattr__
+        _set(child, "obj", self.obj)
+        _set(child, "kind", self.kind)
+        _set(child, "path", self.path)
+        _set(child, "loops", loops)
+        _set(child, "bulk", self.bulk)
+        return child
+
+    def with_bulk(self, bulk: int) -> "Traverser":
+        child = object.__new__(Traverser)
+        _set = object.__setattr__
+        _set(child, "obj", self.obj)
+        _set(child, "kind", self.kind)
+        _set(child, "path", self.path)
+        _set(child, "loops", self.loops)
+        _set(child, "bulk", bulk)
+        return child
 
     def previous_vertex(self) -> Any:
         """Return the last vertex visited before the current object."""
+        if not self.path:
+            return None
         for element in reversed(self.path[:-1]):
             return element
         return None
@@ -220,19 +256,25 @@ class GraphTraversal:
 
     # -- terminals -----------------------------------------------------------
 
-    def _run(self) -> Iterator[Traverser]:
+    def _run(self, require_paths: bool = False) -> Iterator[Traverser]:
         from repro.gremlin.machine import TraversalMachine
 
         machine = TraversalMachine(self.graph)
-        return machine.run(self._steps)
+        return machine.run(self._steps, require_paths=require_paths)
 
     def traversers(self) -> Iterator[Traverser]:
-        """Execute the pipeline and yield raw traversers."""
+        """Execute the pipeline and yield raw (possibly bulked) traversers."""
         return self._run()
 
     def __iter__(self) -> Iterator[Any]:
         for traverser in self._run():
-            yield traverser.obj
+            if traverser.bulk == 1:
+                yield traverser.obj
+            else:
+                # A bulked traverser stands for `bulk` identical results.
+                obj = traverser.obj
+                for _ in range(traverser.bulk):
+                    yield obj
 
     def to_list(self) -> list[Any]:
         """Execute the pipeline and return the resulting objects as a list."""
@@ -243,8 +285,14 @@ class GraphTraversal:
         return set(self)
 
     def count(self) -> int:
-        """Execute the pipeline and return the number of results."""
-        return sum(1 for _obj in self)
+        """Execute the pipeline and return the number of results.
+
+        Runs through :class:`~repro.gremlin.steps.CountStep`, so the
+        optimizer can push whole-stream counts down to native engine
+        operations (``V().count()`` -> ``vertex_count()`` and friends).
+        """
+        counted = GraphTraversal(self.graph, self._steps + [S.CountStep()])
+        return counted.next()
 
     def next(self) -> Any:
         """Execute the pipeline and return the first result.
@@ -268,4 +316,4 @@ class GraphTraversal:
 
     def paths(self) -> list[tuple[Any, ...]]:
         """Execute the pipeline and return the visited path of each result."""
-        return [traverser.path for traverser in self._run()]
+        return [traverser.path for traverser in self._run(require_paths=True)]

@@ -9,6 +9,27 @@ counts, bulk loading, the Gremlin traversal entry point) has a default
 implementation written purely in terms of those primitives, which concrete
 engines may override when their architecture provides a cheaper path (e.g.
 bitmap-based counting in the Sparksee-like engine).
+
+Bulk-primitive contract
+-----------------------
+
+The traversal machine executes frontier batches, so the interface also
+exposes *bulk* structural primitives: :meth:`neighbors_many`,
+:meth:`edges_for_many`, :meth:`vertex_label`, and :meth:`degree_at_least`.
+Their default implementations fall back to the per-id primitives, so every
+engine supports them.  Engines whose storage substrate can answer a whole
+frontier in one pass (linked record chains, adjacency rows, incidence
+bitmaps) override them with a single flat loop.  Two rules bind every
+override:
+
+* **identical logical charges** — a bulk call must charge exactly the same
+  logical I/O and memory as the equivalent sequence of per-id calls.  The
+  cost model simulates the hardware; bulking removes *interpreter* overhead
+  (generator chains, per-hop dispatch), never simulated disk work;
+* **identical yield order** — ``neighbors_many``/``edges_for_many`` yield
+  ``(source, result)`` pairs grouped by source in input order, so lazy
+  downstream steps (``except``/``store`` interplay in BFS loops) observe the
+  same sequence as the per-id path.
 """
 
 from __future__ import annotations
@@ -36,6 +57,11 @@ class GraphDatabase(abc.ABC):
     version: str = "1.0"
     #: ``"native"`` or ``"hybrid"`` (paper Table 1, "Type").
     kind: str = "abstract"
+    #: Whether the engine answers whole-stream counts through one native
+    #: operation (:meth:`vertex_count` / :meth:`edge_count`) rather than
+    #: streaming every element through the traversal machine.  Consulted by
+    #: the optimizer's count pushdown alongside ``optimizes_steps``.
+    conflates_counts: bool = False
 
     # ------------------------------------------------------------------
     # Vertex CRUD (abstract primitives)
@@ -122,6 +148,16 @@ class GraphDatabase(abc.ABC):
     @abc.abstractmethod
     def edge_label(self, edge_id: Any) -> str:
         """Return the label of an edge without its properties."""
+
+    def vertex_label(self, vertex_id: Any) -> str | None:
+        """Return the label of a vertex.
+
+        The default materialises the whole vertex (property blocks included);
+        engines with structural label storage override this so that label
+        filters never touch attribute data — the paper's observation about
+        Neo4j answering structural questions from linked records alone.
+        """
+        return self.vertex(vertex_id).label
 
     # ------------------------------------------------------------------
     # Structural traversal primitives (abstract)
@@ -228,6 +264,54 @@ class GraphDatabase(abc.ABC):
     def degree(self, vertex_id: Any, direction: Direction = Direction.BOTH) -> int:
         """Number of incident edges in ``direction`` (used by Q28-Q30)."""
         return sum(1 for _edge in self.edges_for(vertex_id, direction))
+
+    # ------------------------------------------------------------------
+    # Bulk structural primitives (frontier-at-a-time; see module docstring)
+    # ------------------------------------------------------------------
+
+    def neighbors_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(source, neighbor)`` pairs for a whole frontier of vertices.
+
+        Default: per-id fallback over :meth:`neighbors`, preserving the exact
+        charge sequence and yield order of the naive path.
+        """
+        for vertex_id in vertex_ids:
+            for neighbor in self.neighbors(vertex_id, direction, label):
+                yield vertex_id, neighbor
+
+    def edges_for_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(source, edge_id)`` pairs for a whole frontier of vertices."""
+        for vertex_id in vertex_ids:
+            for edge_id in self.edges_for(vertex_id, direction, label):
+                yield vertex_id, edge_id
+
+    def degree_at_least(
+        self, vertex_id: Any, k: int, direction: Direction = Direction.BOTH
+    ) -> bool:
+        """True if ``vertex_id`` has at least ``k`` incident edges (Q28-Q30).
+
+        Early-exits after the ``k``-th edge, so hub vertices do not pay for
+        their full adjacency; engines with degree-capable structures (bitmap
+        cardinalities, adjacency-list lengths) override this.
+        """
+        if k <= 0:
+            return True
+        count = 0
+        for _edge_id in self.edges_for(vertex_id, direction):
+            count += 1
+            if count >= k:
+                return True
+        return False
 
     def vertex_count(self) -> int:
         """Total number of vertices (Q8)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro.model.elements import Direction
 from repro.model.graph import GraphDatabase
 from repro.queries.base import Query, QueryCategory
 
@@ -118,27 +119,27 @@ class BothEdgeLabels(Query):
 
 
 class _DegreeFilter(Query):
-    """Shared implementation of the whole-graph degree filters Q28-Q30."""
+    """Shared implementation of the whole-graph degree filters Q28-Q30.
 
-    direction_method = "both_edges"
+    Routes through the :meth:`~repro.model.graph.GraphDatabase.degree_at_least`
+    primitive, so each engine's degree-capable structure (early-exiting chain
+    walks, adjacency-list lengths, incidence-bitmap cardinalities — including
+    their memory behaviour) does the work for every direction, not just BOTH.
+    """
+
+    direction = Direction.BOTH
 
     def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
         threshold = params["k"]
-        edges_for = getattr(graph, self.direction_method)
+        direction = self.direction
 
         def at_least_k(inner_graph: GraphDatabase, vertex_id: Any) -> bool:
-            del inner_graph
-            count = 0
-            for _edge_id in edges_for(vertex_id):
-                count += 1
-                if count >= threshold:
-                    return True
-            return False
+            return inner_graph.degree_at_least(vertex_id, threshold, direction)
 
         return (
             graph.traversal()
             .V()
-            .filter(at_least_k, label=f"{self.direction_method}.count() >= {threshold}")
+            .filter(at_least_k, label=f"{direction.value}E.count() >= {threshold}")
             .to_list()
         )
 
@@ -146,7 +147,7 @@ class _DegreeFilter(Query):
 class MinInDegree(_DegreeFilter):
     """Q28: ``g.V.filter{it.inE.count()>=k}`` — nodes of at least k in-degree."""
 
-    direction_method = "in_edges"
+    direction = Direction.IN
 
     def __init__(self) -> None:
         super().__init__(
@@ -162,7 +163,7 @@ class MinInDegree(_DegreeFilter):
 class MinOutDegree(_DegreeFilter):
     """Q29: ``g.V.filter{it.outE.count()>=k}`` — nodes of at least k out-degree."""
 
-    direction_method = "out_edges"
+    direction = Direction.OUT
 
     def __init__(self) -> None:
         super().__init__(
@@ -178,7 +179,7 @@ class MinOutDegree(_DegreeFilter):
 class MinDegree(_DegreeFilter):
     """Q30: ``g.V.filter{it.bothE.count()>=k}`` — nodes of at least k degree."""
 
-    direction_method = "both_edges"
+    direction = Direction.BOTH
 
     def __init__(self) -> None:
         super().__init__(
@@ -188,23 +189,6 @@ class MinDegree(_DegreeFilter):
             description="Nodes of at least k-degree",
             gremlin="g.V.filter{it.bothE.count()>=k}",
             parameters=("k",),
-        )
-
-    def run(self, graph: GraphDatabase, params: Mapping[str, Any]) -> Any:
-        # The bitmap engine resolves degree through its incidence bitmaps; the
-        # generic path would bypass that (and its memory behaviour), so route
-        # through ``degree`` explicitly for BOTH.
-        threshold = params["k"]
-        from repro.model.elements import Direction
-
-        def at_least_k(inner_graph: GraphDatabase, vertex_id: Any) -> bool:
-            return inner_graph.degree(vertex_id, Direction.BOTH) >= threshold
-
-        return (
-            graph.traversal()
-            .V()
-            .filter(at_least_k, label=f"bothE.count() >= {threshold}")
-            .to_list()
         )
 
 

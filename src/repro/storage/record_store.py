@@ -112,9 +112,17 @@ class RecordStore:
 
     def read(self, record_id: int) -> Record:
         """Return the record with ``record_id``; O(1) direct-offset access."""
-        record = self._slot(record_id)
-        self.metrics.charge_record_read(1, self.record_size)
-        return record
+        # Hot path of every traversal: inline the existence check and the
+        # read charge (identical counter effect to charge_record_read).
+        records = self._records
+        if type(record_id) is int and 0 <= record_id < len(records):
+            record = records[record_id]
+            if record is not None:
+                metrics = self.metrics
+                metrics.records_read += 1
+                metrics.bytes_read += self.record_size
+                return record
+        raise ElementNotFoundError(self.name, record_id)
 
     def update(self, record_id: int, fields: dict[str, object]) -> None:
         """Merge ``fields`` into the record's structural payload."""
@@ -136,6 +144,17 @@ class RecordStore:
         self._free_list.append(record_id)
         self._live_count -= 1
         self.metrics.charge_record_write(1, self.record_size)
+
+    def bulk_read_view(self) -> list[Record | None]:
+        """Direct slot list for trusted bulk readers.
+
+        Engine bulk primitives that walk internally-consistent pointer
+        chains may index this list directly instead of calling :meth:`read`
+        per record; the caller MUST charge one record read per slot touched
+        (``metrics.records_read`` / ``metrics.bytes_read``) so the cost
+        model stays identical to the per-record path.
+        """
+        return self._records
 
     def exists(self, record_id: int) -> bool:
         """True if ``record_id`` refers to a live record."""

@@ -1,0 +1,99 @@
+"""Bulk structural primitives: result conformance and charge parity.
+
+Every engine must answer ``neighbors_many`` / ``edges_for_many`` /
+``vertex_label`` / ``degree_at_least`` with exactly the results of the
+per-id primitives, and — the bulk-primitive contract — with exactly the
+same logical charges (bulking removes interpreter overhead, never
+simulated I/O).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import load_dataset_into
+from repro.engines import ALL_ENGINES, create_engine
+from repro.model.elements import Direction
+
+DIRECTIONS = (Direction.OUT, Direction.IN, Direction.BOTH)
+
+
+@pytest.fixture
+def any_loaded(any_engine, small_dataset):
+    return load_dataset_into(any_engine, small_dataset)
+
+
+class TestConformance:
+    @pytest.mark.parametrize("direction", DIRECTIONS)
+    @pytest.mark.parametrize("label", [None, "knows", "missing-label"])
+    def test_neighbors_many_matches_per_id(self, any_loaded, direction, label):
+        engine = any_loaded.engine
+        frontier = list(any_loaded.vertex_map.values())
+        expected = [
+            (vertex_id, neighbor)
+            for vertex_id in frontier
+            for neighbor in engine.neighbors(vertex_id, direction, label)
+        ]
+        assert list(engine.neighbors_many(frontier, direction, label)) == expected
+
+    @pytest.mark.parametrize("direction", DIRECTIONS)
+    @pytest.mark.parametrize("label", [None, "visits"])
+    def test_edges_for_many_matches_per_id(self, any_loaded, direction, label):
+        engine = any_loaded.engine
+        frontier = list(any_loaded.vertex_map.values())
+        expected = [
+            (vertex_id, edge_id)
+            for vertex_id in frontier
+            for edge_id in engine.edges_for(vertex_id, direction, label)
+        ]
+        assert list(engine.edges_for_many(frontier, direction, label)) == expected
+
+    def test_vertex_label_matches_materialised_vertex(self, any_loaded):
+        engine = any_loaded.engine
+        for vertex_id in any_loaded.vertex_map.values():
+            assert engine.vertex_label(vertex_id) == engine.vertex(vertex_id).label
+
+    @pytest.mark.parametrize("direction", DIRECTIONS)
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 100])
+    def test_degree_at_least_matches_degree(self, any_loaded, direction, k):
+        engine = any_loaded.engine
+        for vertex_id in any_loaded.vertex_map.values():
+            expected = engine.degree(vertex_id, direction) >= k
+            assert engine.degree_at_least(vertex_id, k, direction) is expected
+
+
+class TestChargeParity:
+    """Bulk expansion must charge exactly what the per-id path charges."""
+
+    @pytest.mark.parametrize("direction", DIRECTIONS)
+    @pytest.mark.parametrize("label", [None, "knows", "missing-label"])
+    @pytest.mark.parametrize("identifier", ALL_ENGINES)
+    def test_neighbors_many_charges_match(self, identifier, small_dataset, direction, label):
+        per_id = load_dataset_into(create_engine(identifier), small_dataset)
+        bulk = load_dataset_into(create_engine(identifier), small_dataset)
+        frontier_a = list(per_id.vertex_map.values())
+        frontier_b = list(bulk.vertex_map.values())
+
+        per_id.engine.reset_metrics()
+        for vertex_id in frontier_a:
+            for _neighbor in per_id.engine.neighbors(vertex_id, direction, label):
+                pass
+        expected = per_id.engine.combined_metrics().snapshot()
+
+        bulk.engine.reset_metrics()
+        for _pair in bulk.engine.neighbors_many(frontier_b, direction, label):
+            pass
+        assert bulk.engine.combined_metrics().snapshot() == expected
+
+    def test_degree_at_least_io_not_above_full_degree(self, any_loaded):
+        """Early exit may only reduce work, never add charges."""
+        engine = any_loaded.engine
+        frontier = list(any_loaded.vertex_map.values())
+        engine.reset_metrics()
+        for vertex_id in frontier:
+            engine.degree(vertex_id, Direction.BOTH)
+        full = engine.io_cost()
+        engine.reset_metrics()
+        for vertex_id in frontier:
+            engine.degree_at_least(vertex_id, 1, Direction.BOTH)
+        assert engine.io_cost() <= full

@@ -1,0 +1,235 @@
+"""Bulked, path-lazy execution: semantics and allocation guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gremlin import steps as S
+from repro.gremlin.machine import (
+    TraversalMachine,
+    baseline_execution,
+    batching_is_safe,
+    plan_pipeline,
+    requires_path,
+)
+from repro.gremlin.traversal import Traverser
+
+
+class TestLazyPaths:
+    def test_path_free_pipeline_allocates_no_path_tuples(self, loaded):
+        n0 = loaded.vertex_map["n0"]
+        walkers = list(loaded.engine.traversal().V(n0).out().out().traversers())
+        assert walkers
+        assert all(walker.path is None for walker in walkers)
+
+    def test_spawn_with_disabled_tracking_keeps_path_none(self):
+        walker = Traverser(obj=1, kind="vertex", path=None)
+        child = walker.spawn(2, kind="vertex")
+        assert child.path is None
+        grandchild = child.spawn(3, kind="vertex")
+        assert grandchild.path is None
+
+    def test_path_step_forces_tracking(self, loaded):
+        n0 = loaded.vertex_map["n0"]
+        paths = loaded.engine.traversal().V(n0).out().path().to_list()
+        assert paths and all(path[0] == n0 and len(path) == 2 for path in paths)
+
+    def test_paths_terminal_forces_tracking(self, loaded):
+        n0 = loaded.vertex_map["n0"]
+        paths = loaded.engine.traversal().V(n0).out().paths()
+        assert paths and all(path[0] == n0 for path in paths)
+
+    def test_requires_path_analysis(self):
+        assert not requires_path([S.VStep(), S.TraversalStep(direction=None)])
+        assert requires_path([S.VStep(), S.PathStep()])
+        assert requires_path([S.EdgeVertexStep(which="other")])
+        loop = S.LoopStep(label="i", while_condition=lambda *a: False)
+        loop.body_steps = [S.PathStep()]
+        assert requires_path([loop])
+
+    def test_other_v_still_resolves_previous_vertex(self, loaded):
+        n0 = loaded.vertex_map["n0"]
+        others = loaded.engine.traversal().V(n0).out_e().other_v().to_set()
+        assert others == loaded.engine.traversal().V(n0).out().to_set()
+
+
+class TestBulkSemantics:
+    def test_iteration_expands_bulk(self, loaded):
+        with baseline_execution():
+            expected = sorted(loaded.engine.traversal().V().out().out().to_list())
+        got = sorted(loaded.engine.traversal().V().out().out().to_list())
+        assert got == expected
+
+    def test_count_matches_list_length(self, loaded):
+        traversal = loaded.engine.traversal().V().out()
+        assert traversal.count() == len(loaded.engine.traversal().V().out().to_list())
+
+    def test_group_count_is_bulk_aware(self, loaded):
+        counts = loaded.engine.traversal().V().out().out().group_count().next()
+        with baseline_execution():
+            expected = loaded.engine.traversal().V().out().out().group_count().next()
+        assert counts == expected
+
+    def test_dedup_collapses_bulk(self, loaded):
+        distinct = loaded.engine.traversal().V().out().out().dedup().to_list()
+        assert len(distinct) == len(set(distinct))
+
+    def test_limit_splits_bulked_traversers(self):
+        step = S.LimitStep(count=3)
+        walkers = [Traverser(obj="a", kind="value", bulk=2), Traverser(obj="b", kind="value", bulk=5)]
+        taken = list(step.apply(iter(walkers), None))
+        assert [(walker.obj, walker.bulk) for walker in taken] == [("a", 2), ("b", 1)]
+
+    def test_bulk_merge_step_preserves_multiset(self):
+        walkers = [Traverser(obj=obj, kind="vertex", path=None) for obj in (1, 2, 1, 3, 1, 2)]
+        merged = list(S.BulkMergeStep().apply(iter(walkers), None))
+        assert {(walker.obj, walker.bulk) for walker in merged} == {(1, 3), (2, 2), (3, 1)}
+        # First-occurrence order is preserved.
+        assert [walker.obj for walker in merged] == [1, 2, 3]
+
+    def test_bfs_results_identical_to_baseline(self, loaded):
+        def bfs():
+            start = loaded.vertex_map["n0"]
+            visited = {start}
+            return (
+                loaded.engine.traversal()
+                .V(start)
+                .as_("i")
+                .both()
+                .except_(visited)
+                .store(visited)
+                .loop("i", lambda loops, obj, graph: loops < 3, emit_all=True)
+                .to_list()
+            )
+
+        with baseline_execution():
+            expected = bfs()
+        assert sorted(bfs(), key=repr) == sorted(expected, key=repr)
+
+    def test_shortest_path_identical_to_baseline(self, loaded):
+        def shortest():
+            source = loaded.vertex_map["n0"]
+            target = loaded.vertex_map["n4"]
+            visited = {source}
+            return (
+                loaded.engine.traversal()
+                .V(source)
+                .as_("i")
+                .both()
+                .except_(visited)
+                .store(visited)
+                .loop("i", lambda loops, obj, graph: obj != target and loops < 10)
+                .retain([target])
+                .paths()
+            )
+
+        with baseline_execution():
+            expected = shortest()
+        assert sorted(shortest()) == sorted(expected)
+
+
+class TestPipelinePlanning:
+    def test_fused_bfs_body(self):
+        visited: set = set()
+        loop = S.LoopStep(label="i", while_condition=lambda *a: False)
+        from repro.model.elements import Direction
+
+        loop.body_steps = [
+            S.TraversalStep(direction=Direction.BOTH),
+            S.ExceptStep(collection=visited),
+            S.SideEffectStoreStep(collection=visited),
+        ]
+        planned = plan_pipeline([S.VStep(ids=(1,)), loop], tracking=False, batching=True)
+        planned_loop = planned[-1]
+        assert isinstance(planned_loop, S.LoopStep)
+        assert len(planned_loop.body_steps) == 1
+        assert isinstance(planned_loop.body_steps[0], S.FusedExpandExceptStoreStep)
+        # The builder's own loop step is left untouched.
+        assert len(loop.body_steps) == 3
+
+    def test_merge_suppressed_before_except_store(self):
+        visited: set = set()
+        from repro.model.elements import Direction
+
+        pipeline = [
+            S.VStep(),
+            S.TraversalStep(direction=Direction.OUT),
+            S.ExceptStep(collection=visited),
+            S.SideEffectStoreStep(collection=visited),
+        ]
+        planned = plan_pipeline(pipeline, tracking=False, batching=True)
+        assert not any(isinstance(step, S.BulkMergeStep) for step in planned)
+
+    def test_merge_inserted_between_expansions(self):
+        from repro.model.elements import Direction
+
+        pipeline = [
+            S.VStep(),
+            S.TraversalStep(direction=Direction.OUT),
+            S.TraversalStep(direction=Direction.OUT),
+        ]
+        planned = plan_pipeline(pipeline, tracking=False, batching=True)
+        assert any(isinstance(step, S.BulkMergeStep) for step in planned)
+
+    def test_batching_unsafe_when_store_feeds_expansion_before_except(self):
+        collection: set = set()
+        from repro.model.elements import Direction
+
+        unsafe = [
+            S.VStep(),
+            S.SideEffectStoreStep(collection=collection),
+            S.TraversalStep(direction=Direction.OUT),
+            S.ExceptStep(collection=collection),
+        ]
+        assert not batching_is_safe(unsafe)
+        safe = [
+            S.VStep(),
+            S.TraversalStep(direction=Direction.OUT),
+            S.ExceptStep(collection=collection),
+            S.SideEffectStoreStep(collection=collection),
+        ]
+        assert batching_is_safe(safe)
+
+    def test_batching_unsafe_when_loop_body_store_feeds_later_except(self):
+        # A store inside a loop body keeps growing while the loop emits, so
+        # a later batched expansion feeding except() must disable batching.
+        collection: set = set()
+        from repro.model.elements import Direction
+
+        loop = S.LoopStep(label="i", while_condition=lambda *a: False, emit_all=True)
+        loop.body_steps = [
+            S.TraversalStep(direction=Direction.OUT),
+            S.SideEffectStoreStep(collection=collection),
+        ]
+        pipeline = [
+            S.VStep(ids=(1,)),
+            loop,
+            S.TraversalStep(direction=Direction.OUT),
+            S.ExceptStep(collection=collection),
+        ]
+        assert not batching_is_safe(pipeline)
+
+    def test_loop_store_then_except_results_match_baseline(self, loaded):
+        def run():
+            stored: set = set()
+            return (
+                loaded.engine.traversal()
+                .V(loaded.vertex_map["n0"])
+                .as_("i")
+                .out()
+                .store(stored)
+                .loop("i", lambda loops, obj, graph: loops < 2, emit_all=True)
+                .out()
+                .except_(stored)
+                .to_list()
+            )
+
+        with baseline_execution():
+            expected = run()
+        assert sorted(run(), key=repr) == sorted(expected, key=repr)
+
+    def test_machine_runs_planned_pipeline(self, loaded):
+        machine = TraversalMachine(loaded.engine)
+        steps = loaded.engine.traversal().V().out().dedup().steps
+        results = [walker.obj for walker in machine.run(steps)]
+        assert set(results) == loaded.engine.traversal().V().out().to_set()
