@@ -1,0 +1,111 @@
+"""Regression gate for the traversal perf smoke.
+
+Compares a freshly generated report against the committed
+``BENCH_traversal.json`` and fails (exit code 1) if any engine's gated
+query — Q32 (BFS) and Q34 (shortest path) by default — got slower by more
+than the allowed fraction.  Wall-clock medians carry machine variance;
+the 25% default threshold absorbs runner noise, and ``--max-regression``
+loosens the gate for hardware that differs substantially from the machine
+that produced the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf_smoke --output BENCH_current.json
+    PYTHONPATH=src python -m benchmarks.check_regression \
+        --baseline BENCH_traversal.json --current BENCH_current.json
+
+Both the legacy single-engine report shape and the engine-matrix shape are
+accepted on either side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.microbench import engine_queries
+
+#: Queries gated by default: the BFS and shortest-path workloads the bulked
+#: machine exists for.
+GATED_QUERIES = ("Q32", "Q34")
+
+#: Allowed slowdown fraction before the gate fails (0.25 == 25%).
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def check_regressions(
+    baseline: dict,
+    current: dict,
+    queries: tuple[str, ...] = GATED_QUERIES,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[str]:
+    """Return one failure message per gated (engine, query) regression."""
+    failures: list[str] = []
+    baseline_engines = engine_queries(baseline)
+    current_engines = engine_queries(current)
+    for engine_name, baseline_queries in sorted(baseline_engines.items()):
+        current_queries = current_engines.get(engine_name)
+        if current_queries is None:
+            failures.append(f"{engine_name}: missing from the current report")
+            continue
+        for query_id in queries:
+            base_row = baseline_queries.get(query_id)
+            current_row = current_queries.get(query_id)
+            if base_row is None:
+                continue
+            if current_row is None:
+                failures.append(f"{engine_name}/{query_id}: missing from the current report")
+                continue
+            # Medians are stored rounded to the microsecond, so a trivial
+            # query can record 0.0; floor the baseline to keep the limit
+            # (and the percentage below) meaningful.
+            base_time = max(base_row["optimized_median_s"], 1e-6)
+            current_time = current_row["optimized_median_s"]
+            limit = base_time * (1.0 + max_regression)
+            if current_time > limit:
+                failures.append(
+                    f"{engine_name}/{query_id}: {current_time * 1000:.2f}ms "
+                    f"vs baseline {base_time * 1000:.2f}ms "
+                    f"(+{(current_time / base_time - 1.0) * 100:.0f}%, "
+                    f"limit +{max_regression * 100:.0f}%)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_traversal.json")
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--queries",
+        default=",".join(GATED_QUERIES),
+        help="comma-separated query ids to gate (default: Q32,Q34)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="allowed slowdown fraction (default 0.25 == 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    queries = tuple(q.strip() for q in args.queries.split(",") if q.strip())
+    failures = check_regressions(baseline, current, queries, args.max_regression)
+    if failures:
+        print("perf regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"perf regression gate passed: {', '.join(queries)} within "
+        f"+{args.max_regression * 100:.0f}% for every engine"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

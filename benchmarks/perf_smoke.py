@@ -1,12 +1,18 @@
 """Perf smoke: time Q22-Q35 before/after the bulked traversal machine.
 
 Runs the :mod:`repro.bench.microbench` A/B comparison (legacy per-walker
-executor vs the bulked, path-lazy machine) and writes the per-query
+executor vs the bulked, path-lazy machine) over every default engine — all
+seven architectures, so the comparison separates interpreter overhead from
+each substrate's charge-bearing work — and writes the per-engine, per-query
 wall-clock medians to ``BENCH_traversal.json``.
 
 Usage::
 
-    PYTHONPATH=src python -m benchmarks.perf_smoke [--output BENCH_traversal.json]
+    PYTHONPATH=src python -m benchmarks.perf_smoke [--engine ID | --engine all]
+                                                   [--output BENCH_traversal.json]
+
+Gate a fresh run against the committed report with
+``python -m benchmarks.check_regression``.
 """
 
 from __future__ import annotations
@@ -16,26 +22,32 @@ import sys
 
 from repro.bench.microbench import (
     DEFAULT_DATASET,
-    DEFAULT_ENGINE,
     DEFAULT_OUTPUT,
+    engine_queries,
     format_report,
-    run_traversal_microbench,
+    run_traversal_matrix,
     write_report,
 )
+from repro.engines import DEFAULT_ENGINES
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--engine", default=DEFAULT_ENGINE)
+    parser.add_argument(
+        "--engine",
+        default="all",
+        help="engine identifier, or 'all' for every default engine (the default)",
+    )
     parser.add_argument("--dataset", default=DEFAULT_DATASET)
     parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--depth", type=int, default=3, help="BFS depth for Q32/Q33")
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
 
-    report = run_traversal_microbench(
-        engine_name=args.engine,
+    engine_names = DEFAULT_ENGINES if args.engine == "all" else (args.engine,)
+    report = run_traversal_matrix(
+        engine_names=engine_names,
         dataset_name=args.dataset,
         scale=args.scale,
         repeats=args.repeats,
@@ -45,9 +57,11 @@ def main(argv: list[str] | None = None) -> int:
     print(format_report(report))
     print(f"\nwrote {path.resolve()}")
 
-    q32 = report["queries"].get("Q32", {}).get("speedup", 0.0)
-    q34 = report["queries"].get("Q34", {}).get("speedup", 0.0)
-    print(f"Q32 speedup: {q32}x, Q34 speedup: {q34}x (target >= 2x)")
+    print("\nQ32/Q34 speedups (target: bulking visibly beats the per-walker executor):")
+    for engine_name, queries in engine_queries(report).items():
+        q32 = queries.get("Q32", {}).get("speedup", 0.0)
+        q34 = queries.get("Q34", {}).get("speedup", 0.0)
+        print(f"  {engine_name:<22} Q32 {q32}x, Q34 {q34}x")
     return 0
 
 

@@ -7,7 +7,15 @@ paths always tracked, no frontier batching, no bulking, no count pushdown)
 and once with the optimized machine.  The per-query wall-clock medians and
 speedups are written to ``BENCH_traversal.json``.
 
-Run it through ``python -m benchmarks.perf_smoke``.
+:func:`run_traversal_matrix` runs the A/B comparison over every default
+engine (one version per system, seven in total), so the report shows how
+much of each architecture's traversal cost is interpreter overhead that
+bulking removes versus charge-bearing work in its storage substrate — the
+paper's claim that the engine-internal representation, not the query
+language, dominates graph-workload cost.
+
+Run it through ``python -m benchmarks.perf_smoke``; gate regressions with
+``python -m benchmarks.check_regression``.
 """
 
 from __future__ import annotations
@@ -16,11 +24,11 @@ import json
 import statistics
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.bench.workload import ParameterPlan, load_dataset_into
 from repro.datasets import get_dataset
-from repro.engines import create_engine
+from repro.engines import DEFAULT_ENGINES, create_engine
 from repro.gremlin.machine import baseline_execution
 from repro.queries import query_by_id
 
@@ -28,8 +36,8 @@ from repro.queries import query_by_id
 TRAVERSAL_QUERY_IDS = tuple(f"Q{number}" for number in range(22, 36))
 
 #: Default benchmark subject: the dense generated co-authorship-like graph
-#: (its large BFS frontiers are what the frontier batching is for) against
-#: the reference native engine.
+#: (its large BFS frontiers are what the frontier batching is for), timed
+#: against every default engine.
 DEFAULT_DATASET = "mico"
 DEFAULT_ENGINE = "nativelinked-1.9"
 DEFAULT_OUTPUT = "BENCH_traversal.json"
@@ -44,21 +52,17 @@ def _median_seconds(run, repeats: int) -> float:
     return statistics.median(samples)
 
 
-def run_traversal_microbench(
-    engine_name: str = DEFAULT_ENGINE,
-    dataset_name: str = DEFAULT_DATASET,
-    scale: float = 1.0,
-    seed: int = 7,
-    param_seed: int = 42,
-    repeats: int = 5,
-    bfs_depth: int = 3,
-    query_ids: tuple[str, ...] = TRAVERSAL_QUERY_IDS,
-) -> dict[str, Any]:
-    """Time ``query_ids`` before/after the machine rewrite and return a report."""
-    dataset = get_dataset(dataset_name, scale=scale, seed=seed)
+def _time_engine(
+    engine_name: str,
+    dataset,
+    plan: ParameterPlan,
+    repeats: int,
+    bfs_depth: int,
+    query_ids: tuple[str, ...],
+) -> dict[str, dict[str, float]]:
+    """Load ``dataset`` into a fresh engine and A/B-time every query."""
     engine = create_engine(engine_name)
     loaded = load_dataset_into(engine, dataset)
-    plan = ParameterPlan(dataset, seed=param_seed, depth=bfs_depth)
 
     queries: dict[str, dict[str, float]] = {}
     for query_id in query_ids:
@@ -79,10 +83,37 @@ def run_traversal_microbench(
             "optimized_median_s": round(optimized, 6),
             "speedup": round(baseline / optimized, 3) if optimized > 0 else float("inf"),
         }
+    engine.close()
+    return queries
 
+
+def run_traversal_matrix(
+    engine_names: Iterable[str] = DEFAULT_ENGINES,
+    dataset_name: str = DEFAULT_DATASET,
+    scale: float = 1.0,
+    seed: int = 7,
+    param_seed: int = 42,
+    repeats: int = 3,
+    bfs_depth: int = 3,
+    query_ids: tuple[str, ...] = TRAVERSAL_QUERY_IDS,
+) -> dict[str, Any]:
+    """Time ``query_ids`` before/after the machine rewrite on every engine.
+
+    Every engine sees the same dataset and the same seeded parameter plan
+    (the paper's "same random selections across systems" rule), so the
+    per-engine speedups are directly comparable.
+    """
+    dataset = get_dataset(dataset_name, scale=scale, seed=seed)
+    plan = ParameterPlan(dataset, seed=param_seed, depth=bfs_depth)
+    engines: dict[str, dict[str, Any]] = {}
+    for engine_name in engine_names:
+        engines[engine_name] = {
+            "queries": _time_engine(
+                engine_name, dataset, plan, repeats, bfs_depth, query_ids
+            )
+        }
     return {
         "benchmark": "traversal-machine-microbench",
-        "engine": engine_name,
         "dataset": {
             "name": dataset_name,
             "scale": scale,
@@ -92,8 +123,31 @@ def run_traversal_microbench(
         },
         "bfs_depth": bfs_depth,
         "repeats": repeats,
-        "queries": queries,
+        "engines": engines,
     }
+
+
+def run_traversal_microbench(
+    engine_name: str = DEFAULT_ENGINE,
+    dataset_name: str = DEFAULT_DATASET,
+    scale: float = 1.0,
+    seed: int = 7,
+    param_seed: int = 42,
+    repeats: int = 5,
+    bfs_depth: int = 3,
+    query_ids: tuple[str, ...] = TRAVERSAL_QUERY_IDS,
+) -> dict[str, Any]:
+    """Single-engine A/B run (the matrix report restricted to one engine)."""
+    return run_traversal_matrix(
+        engine_names=(engine_name,),
+        dataset_name=dataset_name,
+        scale=scale,
+        seed=seed,
+        param_seed=param_seed,
+        repeats=repeats,
+        bfs_depth=bfs_depth,
+        query_ids=query_ids,
+    )
 
 
 def write_report(report: dict[str, Any], output_path: str | Path = DEFAULT_OUTPUT) -> Path:
@@ -103,16 +157,33 @@ def write_report(report: dict[str, Any], output_path: str | Path = DEFAULT_OUTPU
     return path
 
 
+def engine_queries(report: dict[str, Any]) -> dict[str, dict[str, dict[str, float]]]:
+    """Return ``{engine: {query: row}}`` from a matrix or legacy report.
+
+    Reports written before the matrix extension carried one engine at the
+    top level (``engine`` + ``queries`` keys); both shapes normalise to the
+    same mapping so the regression gate can diff any two reports.
+    """
+    if "engines" in report:
+        return {name: entry["queries"] for name, entry in report["engines"].items()}
+    return {report["engine"]: report["queries"]}
+
+
 def format_report(report: dict[str, Any]) -> str:
-    """Render the report as an aligned text table."""
+    """Render the report as aligned per-engine text tables."""
+    dataset = report["dataset"]
     lines = [
-        f"traversal microbench — {report['engine']} on {report['dataset']['name']} "
-        f"(V={report['dataset']['vertices']}, E={report['dataset']['edges']})",
-        f"{'query':<6} {'baseline':>12} {'optimized':>12} {'speedup':>8}",
+        f"traversal microbench — {dataset['name']} "
+        f"(V={dataset['vertices']}, E={dataset['edges']}, "
+        f"depth={report['bfs_depth']}, repeats={report['repeats']})"
     ]
-    for query_id, row in sorted(report["queries"].items(), key=lambda item: int(item[0][1:])):
-        lines.append(
-            f"{query_id:<6} {row['baseline_median_s'] * 1000:>10.2f}ms "
-            f"{row['optimized_median_s'] * 1000:>10.2f}ms {row['speedup']:>7.2f}x"
-        )
+    for engine_name, queries in engine_queries(report).items():
+        lines.append("")
+        lines.append(f"[{engine_name}]")
+        lines.append(f"{'query':<6} {'baseline':>12} {'optimized':>12} {'speedup':>8}")
+        for query_id, row in sorted(queries.items(), key=lambda item: int(item[0][1:])):
+            lines.append(
+                f"{query_id:<6} {row['baseline_median_s'] * 1000:>10.2f}ms "
+                f"{row['optimized_median_s'] * 1000:>10.2f}ms {row['speedup']:>7.2f}x"
+            )
     return "\n".join(lines)

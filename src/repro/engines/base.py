@@ -6,6 +6,40 @@ its architecture: a configuration object, metrics collection, schema
 tracking, a write-ahead log with configurable durability, attribute-index
 bookkeeping, and the descriptive metadata that regenerates the paper's
 Table 1.
+
+Bulk semantics for engine implementers
+--------------------------------------
+
+Engines built on this class usually override the bulk structural
+primitives (``neighbors_many``, ``edges_for_many``, ``vertex_label``,
+``degree_at_least``) to exploit their substrate.  The rules, enforced by
+``tests/engines/test_bulk_primitives.py``:
+
+* **Charge parity** (``neighbors_many`` / ``edges_for_many``) — the
+  metrics owned by this class (:meth:`BaseEngine.combined_metrics`) must
+  end up *identical* to the equivalent sequence of per-id calls: same
+  probes, same record touches, same bytes, same round trips
+  (``_round_trip`` is still one charge per simulated request).  Bulking
+  may skip duplicate interpreter work — a generator chain, a re-parse of
+  a block already in hand — but never a logical charge; the storage
+  layer's ``recharge_*`` helpers exist to charge a read without
+  repeating the parse.
+* **Grouped ordering** — ``neighbors_many`` / ``edges_for_many`` yield
+  ``(source, result)`` pairs grouped by source in input order, matching
+  the per-id iteration exactly.  The traversal machine's lazy
+  ``except``/``store`` dedup consumes these generators while mutating its
+  collections, so the pair order *is* the BFS semantics, not a cosmetic
+  detail.
+* **Cheaper, never dearer** (``vertex_label`` / ``degree_at_least``) —
+  these may legitimately charge *less* than their per-id equivalents when
+  the substrate answers structurally (a catalog-derived label, an
+  index-only count, an early exit), but never more, and ``vertex_label``
+  must not materialise property blocks where the architecture can avoid
+  it.
+
+Per-substrate charging rules (what counts as one logical read for a record
+chain vs a document blob vs a B+Tree scan) are catalogued per engine in
+``docs/ENGINES.md``.
 """
 
 from __future__ import annotations

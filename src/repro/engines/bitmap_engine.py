@@ -277,12 +277,17 @@ class BitmapEngine(BaseEngine):
         direction: Direction,
         label: str | None = None,
     ) -> Iterator[tuple[Any, Any]]:
-        """Expand a frontier with one flat pass over the incidence bitmaps.
+        """Expand a frontier in one pass over each vertex's edge bitmaps.
 
         Charges are identical to the per-id path: one incidence probe per
         vertex per direction (plus the label-bitmap intersection and its
-        transient materialisation when filtered), and one endpoint probe per
-        emitted edge.
+        transient materialisation when filtered), and one endpoint probe
+        per emitted edge — charged lazily with the emission, so a consumer
+        that abandons the stream early (``limit``) observes the same
+        partial charges as the per-id path.  The per-edge probe is an
+        inline counter increment rather than a method call, and the label
+        bitmap is materialised once and re-charged per vertex, so the
+        per-edge work left is the endpoint map lookup itself.
         """
         incidences = []
         if direction in (Direction.OUT, Direction.BOTH):
@@ -291,19 +296,61 @@ class BitmapEngine(BaseEngine):
             incidences.append((self._in_incidence, 0))
         endpoints = self._edge_endpoints
         metrics = self.metrics
+        label_bitmap: Bitmap | None = None
         for vertex_id in vertex_ids:
             self._require_vertex(vertex_id)
             for incidence, endpoint_index in incidences:
                 bitmap = incidence.get(vertex_id, Bitmap())
                 metrics.charge_index_probe()
                 if label is not None:
-                    label_bitmap = self._labels.objects_with_value(label)
+                    if label_bitmap is None:
+                        label_bitmap = self._labels.objects_with_value(label)
+                    else:
+                        # The per-id path re-fetches the label bitmap for
+                        # every vertex; charge the identical probe without
+                        # copying the structure again.
+                        metrics.charge_index_probe()
                     bitmap = bitmap & label_bitmap
                     metrics.allocate(label_bitmap.size_in_bytes)
                     metrics.release(label_bitmap.size_in_bytes)
                 for edge_id in bitmap:
-                    metrics.charge_index_probe()
+                    metrics.index_probes += 1
                     yield vertex_id, endpoints[edge_id][endpoint_index]
+
+    def edges_for_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Incident edges for a whole frontier, one bitmap pass per vertex.
+
+        The per-id path charges one incidence probe per vertex per
+        direction and nothing per edge (edge ids stream straight out of the
+        bitmap), and so does this override.
+        """
+        incidences = []
+        if direction in (Direction.OUT, Direction.BOTH):
+            incidences.append(self._out_incidence)
+        if direction in (Direction.IN, Direction.BOTH):
+            incidences.append(self._in_incidence)
+        metrics = self.metrics
+        label_bitmap: Bitmap | None = None
+        for vertex_id in vertex_ids:
+            self._require_vertex(vertex_id)
+            for incidence in incidences:
+                bitmap = incidence.get(vertex_id, Bitmap())
+                metrics.charge_index_probe()
+                if label is not None:
+                    if label_bitmap is None:
+                        label_bitmap = self._labels.objects_with_value(label)
+                    else:
+                        metrics.charge_index_probe()
+                    bitmap = bitmap & label_bitmap
+                    metrics.allocate(label_bitmap.size_in_bytes)
+                    metrics.release(label_bitmap.size_in_bytes)
+                for edge_id in bitmap:
+                    yield vertex_id, edge_id
 
     def degree_at_least(
         self, vertex_id: Any, k: int, direction: Direction = Direction.BOTH

@@ -22,12 +22,12 @@ Vertex ids are ``"<table>:<row id>"`` strings; edge ids likewise.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.config import EngineConfig
 from repro.engines.base import BaseEngine, EngineInfo
 from repro.exceptions import ElementNotFoundError, SchemaError
-from repro.model.elements import Edge, Vertex
+from repro.model.elements import Direction, Edge, Vertex
 from repro.storage.relational import Column, RelationalDatabase
 
 _VERTEX_PREFIX = "V_"
@@ -359,6 +359,147 @@ class RelationalEngine(BaseEngine):
                 rows = table.seq_scan(lambda row: row[endpoint_column] == str(vertex_id))
             for row in rows:
                 yield f"{table_name}:{row['id']}"
+
+    # ------------------------------------------------------------------
+    # Bulk structural primitives: sorted edge-table range batching
+    # ------------------------------------------------------------------
+
+    def vertex_label(self, vertex_id: Any) -> str | None:
+        # The label is the table name: a pure catalog read, no row fetch —
+        # the relational layout's structural-label strength.
+        if not self.vertex_exists(vertex_id):
+            raise ElementNotFoundError("vertex", vertex_id)
+        table_name, _row_id = self._split_id(vertex_id)
+        label = table_name[len(_VERTEX_PREFIX) :]
+        return None if label == _DEFAULT_VERTEX_LABEL else label
+
+    def neighbors_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Expand a frontier through batched sorted edge-table scans.
+
+        A label-restricted single-direction frontier becomes one
+        :meth:`~repro.storage.relational.Table.index_scan_many` pass over
+        the one edge table; otherwise the catalog lookups are hoisted and
+        each vertex probes the per-table endpoint indexes in a flat loop.
+        Endpoints are read off the scanned row itself, with the primary-key
+        probe and record read the per-id ``edge_endpoints`` call performs
+        charged via :meth:`~repro.storage.relational.Table.recharge_get` —
+        identical logical I/O, no second fetch.
+        """
+        yield from self._bulk_incident(vertex_ids, direction, label, want_endpoint=True)
+
+    def edges_for_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        yield from self._bulk_incident(vertex_ids, direction, label, want_endpoint=False)
+
+    def _bulk_incident(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None,
+        want_endpoint: bool,
+    ) -> Iterator[tuple[Any, Any]]:
+        passes = self._direction_columns(direction)
+        if label is not None:
+            table_name = _EDGE_PREFIX + label
+            tables = [self._db.table(table_name)] if self._db.has_table(table_name) else []
+        else:
+            tables = [self._db.table(name) for name in self._edge_tables()]
+
+        if len(passes) == 1 and len(tables) == 1 and tables[0].has_index(passes[0][0]):
+            # One sorted range-batched pass over the single edge table.
+            table = tables[0]
+            endpoint_column, opposite_column = passes[0]
+            sources: dict[str, Any] = {}
+
+            def checked_keys() -> Iterator[str]:
+                for vertex_id in vertex_ids:
+                    if not self.vertex_exists(vertex_id):
+                        raise ElementNotFoundError("vertex", vertex_id)
+                    key = str(vertex_id)
+                    sources[key] = vertex_id
+                    yield key
+
+            for key, row in table.index_scan_many(endpoint_column, checked_keys()):
+                if want_endpoint:
+                    table.recharge_get(row["id"])
+                    yield sources[key], row[opposite_column]
+                else:
+                    yield sources[key], f"{table.name}:{row['id']}"
+            return
+
+        for vertex_id in vertex_ids:
+            key = str(vertex_id)
+            for endpoint_column, opposite_column in passes:
+                if not self.vertex_exists(vertex_id):
+                    raise ElementNotFoundError("vertex", vertex_id)
+                for table in tables:
+                    if table.has_index(endpoint_column):
+                        rows = (
+                            row
+                            for _key, row in table.index_scan_many(endpoint_column, (key,))
+                        )
+                    else:
+                        rows = table.seq_scan(
+                            lambda row, column=endpoint_column: row[column] == key
+                        )
+                    for row in rows:
+                        if want_endpoint:
+                            table.recharge_get(row["id"])
+                            yield vertex_id, row[opposite_column]
+                        else:
+                            yield vertex_id, f"{table.name}:{row['id']}"
+
+    def degree_at_least(
+        self, vertex_id: Any, k: int, direction: Direction = Direction.BOTH
+    ) -> bool:
+        """Degree threshold via index-only counts over the edge tables.
+
+        ``SELECT COUNT(*)`` against the endpoint foreign-key indexes never
+        fetches edge rows — strictly fewer charges than walking the per-id
+        edge stream, as the contract allows for early exits.
+        """
+        if k <= 0:
+            return True
+        if not self.vertex_exists(vertex_id):
+            raise ElementNotFoundError("vertex", vertex_id)
+        key = str(vertex_id)
+        count = 0
+        for endpoint_column, _opposite in self._direction_columns(direction):
+            for table_name in self._edge_tables():
+                table = self._db.table(table_name)
+                if table.has_index(endpoint_column):
+                    count += table.index_count(endpoint_column, key)
+                else:
+                    # Unindexed endpoint column: early-exit charged scan,
+                    # like the per-id path it replaces.
+                    for _row in table.seq_scan(
+                        lambda row, column=endpoint_column: row[column] == key
+                    ):
+                        count += 1
+                        if count >= k:
+                            return True
+                if count >= k:
+                    return True
+        return count >= k
+
+    @staticmethod
+    def _direction_columns(direction: Direction) -> list[tuple[str, str]]:
+        """``(endpoint column, opposite column)`` pairs in per-id yield order."""
+        passes: list[tuple[str, str]] = []
+        if direction in (Direction.OUT, Direction.BOTH):
+            passes.append(("source", "target"))
+        if direction in (Direction.IN, Direction.BOTH):
+            passes.append(("target", "source"))
+        return passes
 
     # ------------------------------------------------------------------
     # Search primitives: relational scans and index lookups

@@ -22,12 +22,12 @@ offers none either).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.config import EngineConfig
 from repro.engines.base import BaseEngine, EngineInfo
 from repro.exceptions import ElementNotFoundError
-from repro.model.elements import Edge, Vertex
+from repro.model.elements import Direction, Edge, Vertex
 from repro.storage.triple_store import TripleStore
 
 _TYPE = "rdf:type"
@@ -38,6 +38,8 @@ _LABEL = "graph:label"
 _PROPERTY_PREFIX = "prop:"
 _VERTEX_TYPE = "graph:Vertex"
 _EDGE_TYPE = "graph:Edge"
+#: Endpoint statement predicates in ``edge_endpoints`` resolution order.
+_ENDPOINT_PREDICATES = (_SUBJECT, _OBJECT)
 
 
 class TripleEngine(BaseEngine):
@@ -247,6 +249,111 @@ class TripleEngine(BaseEngine):
             edge_id = triple.subject
             if label is None or self.edge_label(edge_id) == label:
                 yield edge_id
+
+    # ------------------------------------------------------------------
+    # Bulk structural primitives: grouped scans over the SPO permutations
+    # ------------------------------------------------------------------
+
+    def vertex_label(self, vertex_id: Any) -> str | None:
+        # Structural read: one (vertex, graph:label, ?) prefix probe instead
+        # of materialising every statement of the vertex (the property
+        # statements stay cold).
+        self._require_vertex(vertex_id)
+        for triple in self._triples.match(subject=vertex_id, predicate=_LABEL):
+            return triple.object
+        return None
+
+    def neighbors_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Expand a frontier with one grouped pass over the POS permutation.
+
+        The endpoint patterns of every frontier vertex are answered by
+        :meth:`~repro.storage.triple_store.TripleStore.match_grouped` in one
+        flat scan loop; each reified edge then pays exactly the per-id
+        probes — the label statement lookup when filtered and the two
+        endpoint statement scans of :meth:`edge_endpoints` — so charges are
+        identical to the per-id path while the nested generator chain
+        (``neighbors`` → ``out_neighbors`` → ``out_edges`` → ``match``) is
+        gone.
+        """
+        yield from self._bulk_incident(vertex_ids, direction, label, want_endpoint=True)
+
+    def edges_for_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        yield from self._bulk_incident(vertex_ids, direction, label, want_endpoint=False)
+
+    def _bulk_incident(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None,
+        want_endpoint: bool,
+    ) -> Iterator[tuple[Any, Any]]:
+        passes = self._direction_passes(direction)
+        frontier = list(vertex_ids)
+        triples = self._triples
+        first_object = triples.first_object
+        endpoint_objects = triples.endpoint_objects
+
+        def patterns() -> Iterator[tuple[Any, Any, Any]]:
+            for vertex_id in frontier:
+                for predicate, _endpoint in passes:
+                    self._require_vertex(vertex_id)
+                    yield (None, predicate, vertex_id)
+
+        npasses = len(passes)
+        for position, triple in triples.match_grouped(patterns()):
+            edge_id = triple.subject
+            if label is not None and first_object(edge_id, _PREDICATE) != label:
+                continue
+            source = frontier[position // npasses]
+            if want_endpoint:
+                yield (
+                    source,
+                    endpoint_objects(edge_id, _ENDPOINT_PREDICATES)[
+                        passes[position % npasses][1]
+                    ],
+                )
+            else:
+                yield source, edge_id
+
+    def degree_at_least(
+        self, vertex_id: Any, k: int, direction: Direction = Direction.BOTH
+    ) -> bool:
+        """Degree threshold via flat statement scans with early exit.
+
+        Scans the same POS prefixes as the per-id ``edges_for`` path and
+        stops at the ``k``-th incident statement, so hub vertices never pay
+        for their full reified adjacency.
+        """
+        if k <= 0:
+            return True
+        count = 0
+        for predicate, _endpoint in self._direction_passes(direction):
+            self._require_vertex(vertex_id)
+            for _triple in self._triples.match(predicate=predicate, object_=vertex_id):
+                count += 1
+                if count >= k:
+                    return True
+        return False
+
+    @staticmethod
+    def _direction_passes(direction: Direction) -> list[tuple[str, int]]:
+        """``(edge predicate, endpoint index)`` pairs in per-id yield order."""
+        passes: list[tuple[str, int]] = []
+        if direction in (Direction.OUT, Direction.BOTH):
+            passes.append((_SUBJECT, 1))
+        if direction in (Direction.IN, Direction.BOTH):
+            passes.append((_OBJECT, 0))
+        return passes
 
     # ------------------------------------------------------------------
     # Search primitives

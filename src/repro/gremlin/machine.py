@@ -27,11 +27,32 @@ systems apply natively and the slow ones do not:
   (the lazy BFS dedup idiom), so results are always the same multiset the
   per-walker machine produces.
 
+Bulk-primitive semantics the machine relies on
+----------------------------------------------
+
+Adjacency steps hand the engine a frontier chunk of *unique* vertex ids
+(``_unique_chunks`` closes a chunk on the first repeat) and expect
+``neighbors_many`` / ``edges_for_many`` to yield ``(source, result)``
+pairs **grouped by source in input order**.  Two machine behaviours
+depend on that ordering:
+
+* expanded walkers are matched back to their parent by ``source``, so an
+  interleaved or re-grouped stream would attach results to the wrong
+  walker (wrong paths, wrong loop counters);
+* the fused BFS body (``both().except_(x).store(x)`` →
+  :class:`~repro.gremlin.steps.FusedExpandExceptStoreStep`) applies its
+  except/store pair *while the engine generator is live* — which source
+  gets credited with discovering a node, and therefore the whole BFS
+  tree, is determined by the pair order.  The per-id fallback defines the
+  reference sequence; every override must reproduce it.
+
 Cost-model contract: the bulk *primitives* charge exactly the logical I/O
-of the equivalent per-id calls (frontier batching removes interpreter
-overhead, never simulated disk work), and memory materialisations are
-charged per *represented* walker (``count=bulk``), so queries building huge
-intermediate results still fail the way they did in the paper.  Bulk
+of the equivalent per-id calls — charge parity, enforced counter-for-
+counter by ``tests/engines/test_bulk_primitives.py`` (frontier batching
+removes interpreter overhead, never simulated disk work) — and memory
+materialisations are charged per *represented* walker (``count=bulk``),
+so queries building huge intermediate results still fail the way they did
+in the paper.  Bulk
 *merging*, however, is a genuine plan optimisation: once duplicate walkers
 collapse into one multiplicity, a later adjacency step expands each
 position once instead of once per duplicate — duplicate-heavy path-free

@@ -30,6 +30,10 @@ override:
   ``(source, result)`` pairs grouped by source in input order, so lazy
   downstream steps (``except``/``store`` interplay in BFS loops) observe the
   same sequence as the per-id path.
+
+``docs/ARCHITECTURE.md`` is the durable home of this contract;
+``docs/ENGINES.md`` records which engine overrides what and each
+substrate's charging rules.
 """
 
 from __future__ import annotations

@@ -84,14 +84,19 @@ class Bitmap:
         return self.cardinality()
 
     def __iter__(self) -> Iterator[int]:
-        """Yield set bit positions in increasing order."""
+        """Yield set bit positions in increasing order.
+
+        Isolates the lowest set bit with ``bits & -bits`` so iteration costs
+        O(cardinality) big-integer operations instead of O(highest position)
+        single-bit shifts — with a shared object id space the incidence
+        bitmaps of a large graph are exactly the sparse-but-high bitsets the
+        naive shift loop is worst at.
+        """
         bits = self._bits
-        position = 0
         while bits:
-            if bits & 1:
-                yield position
-            bits >>= 1
-            position += 1
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
 
     def to_list(self) -> list[int]:
         return list(self)

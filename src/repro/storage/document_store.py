@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import zlib
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.exceptions import DuplicateElementError, ElementNotFoundError
 from repro.storage.hash_index import HashIndex
@@ -84,6 +84,38 @@ class DocumentCollection:
             raise ElementNotFoundError(self.name, key)
         del self._documents[key]
         self.metrics.charge_record_write(1)
+
+    def get_many(self, keys: Iterable[Any]) -> Iterator[tuple[Any, dict[str, Any]]]:
+        """Fetch a batch of documents, yielding ``(key, document)`` in input order.
+
+        The batch scan entry point for the document engine's bulk
+        primitives: each document is charged exactly like :meth:`get`
+        (one record read of the blob size) but the per-key generator and
+        exception machinery is a single flat loop.
+        """
+        documents = self._documents
+        metrics = self.metrics
+        for key in keys:
+            try:
+                blob = documents[key]
+            except KeyError:
+                raise ElementNotFoundError(self.name, key) from None
+            metrics.charge_record_read(1, len(blob))
+            yield key, self._deserialize(blob)
+
+    def recharge_read(self, key: Any) -> None:
+        """Charge one more logical read of ``key`` without re-materialising it.
+
+        Bulk paths that already hold a parsed document but whose per-id
+        equivalent would fetch the block again call this to keep the
+        logical charges identical while skipping the duplicate
+        decompress/parse (interpreter overhead, not simulated disk work).
+        """
+        try:
+            blob = self._documents[key]
+        except KeyError:
+            raise ElementNotFoundError(self.name, key) from None
+        self.metrics.charge_record_read(1, len(blob))
 
     # -- scans --------------------------------------------------------------------
 

@@ -21,7 +21,7 @@ physical operators.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.exceptions import ElementNotFoundError, SchemaError, StorageError
 from repro.storage.btree import BPlusTree
@@ -201,6 +201,58 @@ class Table:
             if row_id in self._rows:
                 self.metrics.charge_record_read(1)
                 yield dict(self._rows[row_id])
+
+    def index_scan_many(
+        self, column: str, values: Iterable[Any]
+    ) -> Iterator[tuple[Any, dict[str, Any]]]:
+        """Batched equality scans over a secondary index, grouped by value.
+
+        Yields ``(value, row)`` pairs grouped by value in input order — the
+        sorted edge-table range batching used by the relational engine's
+        bulk primitives.  Each value pays exactly the B+Tree descent and
+        per-row record read that :meth:`index_scan` pays; the returned row
+        dictionaries are the live heap rows, so callers must not mutate
+        them.
+        """
+        if column not in self._secondary:
+            raise StorageError(f"no index on {self.name}.{column}")
+        index = self._secondary[column]
+        rows = self._rows
+        metrics = self.metrics
+        for value in values:
+            for row_id in index.search(_index_key(value)):
+                row = rows.get(row_id)
+                if row is not None:
+                    metrics.charge_record_read(1)
+                    yield value, row
+
+    def recharge_get(self, row_id: Any) -> None:
+        """Charge a primary-key fetch of a row the caller already holds.
+
+        Bulk traversal paths resolve edge endpoints from the row their
+        index scan just produced; the per-id path would re-fetch the row
+        through :meth:`get`, so the identical probe and record read are
+        charged here without copying the row again.
+        """
+        self._primary.lookup(row_id)
+        row = self._rows[row_id]
+        self.metrics.charge_record_read(1, len(str(row)))
+
+    def index_count(self, column: str, value: Any) -> int:
+        """Count rows matching ``column = value`` without fetching them.
+
+        An index-only scan: descent probes, no record reads.  Raises like
+        :meth:`index_scan` when no index exists — callers that can tolerate
+        a full scan must choose one explicitly.
+        """
+        if column not in self._secondary:
+            raise StorageError(f"no index on {self.name}.{column}")
+        rows = self._rows
+        return sum(
+            1
+            for row_id in self._secondary[column].search(_index_key(value))
+            if row_id in rows
+        )
 
     def select(self, column: str, value: Any) -> Iterator[dict[str, Any]]:
         """Equality selection using the best available access path."""

@@ -13,7 +13,7 @@ traversal) all follow directly from this structure, and they follow here too.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.storage.btree import BPlusTree
 from repro.storage.metrics import StorageMetrics
@@ -119,6 +119,20 @@ class TripleStore:
             for triple in self._bulk_buffer:
                 if self._matches(triple, subject, predicate, object_):
                     yield triple
+        tree, prefix = self._plan(subject, predicate, object_)
+        # Keys are ordered tuples, so a prefix scan starts at the first key
+        # >= the prefix and stops as soon as the prefix no longer matches.
+        scan = tree.items() if not prefix else tree.range(low=prefix)
+        for key, triple in scan:
+            if prefix and key[: len(prefix)] != prefix:
+                break
+            if self._matches(triple, subject, predicate, object_):
+                yield triple
+
+    def _plan(
+        self, subject: Any, predicate: Any, object_: Any
+    ) -> tuple[BPlusTree, tuple[str, ...]]:
+        """Pick the index permutation and scan prefix for one pattern."""
         if subject is not None:
             prefix = _key(subject, predicate) if predicate is not None else _key(subject)
             tree = self._spo
@@ -131,14 +145,79 @@ class TripleStore:
         else:
             prefix = ()
             tree = self._spo
-        # Keys are ordered tuples, so a prefix scan starts at the first key
-        # >= the prefix and stops as soon as the prefix no longer matches.
-        scan = tree.items() if not prefix else tree.range(low=prefix)
-        for key, triple in scan:
-            if prefix and key[: len(prefix)] != prefix:
+        return tree, prefix
+
+    def match_grouped(
+        self, patterns: Iterable[tuple[Any, Any, Any]]
+    ) -> Iterator[tuple[int, Triple]]:
+        """Answer a group of ``(subject, predicate, object)`` patterns in one pass.
+
+        Yields ``(position, triple)`` pairs grouped by pattern in input
+        order — the batch scan entry point for the triple engine's bulk
+        primitives.  Each pattern performs exactly the descent and leaf
+        probes that :meth:`match` performs for it (identical logical
+        charges); batching only removes the per-pattern generator chain.
+        """
+        bulk_visible = self._bulk_mode and bool(self._bulk_buffer)
+        for position, (subject, predicate, object_) in enumerate(patterns):
+            if bulk_visible:
+                for triple in self._bulk_buffer:
+                    if self._matches(triple, subject, predicate, object_):
+                        yield position, triple
+            tree, prefix = self._plan(subject, predicate, object_)
+            scan = tree.items() if not prefix else tree.range(low=prefix)
+            for key, triple in scan:
+                if prefix and key[: len(prefix)] != prefix:
+                    break
+                if self._matches(triple, subject, predicate, object_):
+                    yield position, triple
+
+    def endpoint_objects(self, subject: Any, predicates: Iterable[Any]) -> list[Any]:
+        """Resolve the object of each ``(subject, predicate)`` pattern flatly.
+
+        Engines that reify edges resolve both endpoint statements of an
+        edge with two :meth:`match` consumptions run to exhaustion; this
+        performs the identical scans (same descent and leaf probes, last
+        matching object wins) in one flat loop without building a
+        generator chain per pattern.
+        """
+        results: list[Any] = []
+        bulk_visible = self._bulk_mode and bool(self._bulk_buffer)
+        for predicate in predicates:
+            value = None
+            if bulk_visible:
+                for triple in self._bulk_buffer:
+                    if triple.subject == subject and triple.predicate == predicate:
+                        value = triple.object
+            tree, prefix = self._plan(subject, predicate, None)
+            width = len(prefix)
+            for key, triple in tree.range(low=prefix):
+                if key[:width] != prefix:
+                    break
+                if triple.subject == subject and triple.predicate == predicate:
+                    value = triple.object
+            results.append(value)
+        return results
+
+    def first_object(self, subject: Any, predicate: Any) -> Any:
+        """Return the first object matching ``(subject, predicate)``, or None.
+
+        Abandons the scan at the first hit, charging exactly what a
+        first-match consumption of :meth:`match` charges — the flat
+        equivalent of ``next(match(subject, predicate), None).object``.
+        """
+        if self._bulk_mode and self._bulk_buffer:
+            for triple in self._bulk_buffer:
+                if triple.subject == subject and triple.predicate == predicate:
+                    return triple.object
+        tree, prefix = self._plan(subject, predicate, None)
+        width = len(prefix)
+        for key, triple in tree.range(low=prefix):
+            if key[:width] != prefix:
                 break
-            if self._matches(triple, subject, predicate, object_):
-                yield triple
+            if triple.subject == subject and triple.predicate == predicate:
+                return triple.object
+        return None
 
     @staticmethod
     def _matches(triple: Triple, subject: Any, predicate: Any, object_: Any) -> bool:

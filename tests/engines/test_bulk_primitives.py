@@ -85,6 +85,55 @@ class TestChargeParity:
             pass
         assert bulk.engine.combined_metrics().snapshot() == expected
 
+    @pytest.mark.parametrize("direction", DIRECTIONS)
+    @pytest.mark.parametrize("label", [None, "visits", "missing-label"])
+    @pytest.mark.parametrize("identifier", ALL_ENGINES)
+    def test_edges_for_many_charges_match(self, identifier, small_dataset, direction, label):
+        per_id = load_dataset_into(create_engine(identifier), small_dataset)
+        bulk = load_dataset_into(create_engine(identifier), small_dataset)
+        frontier_a = list(per_id.vertex_map.values())
+        frontier_b = list(bulk.vertex_map.values())
+
+        per_id.engine.reset_metrics()
+        for vertex_id in frontier_a:
+            for _edge_id in per_id.engine.edges_for(vertex_id, direction, label):
+                pass
+        expected = per_id.engine.combined_metrics().snapshot()
+
+        bulk.engine.reset_metrics()
+        for _pair in bulk.engine.edges_for_many(frontier_b, direction, label):
+            pass
+        assert bulk.engine.combined_metrics().snapshot() == expected
+
+    @pytest.mark.parametrize("identifier", ALL_ENGINES)
+    def test_neighbors_many_charges_match_on_early_abandonment(self, identifier, small_dataset):
+        """A consumer that stops early (``limit``) must see per-id charges too.
+
+        Charges have to accrue lazily with each emitted pair, not upfront
+        per frontier vertex — an override that pre-charges a whole
+        adjacency would overcharge abandoned streams.
+        """
+        per_id = load_dataset_into(create_engine(identifier), small_dataset)
+        bulk = load_dataset_into(create_engine(identifier), small_dataset)
+        frontier_a = list(per_id.vertex_map.values())
+        frontier_b = list(bulk.vertex_map.values())
+
+        per_id.engine.reset_metrics()
+        stream_a = (
+            (vertex_id, neighbor)
+            for vertex_id in frontier_a
+            for neighbor in per_id.engine.neighbors(vertex_id, Direction.BOTH)
+        )
+        next(stream_a)
+        stream_a.close()
+        expected = per_id.engine.combined_metrics().snapshot()
+
+        bulk.engine.reset_metrics()
+        stream_b = bulk.engine.neighbors_many(frontier_b, Direction.BOTH)
+        next(stream_b)
+        stream_b.close()
+        assert bulk.engine.combined_metrics().snapshot() == expected
+
     def test_degree_at_least_io_not_above_full_degree(self, any_loaded):
         """Early exit may only reduce work, never add charges."""
         engine = any_loaded.engine
@@ -97,3 +146,77 @@ class TestChargeParity:
         for vertex_id in frontier:
             engine.degree_at_least(vertex_id, 1, Direction.BOTH)
         assert engine.io_cost() <= full
+
+
+#: The engines whose bulk overrides arrived with the engine-coverage PR —
+#: the three former per-id fallbacks plus the reworked bitmap frontier.
+NEW_BULK_ENGINES = (
+    "triplegraph-2.1",
+    "documentgraph-2.8",
+    "relationalgraph-1.2",
+    "bitmapgraph-5.1",
+)
+
+
+class TestGroupedOrderingUnderLazyDedup:
+    """BFS-style lazy ``except``/``store`` dedup must observe the per-id order.
+
+    The consumer mutates the visited set *while* the bulk generator is
+    live (the Q32-Q35 idiom the machine fuses into one step): which source
+    gets credited with discovering each node depends entirely on the
+    ``(source, result)`` yield order, so any deviation from grouped
+    input-order emission changes the BFS tree.
+    """
+
+    @staticmethod
+    def _bfs_discovery_order(loaded, expand, direction, rounds=3):
+        engine = loaded.engine
+        start = loaded.vertex_map["n0"]
+        visited = {start}
+        frontier = [start]
+        order = []
+        for _round in range(rounds):
+            next_frontier = []
+            for source, neighbor in expand(engine, frontier, direction):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)  # mutates while the generator is live
+                order.append((source, neighbor))
+                next_frontier.append(neighbor)
+            frontier = next_frontier
+        return order
+
+    @pytest.mark.parametrize("direction", DIRECTIONS)
+    @pytest.mark.parametrize("identifier", NEW_BULK_ENGINES)
+    def test_discovery_order_matches_per_id(self, identifier, small_dataset, direction):
+        per_id = load_dataset_into(create_engine(identifier), small_dataset)
+        bulk = load_dataset_into(create_engine(identifier), small_dataset)
+
+        expected = self._bfs_discovery_order(
+            per_id,
+            lambda engine, frontier, d: (
+                (vertex_id, neighbor)
+                for vertex_id in frontier
+                for neighbor in engine.neighbors(vertex_id, d)
+            ),
+            direction,
+        )
+        observed = self._bfs_discovery_order(
+            bulk,
+            lambda engine, frontier, d: engine.neighbors_many(frontier, d),
+            direction,
+        )
+        assert observed == expected
+
+    @pytest.mark.parametrize("identifier", NEW_BULK_ENGINES)
+    def test_q32_bfs_same_result_as_legacy_executor(self, identifier, small_dataset):
+        from repro.gremlin.machine import baseline_execution
+        from repro.queries import query_by_id
+
+        loaded = load_dataset_into(create_engine(identifier), small_dataset)
+        query = query_by_id("Q32")
+        params = {"vertex": loaded.vertex_map["n0"], "depth": 3}
+        with baseline_execution():
+            legacy = query(loaded.engine, dict(params))
+        optimized = query(loaded.engine, dict(params))
+        assert optimized == legacy
