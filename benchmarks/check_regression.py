@@ -1,12 +1,19 @@
-"""Regression gate for the traversal perf smoke.
+"""Regression gates for the perf smokes.
 
-Compares a freshly generated report against the committed
-``BENCH_traversal.json`` and fails (exit code 1) if any engine's gated
-query — Q32 (BFS) and Q34 (shortest path) by default — got slower by more
-than the allowed fraction.  Wall-clock medians carry machine variance;
-the 25% default threshold absorbs runner noise, and ``--max-regression``
-loosens the gate for hardware that differs substantially from the machine
-that produced the committed baseline.
+``--kind traversal`` (default) compares a fresh ``BENCH_traversal.json``
+against the committed baseline and fails (exit code 1) if any engine's
+gated query — Q32 (BFS) and Q34 (shortest path) by default — got slower by
+more than the allowed fraction.  Wall-clock medians carry machine
+variance; the 25% default threshold absorbs runner noise, and
+``--max-regression`` loosens the gate for hardware that differs
+substantially from the machine that produced the committed baseline.
+
+``--kind concurrency`` gates ``BENCH_concurrency.json`` instead: every
+(engine, durability) cell's charged throughput must stay within the
+allowed fraction of the committed baseline.  Concurrency numbers are
+derived purely from logical charges, so on an unchanged tree they
+reproduce *exactly*; the 25% headroom only exists to let genuinely
+beneficial cost-model changes land without ceremony.
 
 Usage::
 
@@ -14,8 +21,12 @@ Usage::
     PYTHONPATH=src python -m benchmarks.check_regression \
         --baseline BENCH_traversal.json --current BENCH_current.json
 
-Both the legacy single-engine report shape and the engine-matrix shape are
-accepted on either side.
+    PYTHONPATH=src python -m benchmarks.concurrency_smoke --output BENCH_concurrency_current.json
+    PYTHONPATH=src python -m benchmarks.check_regression --kind concurrency \
+        --baseline BENCH_concurrency.json --current BENCH_concurrency_current.json
+
+Both the legacy single-engine traversal report shape and the engine-matrix
+shape are accepted on either side.
 """
 
 from __future__ import annotations
@@ -74,9 +85,70 @@ def check_regressions(
     return failures
 
 
+def check_concurrency_identity(baseline: dict, current: dict) -> list[str]:
+    """Require the payloads to match exactly (modulo wall-clock fields).
+
+    Concurrency numbers derive purely from seeded choices and logical
+    charges, so on an unchanged tree the comparison is byte-exact; a
+    mismatch means either an intentional cost-model change (regenerate the
+    committed baseline) or lost determinism (a bug).
+    """
+    from repro.concurrency.report import comparable_payload
+
+    if comparable_payload(baseline) == comparable_payload(current):
+        return []
+    return [
+        "payload differs from the committed baseline (determinism lost, or an "
+        "intentional change that needs the baseline regenerated via "
+        "`python -m benchmarks.concurrency_smoke`)"
+    ]
+
+
+def check_concurrency_regressions(
+    baseline: dict,
+    current: dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[str]:
+    """Return one failure per (engine, durability) throughput regression."""
+    failures: list[str] = []
+    for engine_name, baseline_modes in sorted(baseline.get("engines", {}).items()):
+        current_modes = current.get("engines", {}).get(engine_name)
+        if current_modes is None:
+            failures.append(f"{engine_name}: missing from the current report")
+            continue
+        for durability, base_row in sorted(baseline_modes.items()):
+            current_row = current_modes.get(durability)
+            if current_row is None:
+                failures.append(
+                    f"{engine_name}/{durability}: missing from the current report"
+                )
+                continue
+            base_tp = base_row["throughput_ops_per_kcharge"]
+            current_tp = current_row["throughput_ops_per_kcharge"]
+            floor = base_tp * (1.0 - max_regression)
+            if current_tp < floor:
+                failures.append(
+                    f"{engine_name}/{durability}: throughput "
+                    f"{current_tp:.2f} ops/kcharge vs baseline {base_tp:.2f} "
+                    f"(-{(1.0 - current_tp / base_tp) * 100:.0f}%, "
+                    f"limit -{max_regression * 100:.0f}%)"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", default="BENCH_traversal.json")
+    parser.add_argument(
+        "--kind",
+        default="traversal",
+        choices=["traversal", "concurrency"],
+        help="which report family to gate",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline report (default: the --kind family's committed file)",
+    )
     parser.add_argument("--current", required=True)
     parser.add_argument(
         "--queries",
@@ -89,21 +161,43 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_MAX_REGRESSION,
         help="allowed slowdown fraction (default 0.25 == 25%%)",
     )
+    parser.add_argument(
+        "--require-identical",
+        action="store_true",
+        help="concurrency only: also require the payload to match the baseline "
+        "exactly (modulo wall-clock fields); charges are deterministic, so any "
+        "difference is a lost-determinism bug or an unregenerated baseline",
+    )
     args = parser.parse_args(argv)
 
+    if args.baseline is None:
+        args.baseline = (
+            "BENCH_concurrency.json" if args.kind == "concurrency" else "BENCH_traversal.json"
+        )
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
-    queries = tuple(q.strip() for q in args.queries.split(",") if q.strip())
-    failures = check_regressions(baseline, current, queries, args.max_regression)
+    if args.kind == "concurrency":
+        failures = check_concurrency_regressions(baseline, current, args.max_regression)
+        if args.require_identical:
+            failures.extend(check_concurrency_identity(baseline, current))
+        passed = (
+            f"concurrency regression gate passed: throughput within "
+            f"-{args.max_regression * 100:.0f}% for every engine × durability"
+            + (", payload identical to the baseline" if args.require_identical else "")
+        )
+    else:
+        queries = tuple(q.strip() for q in args.queries.split(",") if q.strip())
+        failures = check_regressions(baseline, current, queries, args.max_regression)
+        passed = (
+            f"perf regression gate passed: {', '.join(queries)} within "
+            f"+{args.max_regression * 100:.0f}% for every engine"
+        )
     if failures:
-        print("perf regression gate FAILED:")
+        print(f"{args.kind} regression gate FAILED:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(
-        f"perf regression gate passed: {', '.join(queries)} within "
-        f"+{args.max_regression * 100:.0f}% for every engine"
-    )
+    print(passed)
     return 0
 
 

@@ -1,0 +1,69 @@
+"""Concurrency smoke: multi-client throughput / tail latency / abort rate.
+
+Runs the deterministic virtual-time concurrency benchmark
+(:mod:`repro.concurrency.driver`) over a small engine subset and writes the
+JSON payload consumed by the regression gate.  Because every number derives
+from seeded choices and logical charges — never wall clock — the payload is
+byte-identical across machines, so CI can gate it exactly.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.concurrency_smoke \
+        [--engines ID...] [--clients N] [--txns N] [--mix NAME] \
+        [--output BENCH_concurrency.json] [--report PATH]
+
+Gate a fresh run against the committed report with
+``python -m benchmarks.check_regression --kind concurrency``.
+
+The defaults (2 engines × 4 clients, write-heavy) mirror the CI smoke and
+the committed ``BENCH_concurrency.json`` baseline; regenerate that baseline
+with the defaults after any intentional change to the concurrency layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.concurrency import format_concurrency_report, run_concurrent_benchmark
+from repro.concurrency.report import write_concurrency_report
+from repro.engines import resolve_engine_id
+
+#: The CI smoke subset: one native engine, one remote/async-flavoured one
+#: (the architecture the Section 6.4 durability effect is about).
+DEFAULT_ENGINES = ("nativelinked-1.9", "documentgraph-2.8")
+DEFAULT_OUTPUT = "BENCH_concurrency.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engines", nargs="+", default=list(DEFAULT_ENGINES))
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--txns", type=int, default=12)
+    parser.add_argument("--mix", default="write-heavy")
+    parser.add_argument("--dataset", default="yeast")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=20181204)
+    parser.add_argument("--group-commit", type=int, default=4)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument("--report", default=None)
+    args = parser.parse_args(argv)
+
+    report = run_concurrent_benchmark(
+        [resolve_engine_id(name) for name in args.engines],
+        clients=args.clients,
+        mix_name=args.mix,
+        dataset_name=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        txns=args.txns,
+        group_commit=args.group_commit,
+    )
+    print(format_concurrency_report(report))
+    for path in write_concurrency_report(report, json_path=args.output, text_path=args.report):
+        print(f"\nwrote {path.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,27 @@
-"""Legacy setup shim.
+"""Packaging metadata for the graphbench reproduction suite.
 
 The offline environment ships setuptools without the ``wheel`` package, so
 PEP 660 editable installs are unavailable; ``pip install -e . --no-build-isolation
---no-use-pep517`` falls back to this file.  All metadata lives in
-``pyproject.toml``.
+--no-use-pep517`` falls back to this file.  The ``graphbench`` console
+script advertised by ``repro.cli`` is declared here — the CLI stays usable
+as ``python -m repro`` without installation.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="graphbench-repro",
+    version="0.3.0",
+    description=(
+        "Simulated reproduction of 'Beyond Macrobenchmarks: Microbenchmark-based "
+        "Graph Database Evaluation' (PVLDB 12(4), 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "graphbench = repro.cli:main",
+        ],
+    },
+)

@@ -7,7 +7,10 @@ Sub-commands mirror the workflow of the paper's test suite:
 * ``graphbench micro`` — run the microbenchmark and print the per-figure
   timing tables, the time-out table, the overall totals, and Table 4;
 * ``graphbench complex`` — run the 13 LDBC-style complex queries (Figure 2);
-* ``graphbench space`` — measure space occupancy (Figure 1a/1b).
+* ``graphbench space`` — measure space occupancy (Figure 1a/1b);
+* ``graphbench concurrent`` — run the multi-client concurrency benchmark
+  (MVCC sessions, deterministic virtual-time scheduling, SYNC vs ASYNC
+  group commit) and print per-engine throughput / tail-latency tables.
 """
 
 from __future__ import annotations
@@ -27,9 +30,12 @@ from repro.bench.report import (
 from repro.bench.spaces import measure_space_matrix
 from repro.bench.suite import BenchmarkSuite
 from repro.bench.summary import summary_table
+from repro.concurrency import MIXES, format_concurrency_report, run_concurrent_benchmark
+from repro.concurrency.report import write_concurrency_report
 from repro.config import BenchConfig
 from repro.datasets import available_datasets, compute_statistics, get_dataset
-from repro.engines import DEFAULT_ENGINES, available_engines, engine_info
+from repro.engines import DEFAULT_ENGINES, available_engines, engine_info, resolve_engine_id
+from repro.exceptions import BenchmarkError
 from repro.queries.registry import query_ids
 
 
@@ -87,6 +93,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--datasets", nargs="+", default=["frb-s", "frb-o"], choices=list(available_datasets())
     )
     space_parser.add_argument("--seed", type=int, default=20181204)
+
+    concurrent_parser = subparsers.add_parser(
+        "concurrent", help="run the multi-client concurrency benchmark (Figure 8)"
+    )
+    # Short aliases are accepted ("triple" -> "triplegraph-2.1"), so no
+    # argparse choices here; resolution happens in the command handler.
+    concurrent_parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=list(DEFAULT_ENGINES),
+        help="engines to benchmark; identifiers or unambiguous prefixes",
+    )
+    concurrent_parser.add_argument("--clients", type=int, default=8, help="concurrent clients")
+    concurrent_parser.add_argument(
+        "--mix",
+        default="read-heavy",
+        choices=sorted(MIXES),
+        help="operation mix per client",
+    )
+    concurrent_parser.add_argument("--txns", type=int, default=24, help="transactions per client")
+    concurrent_parser.add_argument("--dataset", default="yeast", choices=list(available_datasets()))
+    concurrent_parser.add_argument("--scale", type=float, default=0.25)
+    concurrent_parser.add_argument("--seed", type=int, default=20181204)
+    concurrent_parser.add_argument(
+        "--group-commit", type=int, default=4, help="commits batched per ASYNC WAL flush"
+    )
+    concurrent_parser.add_argument(
+        "--loop", default="closed", choices=["closed", "open"], help="client loop model"
+    )
+    concurrent_parser.add_argument(
+        "--arrival-interval",
+        type=int,
+        default=0,
+        help="open-loop inter-arrival gap per client, in charge units",
+    )
+    concurrent_parser.add_argument(
+        "--output", default=None, help="write the JSON payload here (e.g. BENCH_concurrency.json)"
+    )
+    concurrent_parser.add_argument(
+        "--report", default=None, help="write the rendered table here (e.g. benchmarks/reports/fig8_concurrency.txt)"
+    )
     return parser
 
 
@@ -148,6 +195,39 @@ def _command_complex(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_concurrent(args: argparse.Namespace) -> int:
+    if args.loop == "open" and args.arrival_interval <= 0:
+        print(
+            "graphbench concurrent: --loop open requires a positive --arrival-interval",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        engine_ids = [resolve_engine_id(name) for name in args.engines]
+    except BenchmarkError as error:
+        print(f"graphbench concurrent: {error}", file=sys.stderr)
+        return 2
+    report = run_concurrent_benchmark(
+        engine_ids,
+        clients=args.clients,
+        mix_name=args.mix,
+        dataset_name=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        txns=args.txns,
+        group_commit=args.group_commit,
+        loop=args.loop,
+        arrival_interval=args.arrival_interval,
+    )
+    print(format_concurrency_report(report))
+    written = write_concurrency_report(
+        report, json_path=args.output, text_path=args.report
+    )
+    for path in written:
+        print(f"wrote {path.resolve()}")
+    return 0
+
+
 def _command_space(args: argparse.Namespace) -> int:
     datasets = [get_dataset(name, scale=args.scale, seed=args.seed) for name in args.datasets]
     measurements = measure_space_matrix(list(args.engines), datasets)
@@ -169,6 +249,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_complex(args)
     if args.command == "space":
         return _command_space(args)
+    if args.command == "concurrent":
+        return _command_concurrent(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -1,0 +1,55 @@
+"""Multi-client concurrency layer: MVCC sessions, scheduling, benchmarks.
+
+The paper measures every query in single-client isolation; this package
+adds the missing dimension.  ``versioning`` implements snapshot isolation
+as an engine-agnostic overlay, ``sessions`` the begin/commit/abort API with
+group commit through the engine WAL, ``scheduler`` a deterministic
+virtual-time interleaver of client streams, and ``driver``/``report`` the
+mixed-workload benchmark behind ``graphbench concurrent``.
+"""
+
+from repro.concurrency.driver import (
+    DURABILITY_MODES,
+    MIXES,
+    MixSpec,
+    run_concurrent_benchmark,
+    run_engine_mode,
+)
+from repro.concurrency.report import (
+    comparable_payload,
+    format_concurrency_report,
+    write_concurrency_report,
+)
+from repro.concurrency.scheduler import (
+    ClientOp,
+    OpTrace,
+    ScheduleResult,
+    VirtualTimeScheduler,
+    percentile,
+)
+from repro.concurrency.sessions import CommitResult, ConcurrencyStats, Session, SessionManager
+from repro.concurrency.versioning import ProvisionalId, VersionStore, VersionedGraph, WriteSet
+
+__all__ = [
+    "ClientOp",
+    "CommitResult",
+    "ConcurrencyStats",
+    "DURABILITY_MODES",
+    "MIXES",
+    "MixSpec",
+    "OpTrace",
+    "ProvisionalId",
+    "ScheduleResult",
+    "Session",
+    "SessionManager",
+    "VersionStore",
+    "VersionedGraph",
+    "VirtualTimeScheduler",
+    "WriteSet",
+    "comparable_payload",
+    "format_concurrency_report",
+    "percentile",
+    "run_concurrent_benchmark",
+    "run_engine_mode",
+    "write_concurrency_report",
+]

@@ -1,0 +1,368 @@
+"""Reproducible multi-client workload driver for the concurrency bench.
+
+Builds N per-client transaction streams from the same seeded-parameter
+philosophy as :mod:`repro.bench.workload` — every random choice (operation
+kinds, target vertices, property values, transaction sizes) is drawn at
+*plan* time from a per-client ``random.Random`` seeded from the global
+seed, so the resulting schedule is a pure function of
+``(engine, dataset, mix, clients, txns, seed)``.  Write operations are
+biased toward a small *hot set* of vertices, which is what produces
+write-write conflicts under snapshot isolation once streams interleave.
+
+Each engine is benchmarked under both durability modes: SYNC charges every
+WAL append inside the committing client's latency, ASYNC defers them to
+group flushes that the scheduler runs off the client path.  Comparing the
+two commit-latency columns reproduces the paper's Section 6.4 observation
+about ArangoDB's asynchronous WAL flattering client-side CUD latencies —
+now under real multi-client contention instead of single-client runs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.bench.workload import LoadedGraph, load_dataset_into
+from repro.concurrency.scheduler import ClientOp, ScheduleResult, VirtualTimeScheduler, percentile
+from repro.concurrency.sessions import Session, SessionManager
+from repro.datasets import get_dataset
+from repro.engines import create_engine
+from repro.exceptions import BenchmarkError, TransactionError
+from repro.queries import query_by_id
+
+#: Engines × durability modes benchmarked by default.
+DURABILITY_MODES = ("sync", "async")
+
+#: Number of hot vertices that write operations are biased toward.
+HOT_SET_SIZE = 16
+
+#: Fraction (percent) of write targets drawn from the hot set.
+HOT_WRITE_PERCENT = 70
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """A named operation mix: ``(op_kind, weight)`` pairs (weights sum to 100)."""
+
+    name: str
+    ops: tuple[tuple[str, int], ...]
+
+    def choose(self, rng: random.Random) -> str:
+        total = sum(weight for _kind, weight in self.ops)
+        roll = rng.randrange(total)
+        acc = 0
+        for kind, weight in self.ops:
+            acc += weight
+            if roll < acc:
+                return kind
+        return self.ops[-1][0]  # pragma: no cover - weights always cover the roll
+
+
+#: The three workload mixes from the issue: read-heavy 90/10, write-heavy
+#: 50/50, and a traversal+CUD blend.
+MIXES: dict[str, MixSpec] = {
+    spec.name: spec
+    for spec in (
+        MixSpec(
+            "read-heavy",
+            (
+                ("lookup", 40),
+                ("out-neighbors", 25),
+                ("in-neighbors", 15),
+                ("edge-labels", 10),
+                ("set-prop", 6),
+                ("add-edge", 4),
+            ),
+        ),
+        MixSpec(
+            "write-heavy",
+            (
+                ("lookup", 20),
+                ("out-neighbors", 20),
+                ("in-neighbors", 10),
+                ("set-prop", 25),
+                ("add-edge", 15),
+                ("remove-edge", 5),
+                ("add-vertex", 5),
+            ),
+        ),
+        MixSpec(
+            "traversal-cud",
+            (
+                ("bfs", 10),
+                ("out-neighbors", 20),
+                ("lookup", 10),
+                ("edge-labels", 10),
+                ("set-prop", 20),
+                ("add-edge", 15),
+                ("remove-edge", 5),
+                ("add-vertex", 10),
+            ),
+        ),
+    )
+}
+
+#: Operation kinds that buffer writes (everything else is a read).
+WRITE_KINDS = frozenset({"set-prop", "add-edge", "remove-edge", "add-vertex"})
+
+
+@dataclass
+class PlannedOp:
+    """One operation with all random choices already bound."""
+
+    kind: str
+    run: Callable[[Any], Any]  # takes the session's VersionedGraph
+
+
+def _plan_op(
+    kind: str,
+    rng: random.Random,
+    vertices: list[Any],
+    hot: list[Any],
+    edges: list[Any],
+    labels: list[str],
+    client: int,
+    serial: int,
+) -> PlannedOp:
+    """Bind one operation's parameters at plan time (deterministic)."""
+    if kind == "lookup":
+        vid = rng.choice(vertices)
+        return PlannedOp(kind, lambda g: g.vertex(vid))
+    if kind == "out-neighbors":
+        vid = rng.choice(vertices)
+        return PlannedOp(kind, lambda g: list(g.out_neighbors(vid)))
+    if kind == "in-neighbors":
+        vid = rng.choice(vertices)
+        return PlannedOp(kind, lambda g: list(g.in_neighbors(vid)))
+    if kind == "edge-labels":
+        vid = rng.choice(vertices)
+        return PlannedOp(kind, lambda g: {g.edge_label(e) for e in g.both_edges(vid)})
+    if kind == "bfs":
+        vid = rng.choice(vertices)
+        query = query_by_id("Q32")
+        return PlannedOp(kind, lambda g: query(g, {"vertex": vid, "depth": 2}))
+    if kind == "set-prop":
+        pool = hot if rng.randrange(100) < HOT_WRITE_PERCENT else vertices
+        vid = rng.choice(pool)
+        key = f"hot_{rng.randrange(4)}"
+        value = rng.randrange(10_000)
+        return PlannedOp(kind, lambda g: g.set_vertex_property(vid, key, value))
+    if kind == "add-edge":
+        source = rng.choice(vertices)
+        target = rng.choice(vertices)
+        label = rng.choice(labels)
+        return PlannedOp(kind, lambda g: g.add_edge(source, target, label))
+    if kind == "remove-edge":
+        eid = rng.choice(edges)
+        return PlannedOp(
+            kind, lambda g: g.remove_edge(eid) if g.edge_exists(eid) else None
+        )
+    if kind == "add-vertex":
+        name = f"txn-c{client}-{serial}"
+        score = rng.randrange(1_000)
+        return PlannedOp(
+            kind, lambda g: g.add_vertex({"bench_name": name, "bench_score": score}, label="bench")
+        )
+    raise BenchmarkError(f"unknown operation kind {kind!r}")
+
+
+def plan_client(
+    loaded: LoadedGraph,
+    mix: MixSpec,
+    client: int,
+    txns: int,
+    seed: int,
+) -> list[list[PlannedOp]]:
+    """Plan every transaction of one client (all randomness bound here)."""
+    rng = random.Random(
+        seed * 1_000_003 + client * 7_919 + zlib.crc32(mix.name.encode())
+    )
+    vertices = list(loaded.vertex_map.values())
+    edges = list(loaded.edge_map.values())
+    hot_rng = random.Random(seed)  # same hot set for every client: contention
+    hot = hot_rng.sample(vertices, min(HOT_SET_SIZE, len(vertices)))
+    labels = sorted(loaded.dataset.edge_labels()) or ["edge"]
+
+    plans: list[list[PlannedOp]] = []
+    serial = 0
+    for _txn in range(txns):
+        size = rng.choice((1, 1, 2, 3))
+        ops = []
+        for _slot in range(size):
+            kind = mix.choose(rng)
+            ops.append(
+                _plan_op(kind, rng, vertices, hot, edges, labels, client, serial)
+            )
+            serial += 1
+        plans.append(ops)
+    return plans
+
+
+def client_stream(
+    manager: SessionManager, plans: list[list[PlannedOp]]
+) -> Iterator[ClientOp]:
+    """Turn planned transactions into a lazily-evaluated ClientOp stream.
+
+    ``manager.begin()`` runs when the scheduler fetches the transaction's
+    first operation — i.e. at the stream's true schedule position — so the
+    snapshot reflects every commit that happened before that moment.
+    """
+    for txn in plans:
+        session = manager.begin()
+        for op in txn:
+            kind = "write" if op.kind in WRITE_KINDS else "read"
+            yield ClientOp(kind, _bind_run(op, session), label=op.kind)
+        yield ClientOp("commit", _bind_commit(session), label="commit")
+
+
+def _bind_run(op: PlannedOp, session: Session) -> Callable[[], Any]:
+    def run() -> Any:
+        return op.run(session.graph)
+
+    return run
+
+
+def _bind_commit(session: Session) -> Callable[[], Any]:
+    def run() -> Any:
+        try:
+            session.commit()
+        except TransactionError:
+            # Conflict aborts are part of the workload; the manager counted
+            # it and the client moves on to its next transaction.
+            pass
+
+    return run
+
+
+def _stats_row(result: ScheduleResult, manager: SessionManager) -> dict[str, Any]:
+    """Summarise one (engine, durability) run into a JSON-stable row."""
+    latencies = result.latencies()
+    commit_latencies = result.latencies("commit")
+    commit_costs = result.costs("commit")
+    makespan = result.makespan
+    ops = result.operations
+    throughput = round(ops * 1000 / makespan, 4) if makespan else 0.0
+    errors = sum(1 for trace in result.traces if trace.error)
+    row: dict[str, Any] = {
+        "operations": ops,
+        "makespan_charge": makespan,
+        "background_charge": result.background_cost,
+        "throughput_ops_per_kcharge": throughput,
+        "p50_charge": percentile(latencies, 50),
+        "p95_charge": percentile(latencies, 95),
+        "p99_charge": percentile(latencies, 99),
+        "commit_p50_charge": percentile(commit_latencies, 50),
+        "commit_p95_charge": percentile(commit_latencies, 95),
+        "commit_p99_charge": percentile(commit_latencies, 99),
+        "commit_mean_charge": (
+            round(sum(commit_latencies) / len(commit_latencies), 4)
+            if commit_latencies
+            else 0.0
+        ),
+        # Pure commit service cost (no queueing): isolates the WAL charges
+        # that SYNC durability puts on the committing client's path.
+        "commit_cost_mean_charge": (
+            round(sum(commit_costs) / len(commit_costs), 4) if commit_costs else 0.0
+        ),
+        "op_errors": errors,
+    }
+    row.update(manager.stats.snapshot())
+    return row
+
+
+def run_engine_mode(
+    engine_id: str,
+    durability: str,
+    dataset: Any,
+    mix: MixSpec,
+    clients: int,
+    txns: int,
+    seed: int,
+    group_commit: int,
+    loop: str = "closed",
+    arrival_interval: int = 0,
+) -> dict[str, Any]:
+    """Run one (engine, durability) cell of the benchmark matrix."""
+    engine = create_engine(engine_id, durability=durability)
+    loaded = load_dataset_into(engine, dataset)
+    engine.reset_metrics()
+    manager = engine.transactions()
+    manager.group_commit_size = group_commit
+    streams = [
+        client_stream(manager, plan_client(loaded, mix, client, txns, seed))
+        for client in range(clients)
+    ]
+    scheduler = VirtualTimeScheduler(
+        engine, manager, streams, loop=loop, arrival_interval=arrival_interval
+    )
+    result = scheduler.run()
+    row = _stats_row(result, manager)
+    engine.close()
+    return row
+
+
+def run_concurrent_benchmark(
+    engine_ids: Sequence[str],
+    clients: int = 8,
+    mix_name: str = "read-heavy",
+    dataset_name: str = "yeast",
+    scale: float = 0.25,
+    seed: int = 20181204,
+    txns: int = 24,
+    group_commit: int = 4,
+    durabilities: Sequence[str] = DURABILITY_MODES,
+    loop: str = "closed",
+    arrival_interval: int = 0,
+    dataset_seed: int = 11,
+) -> dict[str, Any]:
+    """Run the full engines × durability matrix and return the report.
+
+    Every field except ``wall_seconds`` is derived from seeded choices and
+    logical charges, so the payload is byte-identical across runs with the
+    same arguments (the determinism regression test holds this).
+    """
+    if mix_name not in MIXES:
+        known = ", ".join(sorted(MIXES))
+        raise BenchmarkError(f"unknown mix {mix_name!r}; known mixes: {known}")
+    mix = MIXES[mix_name]
+    dataset = get_dataset(dataset_name, scale=scale, seed=dataset_seed)
+    started = time.perf_counter()
+    engines: dict[str, dict[str, Any]] = {}
+    for engine_id in engine_ids:
+        engines[engine_id] = {
+            durability: run_engine_mode(
+                engine_id,
+                durability,
+                dataset,
+                mix,
+                clients,
+                txns,
+                seed,
+                group_commit,
+                loop=loop,
+                arrival_interval=arrival_interval,
+            )
+            for durability in durabilities
+        }
+    return {
+        "benchmark": "concurrency-tail-latency",
+        "dataset": {
+            "name": dataset_name,
+            "scale": scale,
+            "seed": dataset_seed,
+            "vertices": dataset.vertex_count,
+            "edges": dataset.edge_count,
+        },
+        "clients": clients,
+        "mix": mix_name,
+        "txns_per_client": txns,
+        "seed": seed,
+        "group_commit": group_commit,
+        "loop": loop,
+        "arrival_interval": arrival_interval,
+        "engines": engines,
+        "wall_seconds": round(time.perf_counter() - started, 3),
+    }

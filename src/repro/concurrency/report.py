@@ -1,0 +1,91 @@
+"""Rendering and persistence of the concurrency benchmark report.
+
+The JSON payload (``BENCH_concurrency.json``) is the machine-readable
+artifact gated by ``benchmarks/check_regression.py --kind concurrency``;
+the text table (``benchmarks/reports/fig8_concurrency.txt``) is the
+human-readable figure, following the repo's per-figure report convention.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+DEFAULT_JSON = "BENCH_concurrency.json"
+DEFAULT_REPORT = "benchmarks/reports/fig8_concurrency.txt"
+
+_COLUMNS = (
+    ("throughput_ops_per_kcharge", "thrpt/kc", "{:.2f}"),
+    ("p50_charge", "p50", "{:d}"),
+    ("p95_charge", "p95", "{:d}"),
+    ("p99_charge", "p99", "{:d}"),
+    ("commit_p50_charge", "cmt p50", "{:d}"),
+    ("commit_p99_charge", "cmt p99", "{:d}"),
+    ("commit_mean_charge", "cmt mean", "{:.1f}"),
+    ("commit_cost_mean_charge", "cmt cost", "{:.1f}"),
+    ("commits", "commits", "{:d}"),
+    ("conflict_aborts", "aborts", "{:d}"),
+    ("abort_rate", "abort%", "{:.1%}"),
+)
+
+
+def format_concurrency_report(report: dict[str, Any]) -> str:
+    """Render the engines × durability matrix as an aligned text table."""
+    dataset = report["dataset"]
+    lines = [
+        "Figure 8: multi-client throughput and tail latency "
+        "(charged units, deterministic virtual time)",
+        f"dataset={dataset['name']} scale={dataset['scale']} "
+        f"(V={dataset['vertices']}, E={dataset['edges']})  "
+        f"clients={report['clients']}  mix={report['mix']}  "
+        f"txns/client={report['txns_per_client']}  seed={report['seed']}  "
+        f"group-commit={report['group_commit']}  loop={report['loop']}",
+        "",
+    ]
+    header = f"{'engine':<22} {'durability':<10}" + "".join(
+        f" {title:>9}" for _key, title, _fmt in _COLUMNS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for engine_id, modes in report["engines"].items():
+        for durability, row in modes.items():
+            cells = "".join(
+                f" {fmt.format(row[key]):>9}" for key, _title, fmt in _COLUMNS
+            )
+            lines.append(f"{engine_id:<22} {durability:<10}{cells}")
+    lines.append("")
+    lines.append(
+        "latency unit: logical charge (page reads/writes + index probes + "
+        "record touches); 'cmt' columns are commit-only latencies —"
+    )
+    lines.append(
+        "ASYNC durability moves WAL page writes out of the committing "
+        "client's path into batched background group flushes (Section 6.4)."
+    )
+    return "\n".join(lines)
+
+
+def write_concurrency_report(
+    report: dict[str, Any],
+    json_path: str | Path | None = DEFAULT_JSON,
+    text_path: str | Path | None = DEFAULT_REPORT,
+) -> list[Path]:
+    """Persist the JSON payload and/or the rendered table; return the paths."""
+    written: list[Path] = []
+    if json_path is not None:
+        path = Path(json_path)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    if text_path is not None:
+        path = Path(text_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(format_concurrency_report(report) + "\n")
+        written.append(path)
+    return written
+
+
+def comparable_payload(report: dict[str, Any]) -> str:
+    """The report serialised without wall-clock fields (determinism checks)."""
+    stripped = {key: value for key, value in report.items() if key != "wall_seconds"}
+    return json.dumps(stripped, indent=2, sort_keys=True)

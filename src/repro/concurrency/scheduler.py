@@ -1,0 +1,209 @@
+"""Deterministic virtual-time scheduling of concurrent client streams.
+
+The repo's cost model charges *logical work* instead of measuring
+GIL-bound wall clock, and the concurrency layer follows suit: the
+scheduler interleaves N client operation streams on a simulated
+single-server executor whose clock advances by the logical I/O each
+operation charges (:class:`~repro.storage.metrics.StorageMetrics`).  A
+fixed seed therefore reproduces the *exact same* schedule, conflicts,
+aborts, and latencies on any machine — which is what lets CI gate
+throughput regressions bit-for-bit.
+
+Model
+-----
+
+* Each client is an iterator of :class:`ClientOp`; the next op of a client
+  is fetched lazily, right before it executes, so code between a stream's
+  yields (e.g. ``manager.begin()``) runs at its true schedule position.
+* The server executes one operation at a time, FCFS by submission time
+  (ties broken by client index).  An operation submitted at ``t`` starts
+  at ``max(t, server_free)`` and finishes ``cost`` charge units later,
+  where ``cost`` is the engine's logical-I/O delta while running it.
+* **Closed loop**: a client submits its next operation the moment its
+  previous one finishes (zero think time).  **Open loop**: client ``i``
+  submits at fixed arrivals ``i_0, i_0 + interval, ...`` regardless of
+  completions, so queueing delay — and therefore tail latency — grows
+  when the server saturates.
+* After every commit the scheduler gives the session manager a chance to
+  run a group flush (:meth:`SessionManager.maybe_group_flush`).  The
+  flush's charge advances the server clock (the work is real) but is not
+  attributed to any client operation — the background-WAL-flusher model
+  the paper describes for ArangoDB (Section 6.4).
+
+Latency of an operation = finish − submission, in charge units.  It
+includes queueing delay, which is where multi-client tail latency comes
+from even though every single operation is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.exceptions import GraphBenchError
+
+
+@dataclass
+class ClientOp:
+    """One schedulable client operation."""
+
+    kind: str  # "read" | "write" | "commit" (free-form; stats group by it)
+    run: Callable[[], Any]
+    label: str = ""
+
+
+@dataclass
+class OpTrace:
+    """The schedule record of one executed operation."""
+
+    client: int
+    index: int
+    kind: str
+    label: str
+    submitted: int
+    started: int
+    finished: int
+    cost: int
+    error: str | None = None
+
+    @property
+    def latency(self) -> int:
+        return self.finished - self.submitted
+
+
+@dataclass
+class ScheduleResult:
+    """Everything the driver needs to compute throughput and percentiles."""
+
+    traces: list[OpTrace] = field(default_factory=list)
+    #: Total virtual time, including background group-flush work.
+    makespan: int = 0
+    #: Charge units spent on background flushes (not in any op's latency).
+    background_cost: int = 0
+
+    def latencies(self, kind: str | None = None) -> list[int]:
+        return [
+            trace.latency
+            for trace in self.traces
+            if kind is None or trace.kind == kind
+        ]
+
+    def costs(self, kind: str | None = None) -> list[int]:
+        """Pure service charges (no queueing delay), optionally by kind."""
+        return [
+            trace.cost
+            for trace in self.traces
+            if kind is None or trace.kind == kind
+        ]
+
+    @property
+    def operations(self) -> int:
+        return len(self.traces)
+
+
+def percentile(values: Sequence[int], percent: int) -> int:
+    """Nearest-rank percentile with pure integer arithmetic.
+
+    ``percent`` is an integer (50, 95, 99); integer math keeps the rank —
+    and therefore the reported tail latencies — bit-identical across
+    platforms, which the determinism gate relies on.
+    """
+    if not values:
+        return 0
+    ordered = sorted(values)
+    rank = max(1, -(-percent * len(ordered) // 100))  # ceil(percent * n / 100)
+    return ordered[min(len(ordered), rank) - 1]
+
+
+class _ClientState:
+    def __init__(self, index: int, stream: Iterator[ClientOp], first_submit: int) -> None:
+        self.index = index
+        self.stream = stream
+        self.next_submit = first_submit
+        self.ops_done = 0
+        self.done = False
+
+
+class VirtualTimeScheduler:
+    """Interleave client streams over one engine in deterministic virtual time."""
+
+    def __init__(
+        self,
+        engine: Any,
+        manager: Any,
+        streams: Sequence[Iterator[ClientOp]],
+        loop: str = "closed",
+        arrival_interval: int = 0,
+    ) -> None:
+        if loop not in ("closed", "open"):
+            raise ValueError(f"loop must be 'closed' or 'open', not {loop!r}")
+        if loop == "open" and arrival_interval <= 0:
+            raise ValueError("open-loop scheduling needs a positive arrival interval")
+        self.engine = engine
+        self.manager = manager
+        self.loop = loop
+        self.arrival_interval = arrival_interval
+        self._clients = [
+            _ClientState(index, iter(stream), first_submit=0)
+            for index, stream in enumerate(streams)
+        ]
+
+    def run(self) -> ScheduleResult:
+        result = ScheduleResult()
+        server_free = 0
+        live = [client for client in self._clients if not client.done]
+        while live:
+            client = min(live, key=lambda c: (c.next_submit, c.index))
+            try:
+                op = next(client.stream)
+            except StopIteration:
+                client.done = True
+                live = [c for c in self._clients if not c.done]
+                continue
+
+            submitted = client.next_submit
+            started = max(server_free, submitted)
+            before = self.engine.io_cost()
+            error: str | None = None
+            try:
+                op.run()
+            except GraphBenchError as exc:
+                error = type(exc).__name__
+            cost = self.engine.io_cost() - before
+            finished = started + cost
+            server_free = finished
+            result.traces.append(
+                OpTrace(
+                    client=client.index,
+                    index=client.ops_done,
+                    kind=op.kind,
+                    label=op.label,
+                    submitted=submitted,
+                    started=started,
+                    finished=finished,
+                    cost=cost,
+                    error=error,
+                )
+            )
+            client.ops_done += 1
+
+            if op.kind == "commit" and self.manager is not None:
+                before_flush = self.engine.io_cost()
+                self.manager.maybe_group_flush()
+                flush_cost = self.engine.io_cost() - before_flush
+                server_free += flush_cost
+                result.background_cost += flush_cost
+
+            if self.loop == "closed":
+                client.next_submit = finished
+            else:
+                client.next_submit = submitted + self.arrival_interval
+
+        if self.manager is not None:
+            before_flush = self.engine.io_cost()
+            self.manager.flush()
+            flush_cost = self.engine.io_cost() - before_flush
+            server_free += flush_cost
+            result.background_cost += flush_cost
+        result.makespan = server_free
+        return result

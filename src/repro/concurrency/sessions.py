@@ -1,0 +1,439 @@
+"""Transactional sessions: begin / commit / abort with group commit.
+
+A :class:`SessionManager` owns one engine, one shared
+:class:`~repro.concurrency.versioning.VersionStore`, and the set of active
+sessions.  Each :class:`Session` buffers its writes in a
+:class:`~repro.concurrency.versioning.WriteSet` and exposes a
+:class:`~repro.concurrency.versioning.VersionedGraph` through which every
+existing query runs unchanged.
+
+Commit protocol (snapshot isolation, first-committer-wins):
+
+1. **Validate** — for every key in the session's write set, abort with
+   :class:`~repro.exceptions.WriteConflictError` if another transaction
+   committed a write to that key after this session's snapshot.
+2. **Capture** — if any *other* session is currently active (and could
+   therefore hold an older snapshot), read and store the pre-commit state
+   of every written object in the version store's undo chains.  These
+   version-maintenance reads are charged to the engine like any other read;
+   an uncontended commit skips them entirely, which is what makes a single
+   session charge-identical to direct execution.
+3. **Apply** — replay the operation log against the engine in call order.
+   Every applied operation charges the engine's storage structures and
+   appends to the engine's write-ahead log exactly as a direct call would.
+4. **Publish** — bump the commit clock and mark every written key.
+
+Group commit (the paper's Section 6.4 effect, made measurable): in SYNC
+durability every applied operation's WAL append is charged at apply time,
+so the committing client pays for durability inside its commit latency.
+In ASYNC durability the appends accumulate and
+:meth:`SessionManager.maybe_group_flush` flushes them in one batch once
+``group_commit_size`` commits (possibly from *different* sessions) are
+pending — the scheduler runs that flush off the client path, exactly like
+ArangoDB's background WAL flusher flattering client-side CUD latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import (
+    GraphBenchError,
+    SessionStateError,
+    TransactionError,
+    WriteConflictError,
+)
+from repro.model.graph import GraphDatabase
+from repro.storage.wal import DurabilityMode
+from repro.concurrency.versioning import (
+    EdgeState,
+    ProvisionalId,
+    VersionStore,
+    VersionedGraph,
+    VertexState,
+    WriteSet,
+    edge_key,
+    vertex_key,
+)
+
+
+@dataclass
+class CommitResult:
+    """What a successful commit returns to the client."""
+
+    commit_ts: int
+    applied_ops: int
+    #: Provisional id -> engine id for objects created by the transaction.
+    id_map: dict[ProvisionalId, Any] = field(default_factory=dict)
+    read_only: bool = False
+
+
+@dataclass
+class ConcurrencyStats:
+    """Counters the benchmark driver reports per engine."""
+
+    begun: int = 0
+    commits: int = 0
+    read_only_commits: int = 0
+    conflict_aborts: int = 0
+    explicit_aborts: int = 0
+    group_flushes: int = 0
+    flushed_records: int = 0
+
+    @property
+    def aborts(self) -> int:
+        return self.conflict_aborts + self.explicit_aborts
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.commits + self.conflict_aborts
+        return self.conflict_aborts / attempts if attempts else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "begun": self.begun,
+            "commits": self.commits,
+            "read_only_commits": self.read_only_commits,
+            "conflict_aborts": self.conflict_aborts,
+            "explicit_aborts": self.explicit_aborts,
+            "abort_rate": round(self.abort_rate, 6),
+            "group_flushes": self.group_flushes,
+            "flushed_records": self.flushed_records,
+        }
+
+
+class Session:
+    """One client transaction: a snapshot, a write set, and a graph view."""
+
+    def __init__(self, manager: "SessionManager", session_id: int, snapshot_ts: int) -> None:
+        self.manager = manager
+        self.id = session_id
+        self.snapshot_ts = snapshot_ts
+        self.state = "open"
+        self.write_set = WriteSet(session_id)
+        self.graph = VersionedGraph(manager.engine, manager.store, self)
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == "open"
+
+    def commit(self) -> CommitResult:
+        """Publish this session's writes; raises on write-write conflict."""
+        return self.manager.commit(self)
+
+    def abort(self) -> None:
+        """Discard this session's writes."""
+        self.manager.abort(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if self.is_open:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Session {self.id} snapshot={self.snapshot_ts} {self.state}>"
+
+
+class SessionManager:
+    """Factory and commit coordinator for sessions over one engine."""
+
+    def __init__(self, engine: GraphDatabase, group_commit_size: int = 4) -> None:
+        self.engine = engine
+        self.store = VersionStore()
+        #: ASYNC durability flushes the engine WAL once this many mutating
+        #: commits are pending (across all sessions).
+        self.group_commit_size = group_commit_size
+        self.stats = ConcurrencyStats()
+        self._active: dict[int, Session] = {}
+        self._next_session_id = 1
+        self._unflushed_commits = 0
+
+    # -- session lifecycle --------------------------------------------------
+
+    def begin(self) -> Session:
+        """Open a session whose snapshot is the current commit clock."""
+        session = Session(self, self._next_session_id, self.store.clock)
+        self._next_session_id += 1
+        self._active[session.id] = session
+        self.stats.begun += 1
+        return session
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._active)
+
+    def abort(self, session: Session) -> None:
+        if not session.is_open:
+            raise SessionStateError(f"session {session.id} is already {session.state}")
+        session.state = "aborted"
+        self._active.pop(session.id, None)
+        self.stats.explicit_aborts += 1
+
+    # -- commit -------------------------------------------------------------
+
+    def commit(self, session: Session) -> CommitResult:
+        if not session.is_open:
+            raise SessionStateError(f"session {session.id} is already {session.state}")
+        ws = session.write_set
+        if not ws.ops:
+            session.state = "committed"
+            self._active.pop(session.id, None)
+            self.stats.commits += 1
+            self.stats.read_only_commits += 1
+            return CommitResult(session.snapshot_ts, 0, read_only=True)
+
+        # 1. Validate: first committer wins.
+        for key in ws.write_keys:
+            committed = self.store.committed_at.get(key, 0)
+            if committed > session.snapshot_ts:
+                session.state = "aborted"
+                self._active.pop(session.id, None)
+                self.stats.conflict_aborts += 1
+                raise WriteConflictError(session.id, key, committed, session.snapshot_ts)
+
+        commit_ts = self.store.clock + 1
+        capture = any(other_id != session.id for other_id in self._active)
+        removed_edge_states: dict[Any, EdgeState] = {}
+        cascade_keys: set[tuple[str, Any]] = set()
+        if capture:
+            cascade_keys = self._capture_before_images(
+                session, commit_ts, removed_edge_states
+            )
+
+        # 3. Apply the operation log in call order.  Buffering rejects
+        # writes on objects the session (or any overlay commit it can see)
+        # already removed, and the conflict check above covers objects
+        # removed after the snapshot — so a failure here means a blind
+        # write on an id that never went through the overlay (a caller
+        # bug, not a race).  The session is closed consistently either
+        # way, but an interrupted replay cannot be rolled back: the engine
+        # keeps the operations applied before the failure.
+        id_map: dict[ProvisionalId, Any] = {}
+        try:
+            applied = self._apply(session, id_map)
+        except GraphBenchError as exc:
+            session.state = "aborted"
+            self._active.pop(session.id, None)
+            self.stats.explicit_aborts += 1
+            raise TransactionError(
+                f"session {session.id} commit failed while applying its "
+                f"operation log: {exc}"
+            ) from exc
+
+        # 4. Publish timestamps and structural bookkeeping.
+        self._publish(session, commit_ts, id_map, removed_edge_states, cascade_keys)
+
+        session.state = "committed"
+        self._active.pop(session.id, None)
+        self.stats.commits += 1
+        if self.engine_wal_mode is DurabilityMode.ASYNC:
+            self._unflushed_commits += 1
+        return CommitResult(commit_ts, applied, id_map=id_map)
+
+    # -- group commit -------------------------------------------------------
+
+    @property
+    def engine_wal_mode(self) -> DurabilityMode:
+        wal = getattr(self.engine, "wal", None)
+        return wal.mode if wal is not None else DurabilityMode.SYNC
+
+    def maybe_group_flush(self) -> int:
+        """Flush the engine WAL if a full commit group is pending.
+
+        Returns the number of records flushed (0 when the group is not yet
+        full or durability is SYNC).  The scheduler calls this *after*
+        recording a commit's latency: the flush is background work that
+        delays the server, not the committing client.
+        """
+        if self.engine_wal_mode is not DurabilityMode.ASYNC:
+            return 0
+        if self._unflushed_commits < self.group_commit_size:
+            return 0
+        return self.flush()
+
+    def flush(self) -> int:
+        """Force all pending WAL records to stable storage."""
+        wal = getattr(self.engine, "wal", None)
+        if wal is None:
+            return 0
+        flushed = wal.flush()
+        self._unflushed_commits = 0
+        if flushed:
+            self.stats.group_flushes += 1
+            self.stats.flushed_records += flushed
+        return flushed
+
+    # -- commit internals ---------------------------------------------------
+
+    def _capture_before_images(
+        self,
+        session: Session,
+        commit_ts: int,
+        removed_edge_states: dict[Any, EdgeState],
+    ) -> set[tuple[str, Any]]:
+        """Record undo states for every key this commit will overwrite.
+
+        Also expands ``remove_vertex`` cascades: the incident edges the
+        engine will delete alongside the vertex are captured (and later
+        published) so that older snapshots can resurrect them and later
+        writers conflict on them.  All reads here charge the engine.
+        """
+        engine = self.engine
+        store = self.store
+        ws = session.write_set
+        cascade_keys: set[tuple[str, Any]] = set()
+
+        def capture(key: tuple[str, Any]) -> None:
+            if any(ts == commit_ts for ts, _state in store.undo.get(key, ())):
+                return
+            kind, obj_id = key
+            state: Any = None
+            if kind == "vertex":
+                if engine.vertex_exists(obj_id):
+                    base = engine.vertex(obj_id)
+                    state = VertexState(base.label, dict(base.properties))
+            else:
+                if engine.edge_exists(obj_id):
+                    base = engine.edge(obj_id)
+                    state = EdgeState(base.label, base.source, base.target, dict(base.properties))
+                    removed_edge_states.setdefault(obj_id, state)
+            store.undo.setdefault(key, []).append((commit_ts, state))
+
+        for key in sorted(ws.write_keys, key=repr):
+            capture(key)
+        for vertex_id in sorted(ws.removed_vertices, key=repr):
+            for eid in engine.both_edges(vertex_id):
+                key = edge_key(eid)
+                if key in ws.write_keys or key in cascade_keys:
+                    continue
+                cascade_keys.add(key)
+                capture(key)
+        return cascade_keys
+
+    def _apply(self, session: Session, id_map: dict[ProvisionalId, Any]) -> int:
+        """Replay the op log against the engine, mapping provisional ids."""
+        engine = self.engine
+        ws = session.write_set
+        dropped = {
+            op[1]
+            for op in ws.ops
+            if op[0] in ("drop_provisional_vertex", "drop_provisional_edge")
+        }
+
+        def resolve(obj_id: Any) -> Any:
+            return id_map.get(obj_id, obj_id)
+
+        applied = 0
+        for op in ws.ops:
+            name = op[0]
+            if name == "add_vertex":
+                _name, pid, properties, label = op
+                if pid in dropped:
+                    continue
+                id_map[pid] = engine.add_vertex(dict(properties), label=label)
+            elif name == "add_edge":
+                _name, pid, source, target, label, properties = op
+                if pid in dropped:
+                    continue
+                id_map[pid] = engine.add_edge(
+                    resolve(source), resolve(target), label, properties=dict(properties)
+                )
+            elif name == "set_vertex_property":
+                _name, vid, key, value = op
+                if vid in dropped:
+                    continue
+                engine.set_vertex_property(resolve(vid), key, value)
+            elif name == "remove_vertex_property":
+                _name, vid, key = op
+                if vid in dropped:
+                    continue
+                engine.remove_vertex_property(resolve(vid), key)
+            elif name == "set_edge_property":
+                _name, eid, key, value = op
+                if eid in dropped:
+                    continue
+                engine.set_edge_property(resolve(eid), key, value)
+            elif name == "remove_edge_property":
+                _name, eid, key = op
+                if eid in dropped:
+                    continue
+                engine.remove_edge_property(resolve(eid), key)
+            elif name == "remove_vertex":
+                engine.remove_vertex(resolve(op[1]))
+            elif name == "remove_edge":
+                engine.remove_edge(resolve(op[1]))
+            elif name in ("drop_provisional_vertex", "drop_provisional_edge"):
+                continue
+            else:  # pragma: no cover - op log is produced by VersionedGraph
+                raise TransactionError(f"unknown buffered operation {name!r}")
+            applied += 1
+        return applied
+
+    def _publish(
+        self,
+        session: Session,
+        commit_ts: int,
+        id_map: dict[ProvisionalId, Any],
+        removed_edge_states: dict[Any, EdgeState],
+        cascade_keys: set[tuple[str, Any]],
+    ) -> None:
+        store = self.store
+        ws = session.write_set
+
+        # Sets are iterated in sorted order so that the version store's
+        # dict insertion order — and therefore every overlay iteration
+        # downstream — is identical across processes (hash seeds vary).
+        for key in sorted(ws.write_keys, key=repr):
+            store.committed_at[key] = commit_ts
+        for key in sorted(cascade_keys, key=repr):
+            store.committed_at[key] = commit_ts
+            store.removed_at[key] = commit_ts
+
+        # Objects created by this commit.
+        for pid, engine_id in id_map.items():
+            key = vertex_key(engine_id) if pid.kind == "vertex" else edge_key(engine_id)
+            store.committed_at[key] = commit_ts
+            store.created_at[key] = commit_ts
+        for pid, state in ws.created_edges.items():
+            engine_id = id_map.get(pid)
+            if engine_id is None:
+                continue
+            for endpoint in (state.source, state.target):
+                resolved = id_map.get(endpoint, endpoint)
+                store.adj_changed_at[resolved] = commit_ts
+
+        # Objects removed by this commit.
+        for vertex_id in sorted(ws.removed_vertices, key=repr):
+            store.removed_at[vertex_key(vertex_id)] = commit_ts
+            store.adj_changed_at[vertex_id] = commit_ts
+        for edge_id in sorted(ws.removed_edges, key=repr):
+            if isinstance(edge_id, ProvisionalId):
+                continue
+            store.removed_at[edge_key(edge_id)] = commit_ts
+            self._index_removed_edge(edge_id, removed_edge_states, commit_ts)
+        for _kind, edge_id in sorted(cascade_keys, key=repr):
+            self._index_removed_edge(edge_id, removed_edge_states, commit_ts)
+
+        store.clock = commit_ts
+
+    def _index_removed_edge(
+        self, edge_id: Any, removed_edge_states: dict[Any, EdgeState], commit_ts: int
+    ) -> None:
+        """Register a removed edge for resurrection by older snapshots."""
+        state = removed_edge_states.get(edge_id)
+        if state is None:
+            # No before-image was captured (uncontended commit): no active
+            # session can hold an older snapshot, so resurrection metadata
+            # is unnecessary.
+            return
+        for endpoint in dict.fromkeys((state.source, state.target)):
+            edges = self.store.removed_edges_by_vertex.setdefault(endpoint, [])
+            if edge_id not in edges:
+                edges.append(edge_id)
+            self.store.adj_changed_at[endpoint] = commit_ts

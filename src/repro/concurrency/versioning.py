@@ -1,0 +1,998 @@
+"""Multi-version concurrency control over the engine-agnostic graph surface.
+
+The paper benchmarks every system in single-client isolation; this module is
+the foundation of the multi-client layer.  Instead of forking seven engines
+to add transactions, a :class:`VersionedGraph` *overlay* implements snapshot
+isolation on top of any :class:`~repro.model.graph.GraphDatabase`:
+
+* **newest version in place** — committed writes are applied directly to the
+  underlying engine (charging the engine's own storage structures, exactly
+  as a direct call would), so the engine always holds the newest version;
+* **undo chains for older snapshots** — when a commit could be observed by a
+  still-active older snapshot, the :class:`VersionStore` captures the
+  pre-commit state of every written object.  A reader with snapshot ``s``
+  reconstructs the state visible at ``s`` by walking the undo chain to the
+  first commit newer than ``s``;
+* **read-your-writes** — each session buffers its writes in a
+  :class:`WriteSet`; its own reads merge that overlay on top of the
+  snapshot view.  Buffered writes charge nothing until commit (the write
+  set is client RAM), which is also what makes group commit measurable.
+
+Charging rules
+--------------
+
+The overlay never invents or hides simulated I/O:
+
+* reads of *overlay-clean* objects delegate straight to the engine method a
+  direct caller would hit, so they charge the engine's own per-architecture
+  pattern (including bulk primitives on the globally-clean fast path);
+* reads answered from the version cache (undo states, the session write
+  set) charge nothing — those versions live in RAM by construction;
+* version *maintenance* is charged honestly: capturing before-images at
+  commit time performs real engine reads, but only when another active
+  session could observe them.  An uncontended session therefore charges
+  exactly what direct execution charges (enforced by
+  ``tests/concurrency/test_isolation.py::TestChargeParity``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.exceptions import ElementNotFoundError, SessionStateError
+from repro.model.elements import Direction, Edge, Vertex
+from repro.model.graph import GraphDatabase
+
+#: Sentinel returned by :meth:`VersionStore.state_at` when the engine's
+#: current (in-place) state is the one visible at the snapshot.
+CURRENT = object()
+
+#: Sentinel marking a property key as deleted inside a write set.
+TOMBSTONE = object()
+
+
+@dataclass(frozen=True)
+class ProvisionalId:
+    """A session-local identifier for an object created inside a transaction.
+
+    Engines hand out their ids at :meth:`add_vertex`/:meth:`add_edge` time,
+    but a buffered creation only reaches the engine at commit.  Until then
+    the session addresses the object through a provisional id; the commit
+    result maps provisional ids to the engine ids that replaced them.
+    """
+
+    kind: str
+    session_id: int
+    sequence: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<provisional {self.kind} s{self.session_id}#{self.sequence}>"
+
+
+@dataclass
+class VertexState:
+    """A reconstructed (or draft) vertex: label plus properties."""
+
+    label: str | None
+    properties: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class EdgeState:
+    """A reconstructed (or draft) edge: label, endpoints, properties."""
+
+    label: str
+    source: Any
+    target: Any
+    properties: dict[str, Any] = field(default_factory=dict)
+
+
+def vertex_key(vertex_id: Any) -> tuple[str, Any]:
+    return ("vertex", vertex_id)
+
+
+def edge_key(edge_id: Any) -> tuple[str, Any]:
+    return ("edge", edge_id)
+
+
+class VersionStore:
+    """Shared commit-timestamp bookkeeping for one underlying engine.
+
+    One store exists per :class:`~repro.concurrency.sessions.SessionManager`
+    and is consulted by every :class:`VersionedGraph` bound to it.  All
+    structures are plain dicts keyed by ``("vertex"|"edge", id)`` and are
+    maintained in commit order, so iteration is deterministic.
+    """
+
+    def __init__(self) -> None:
+        #: Timestamp of the latest mutating commit (0 = the loaded baseline).
+        self.clock: int = 0
+        #: Last commit timestamp that wrote each key (conflict detection).
+        self.committed_at: dict[tuple[str, Any], int] = {}
+        #: Before-images: ``key -> [(commit_ts, state_before_commit)]`` in
+        #: ascending commit order; ``None`` means the object did not exist.
+        self.undo: dict[tuple[str, Any], list[tuple[int, Any]]] = {}
+        #: Commit timestamp at which overlay-created objects appeared.
+        self.created_at: dict[tuple[str, Any], int] = {}
+        #: Commit timestamp at which overlay-removed objects disappeared.
+        self.removed_at: dict[tuple[str, Any], int] = {}
+        #: Resurrection index: vertex id -> removed incident edge ids (in
+        #: commit order).  Populated only when before-images are captured.
+        self.removed_edges_by_vertex: dict[Any, list[Any]] = {}
+        #: Timestamp of the most recent structural change (edge added or
+        #: removed) touching each vertex; readers with an older snapshot
+        #: must take the overlay-aware adjacency path.
+        self.adj_changed_at: dict[Any, int] = {}
+
+    # -- visibility ---------------------------------------------------------
+
+    def state_at(self, key: tuple[str, Any], snapshot: int) -> Any:
+        """Return what a reader at ``snapshot`` sees for ``key``.
+
+        ``CURRENT`` means the engine's in-place state is the visible one;
+        ``None`` means the object did not exist at the snapshot; anything
+        else is a reconstructed :class:`VertexState` / :class:`EdgeState`.
+        """
+        if self.committed_at.get(key, 0) <= snapshot:
+            return CURRENT
+        for commit_ts, state in self.undo.get(key, ()):
+            if commit_ts > snapshot:
+                return state
+        # The key was overwritten after the snapshot but no before-image was
+        # captured.  That only happens when no session with an older
+        # snapshot was active at commit time, so no live reader can reach
+        # this branch; fall back to the current state to stay total.
+        return CURRENT
+
+    def hidden_from(self, key: tuple[str, Any], snapshot: int) -> bool:
+        """True if the object was created by a commit newer than ``snapshot``."""
+        return self.created_at.get(key, 0) > snapshot
+
+    def removed_as_of(self, key: tuple[str, Any], snapshot: int) -> bool:
+        """True if ``key`` was overlay-removed at/before ``snapshot`` (and not re-created).
+
+        Lets write buffering reject operations on objects that no session
+        could see anymore *without* touching the engine — a free dict
+        lookup, so charge parity is unaffected.  Objects that never went
+        through the overlay are not covered (a blind write on an id that
+        never existed still fails at apply time).
+        """
+        removed_ts = self.removed_at.get(key)
+        if removed_ts is None or removed_ts > snapshot:
+            return False
+        return self.created_at.get(key, 0) <= removed_ts
+
+    def resurrected_edges(self, vertex_id: Any, snapshot: int) -> Iterator[tuple[Any, EdgeState]]:
+        """Edges incident to ``vertex_id`` removed after ``snapshot``.
+
+        Yields ``(edge_id, state)`` for edges that existed at the snapshot
+        but were removed by a newer commit, in commit order.
+        """
+        for eid in self.removed_edges_by_vertex.get(vertex_id, ()):
+            key = edge_key(eid)
+            if self.removed_at.get(key, 0) <= snapshot:
+                continue
+            if self.hidden_from(key, snapshot):
+                continue
+            state = self.state_at(key, snapshot)
+            if state is None or state is CURRENT:
+                continue
+            yield eid, state
+
+    def removed_object_ids(self, kind: str, snapshot: int) -> Iterator[Any]:
+        """Ids of ``kind`` objects removed after ``snapshot`` but visible at it."""
+        for (obj_kind, obj_id), removed_ts in self.removed_at.items():
+            if obj_kind != kind or removed_ts <= snapshot:
+                continue
+            if self.hidden_from((obj_kind, obj_id), snapshot):
+                continue
+            yield obj_id
+
+    def overlaid_keys(self, kind: str, snapshot: int) -> list[Any]:
+        """Ids of ``kind`` objects whose visible state differs from in-place."""
+        return [
+            obj_id
+            for (obj_kind, obj_id), ts in self.committed_at.items()
+            if obj_kind == kind and ts > snapshot
+        ]
+
+
+class WriteSet:
+    """The buffered, uncommitted writes of one session.
+
+    Doubles as the session's read-your-writes overlay (merged views) and as
+    the faithful operation log replayed against the engine at commit —
+    the two are kept separate so that the applied operations charge exactly
+    what the equivalent direct calls would (e.g. a vertex created with two
+    properties and then given a third applies as ``add_vertex`` + one
+    ``set_vertex_property``, not as one three-property ``add_vertex``).
+    """
+
+    def __init__(self, session_id: int) -> None:
+        self.session_id = session_id
+        #: Faithful operation log: ``(op_name, *args)`` tuples in call order.
+        self.ops: list[tuple[Any, ...]] = []
+        #: Conflict-detection keys for writes touching *existing* objects.
+        self.write_keys: set[tuple[str, Any]] = set()
+        self.created_vertices: dict[ProvisionalId, VertexState] = {}
+        self.created_edges: dict[ProvisionalId, EdgeState] = {}
+        self.removed_vertices: set[Any] = set()
+        self.removed_edges: set[Any] = set()
+        #: Property overlays for existing objects: ``id -> {key: value|TOMBSTONE}``.
+        self.vertex_props: dict[Any, dict[str, Any]] = {}
+        self.edge_props: dict[Any, dict[str, Any]] = {}
+        #: Session-created adjacency: endpoint id -> created edge ids.
+        self.out_added: dict[Any, list[ProvisionalId]] = {}
+        self.in_added: dict[Any, list[ProvisionalId]] = {}
+        self._sequence = 0
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.ops)
+
+    def next_id(self, kind: str) -> ProvisionalId:
+        self._sequence += 1
+        return ProvisionalId(kind, self.session_id, self._sequence)
+
+    def touches_adjacency_of(self, vertex_id: Any) -> bool:
+        """True if this session structurally changed ``vertex_id``'s adjacency.
+
+        Session-removed edges are tracked by id only (their endpoints are
+        unknown until commit), so any buffered edge removal conservatively
+        forces the overlay-aware adjacency path.
+        """
+        return (
+            vertex_id in self.out_added
+            or vertex_id in self.in_added
+            or bool(self.removed_edges)
+            or vertex_id in self.created_vertices
+            or vertex_id in self.removed_vertices
+        )
+
+
+class VersionedGraph(GraphDatabase):
+    """A session's transactional view of an engine.
+
+    Implements the full :class:`~repro.model.graph.GraphDatabase` surface so
+    that every existing query — including the Gremlin traversal machine —
+    runs unchanged inside a transaction.  See the module docstring for the
+    visibility and charging rules.
+    """
+
+    def __init__(self, engine: GraphDatabase, store: VersionStore, session: Any) -> None:
+        self._engine = engine
+        self._store = store
+        self._session = session
+        # Mirror the metadata the optimizer and reports consult, and the
+        # metrics object the traversal machine charges materialisations to
+        # (frontier memory obeys the engine's budget inside a transaction).
+        self.name = f"txn:{engine.name}"
+        self.version = engine.version
+        self.kind = engine.kind
+        self.conflates_counts = engine.conflates_counts
+        self.supports_vertex_index = engine.supports_vertex_index
+        self.metrics = getattr(engine, "metrics", None)
+
+    # -- session plumbing ---------------------------------------------------
+
+    @property
+    def _ws(self) -> WriteSet:
+        return self._session.write_set
+
+    @property
+    def _snapshot(self) -> int:
+        if not self._session.is_open:
+            raise SessionStateError(
+                f"session {self._session.id} is {self._session.state}; begin a new one"
+            )
+        return self._session.snapshot_ts
+
+    def _fast(self) -> bool:
+        """True when no overlay exists at all: delegate everything."""
+        return self._store.clock == self._snapshot and not self._ws.ops
+
+    def _vertex_clean(self, vertex_id: Any, snapshot: int) -> bool:
+        """True when ``vertex_id``'s adjacency has no overlay at ``snapshot``.
+
+        A vertex created by a commit newer than the snapshot is *not*
+        clean even though it has no structural-change entry: delegating
+        would let the engine answer for an object this snapshot must not
+        see (the overlay path raises ``ElementNotFoundError`` instead).
+        """
+        return (
+            self._store.adj_changed_at.get(vertex_id, 0) <= snapshot
+            and not self._store.hidden_from(vertex_key(vertex_id), snapshot)
+            and not self._ws.touches_adjacency_of(vertex_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Vertex CRUD
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, properties: dict[str, Any] | None = None, label: str | None = None) -> Any:
+        self._snapshot  # state guard
+        ws = self._ws
+        pid = ws.next_id("vertex")
+        ws.created_vertices[pid] = VertexState(label, dict(properties or {}))
+        ws.ops.append(("add_vertex", pid, dict(properties or {}), label))
+        return pid
+
+    def vertex(self, vertex_id: Any) -> Vertex:
+        snapshot = self._snapshot
+        ws = self._ws
+        if vertex_id in ws.created_vertices:
+            draft = ws.created_vertices[vertex_id]
+            return Vertex(vertex_id, draft.label, dict(draft.properties))
+        if vertex_id in ws.removed_vertices:
+            raise ElementNotFoundError("vertex", vertex_id)
+        state = self._store.state_at(vertex_key(vertex_id), snapshot)
+        if state is None or self._store.hidden_from(vertex_key(vertex_id), snapshot):
+            raise ElementNotFoundError("vertex", vertex_id)
+        if state is CURRENT:
+            base = self._engine.vertex(vertex_id)
+            label, properties = base.label, dict(base.properties)
+        else:
+            label, properties = state.label, dict(state.properties)
+        overlay = ws.vertex_props.get(vertex_id)
+        if overlay:
+            for key, value in overlay.items():
+                if value is TOMBSTONE:
+                    properties.pop(key, None)
+                else:
+                    properties[key] = value
+        return Vertex(vertex_id, label, properties)
+
+    def vertex_exists(self, vertex_id: Any) -> bool:
+        snapshot = self._snapshot
+        ws = self._ws
+        if vertex_id in ws.created_vertices:
+            return True
+        if vertex_id in ws.removed_vertices:
+            return False
+        key = vertex_key(vertex_id)
+        if self._store.hidden_from(key, snapshot):
+            return False
+        state = self._store.state_at(key, snapshot)
+        if state is CURRENT:
+            return self._engine.vertex_exists(vertex_id)
+        return state is not None
+
+    def vertex_ids(self) -> Iterator[Any]:
+        snapshot = self._snapshot
+        if self._fast():
+            yield from self._engine.vertex_ids()
+            return
+        ws = self._ws
+        for vertex_id in self._engine.vertex_ids():
+            if self._store.hidden_from(vertex_key(vertex_id), snapshot):
+                continue
+            if vertex_id in ws.removed_vertices:
+                continue
+            yield vertex_id
+        for vertex_id in self._store.removed_object_ids("vertex", snapshot):
+            if vertex_id not in ws.removed_vertices:
+                yield vertex_id
+        yield from ws.created_vertices
+
+    def remove_vertex(self, vertex_id: Any) -> None:
+        self._snapshot
+        ws = self._ws
+        if vertex_id in ws.created_vertices:
+            # Creating and removing inside one transaction nets out; drop
+            # the draft and any session edges attached to it.
+            del ws.created_vertices[vertex_id]
+            for eid in list(ws.created_edges):
+                state = ws.created_edges[eid]
+                if state.source == vertex_id or state.target == vertex_id:
+                    self._drop_created_edge(eid)
+            ws.ops.append(("drop_provisional_vertex", vertex_id))
+            return
+        if vertex_id in ws.removed_vertices or self._store.removed_as_of(
+            vertex_key(vertex_id), self._snapshot
+        ):
+            raise ElementNotFoundError("vertex", vertex_id)
+        # Read-your-writes for the cascade: the engine will delete the
+        # incident edges at apply time, so this session must stop seeing
+        # them now.  The visible-adjacency scan here charges like the scan
+        # the engine itself performs inside ``remove_vertex`` — a buffered
+        # vertex removal therefore pays one extra adjacency scan compared
+        # to direct execution (the price of knowing the cascade early);
+        # the cascaded edge keys also join the conflict set.
+        for eid in list(self._incident_edges(vertex_id, Direction.BOTH, None)):
+            if eid in ws.created_edges:
+                self._drop_created_edge(eid)
+                ws.removed_edges.add(eid)
+            else:
+                ws.removed_edges.add(eid)
+                ws.write_keys.add(edge_key(eid))
+        ws.removed_vertices.add(vertex_id)
+        ws.write_keys.add(vertex_key(vertex_id))
+        ws.ops.append(("remove_vertex", vertex_id))
+
+    def set_vertex_property(self, vertex_id: Any, key: str, value: Any) -> None:
+        snapshot = self._snapshot
+        ws = self._ws
+        if vertex_id in ws.removed_vertices or self._store.removed_as_of(
+            vertex_key(vertex_id), snapshot
+        ):
+            raise ElementNotFoundError("vertex", vertex_id)
+        if vertex_id in ws.created_vertices:
+            ws.created_vertices[vertex_id].properties[key] = value
+        else:
+            ws.vertex_props.setdefault(vertex_id, {})[key] = value
+            ws.write_keys.add(vertex_key(vertex_id))
+        ws.ops.append(("set_vertex_property", vertex_id, key, value))
+
+    def remove_vertex_property(self, vertex_id: Any, key: str) -> None:
+        snapshot = self._snapshot
+        ws = self._ws
+        if vertex_id in ws.removed_vertices or self._store.removed_as_of(
+            vertex_key(vertex_id), snapshot
+        ):
+            raise ElementNotFoundError("vertex", vertex_id)
+        if vertex_id in ws.created_vertices:
+            ws.created_vertices[vertex_id].properties.pop(key, None)
+        else:
+            ws.vertex_props.setdefault(vertex_id, {})[key] = TOMBSTONE
+            ws.write_keys.add(vertex_key(vertex_id))
+        ws.ops.append(("remove_vertex_property", vertex_id, key))
+
+    def vertex_property(self, vertex_id: Any, key: str) -> Any:
+        snapshot = self._snapshot
+        ws = self._ws
+        if vertex_id in ws.created_vertices:
+            return ws.created_vertices[vertex_id].properties.get(key)
+        if vertex_id in ws.removed_vertices:
+            raise ElementNotFoundError("vertex", vertex_id)
+        overlay = ws.vertex_props.get(vertex_id)
+        if overlay and key in overlay:
+            value = overlay[key]
+            return None if value is TOMBSTONE else value
+        state = self._store.state_at(vertex_key(vertex_id), snapshot)
+        if state is None or self._store.hidden_from(vertex_key(vertex_id), snapshot):
+            raise ElementNotFoundError("vertex", vertex_id)
+        if state is CURRENT:
+            return self._engine.vertex_property(vertex_id, key)
+        return state.properties.get(key)
+
+    def vertex_label(self, vertex_id: Any) -> str | None:
+        snapshot = self._snapshot
+        ws = self._ws
+        if vertex_id in ws.created_vertices:
+            return ws.created_vertices[vertex_id].label
+        if vertex_id in ws.removed_vertices:
+            raise ElementNotFoundError("vertex", vertex_id)
+        key = vertex_key(vertex_id)
+        state = self._store.state_at(key, snapshot)
+        if state is None or self._store.hidden_from(key, snapshot):
+            raise ElementNotFoundError("vertex", vertex_id)
+        if state is CURRENT:
+            return self._engine.vertex_label(vertex_id)
+        return state.label
+
+    # ------------------------------------------------------------------
+    # Edge CRUD
+    # ------------------------------------------------------------------
+
+    def add_edge(
+        self,
+        source_id: Any,
+        target_id: Any,
+        label: str,
+        properties: dict[str, Any] | None = None,
+    ) -> Any:
+        snapshot = self._snapshot
+        ws = self._ws
+        for endpoint in (source_id, target_id):
+            if endpoint in ws.removed_vertices or (
+                not isinstance(endpoint, ProvisionalId)
+                and endpoint not in ws.created_vertices
+                and self._store.removed_as_of(vertex_key(endpoint), snapshot)
+            ):
+                raise ElementNotFoundError("vertex", endpoint)
+        pid = ws.next_id("edge")
+        ws.created_edges[pid] = EdgeState(label, source_id, target_id, dict(properties or {}))
+        ws.out_added.setdefault(source_id, []).append(pid)
+        ws.in_added.setdefault(target_id, []).append(pid)
+        # Adding an edge rewrites both endpoints' adjacency structures
+        # (chain heads, adjacency rows), so it conflicts with concurrent
+        # writes to those records — record-level first-committer-wins.
+        for endpoint in (source_id, target_id):
+            if endpoint not in ws.created_vertices:
+                ws.write_keys.add(vertex_key(endpoint))
+        ws.ops.append(("add_edge", pid, source_id, target_id, label, dict(properties or {})))
+        return pid
+
+    def _drop_created_edge(self, pid: ProvisionalId) -> None:
+        ws = self._ws
+        state = ws.created_edges.pop(pid, None)
+        if state is None:
+            return
+        for index in (ws.out_added.get(state.source), ws.in_added.get(state.target)):
+            if index and pid in index:
+                index.remove(pid)
+
+    def _edge_state(self, edge_id: Any, snapshot: int) -> EdgeState | None:
+        """The session-visible state of an edge, or None if not visible.
+
+        Returns a state without charging when the edge lives in the overlay;
+        charges one engine materialisation when the in-place edge is the
+        visible one.
+        """
+        ws = self._ws
+        if edge_id in ws.created_edges:
+            return ws.created_edges[edge_id]
+        if edge_id in ws.removed_edges:
+            return None
+        key = edge_key(edge_id)
+        if self._store.hidden_from(key, snapshot):
+            return None
+        state = self._store.state_at(key, snapshot)
+        if state is CURRENT:
+            base = self._engine.edge(edge_id)
+            state = EdgeState(base.label, base.source, base.target, dict(base.properties))
+        if state is None:
+            return None
+        return state
+
+    def edge(self, edge_id: Any) -> Edge:
+        snapshot = self._snapshot
+        state = self._edge_state(edge_id, snapshot)
+        if state is None:
+            raise ElementNotFoundError("edge", edge_id)
+        properties = dict(state.properties)
+        overlay = self._ws.edge_props.get(edge_id)
+        if overlay:
+            for key, value in overlay.items():
+                if value is TOMBSTONE:
+                    properties.pop(key, None)
+                else:
+                    properties[key] = value
+        return Edge(edge_id, state.label, state.source, state.target, properties)
+
+    def edge_exists(self, edge_id: Any) -> bool:
+        snapshot = self._snapshot
+        ws = self._ws
+        if edge_id in ws.created_edges:
+            return True
+        if edge_id in ws.removed_edges:
+            return False
+        key = edge_key(edge_id)
+        if self._store.hidden_from(key, snapshot):
+            return False
+        state = self._store.state_at(key, snapshot)
+        if state is CURRENT:
+            return self._engine.edge_exists(edge_id)
+        return state is not None
+
+    def edge_ids(self) -> Iterator[Any]:
+        snapshot = self._snapshot
+        if self._fast():
+            yield from self._engine.edge_ids()
+            return
+        ws = self._ws
+        for edge_id in self._engine.edge_ids():
+            if self._store.hidden_from(edge_key(edge_id), snapshot):
+                continue
+            if edge_id in ws.removed_edges:
+                continue
+            yield edge_id
+        for edge_id in self._store.removed_object_ids("edge", snapshot):
+            if edge_id not in ws.removed_edges:
+                yield edge_id
+        yield from ws.created_edges
+
+    def remove_edge(self, edge_id: Any) -> None:
+        self._snapshot
+        ws = self._ws
+        if edge_id in ws.created_edges:
+            self._drop_created_edge(edge_id)
+            ws.removed_edges.add(edge_id)
+            ws.ops.append(("drop_provisional_edge", edge_id))
+            return
+        if edge_id in ws.removed_edges or self._store.removed_as_of(
+            edge_key(edge_id), self._snapshot
+        ):
+            # Already removed inside this transaction or by a commit this
+            # snapshot observed: the visible view has no such edge, exactly
+            # like a direct double removal.
+            raise ElementNotFoundError("edge", edge_id)
+        ws.removed_edges.add(edge_id)
+        ws.write_keys.add(edge_key(edge_id))
+        ws.ops.append(("remove_edge", edge_id))
+
+    def set_edge_property(self, edge_id: Any, key: str, value: Any) -> None:
+        snapshot = self._snapshot
+        ws = self._ws
+        if edge_id in ws.removed_edges or self._store.removed_as_of(
+            edge_key(edge_id), snapshot
+        ):
+            raise ElementNotFoundError("edge", edge_id)
+        if edge_id in ws.created_edges:
+            ws.created_edges[edge_id].properties[key] = value
+        else:
+            ws.edge_props.setdefault(edge_id, {})[key] = value
+            ws.write_keys.add(edge_key(edge_id))
+        ws.ops.append(("set_edge_property", edge_id, key, value))
+
+    def remove_edge_property(self, edge_id: Any, key: str) -> None:
+        snapshot = self._snapshot
+        ws = self._ws
+        if edge_id in ws.removed_edges or self._store.removed_as_of(
+            edge_key(edge_id), snapshot
+        ):
+            raise ElementNotFoundError("edge", edge_id)
+        if edge_id in ws.created_edges:
+            ws.created_edges[edge_id].properties.pop(key, None)
+        else:
+            ws.edge_props.setdefault(edge_id, {})[key] = TOMBSTONE
+            ws.write_keys.add(edge_key(edge_id))
+        ws.ops.append(("remove_edge_property", edge_id, key))
+
+    def edge_property(self, edge_id: Any, key: str) -> Any:
+        snapshot = self._snapshot
+        ws = self._ws
+        overlay = ws.edge_props.get(edge_id)
+        if edge_id in ws.created_edges:
+            return ws.created_edges[edge_id].properties.get(key)
+        if edge_id in ws.removed_edges:
+            raise ElementNotFoundError("edge", edge_id)
+        if overlay and key in overlay:
+            value = overlay[key]
+            return None if value is TOMBSTONE else value
+        state = self._store.state_at(edge_key(edge_id), snapshot)
+        if state is None or self._store.hidden_from(edge_key(edge_id), snapshot):
+            raise ElementNotFoundError("edge", edge_id)
+        if state is CURRENT:
+            return self._engine.edge_property(edge_id, key)
+        return state.properties.get(key)
+
+    def edge_endpoints(self, edge_id: Any) -> tuple[Any, Any]:
+        snapshot = self._snapshot
+        ws = self._ws
+        if edge_id in ws.created_edges:
+            state = ws.created_edges[edge_id]
+            return state.source, state.target
+        if edge_id in ws.removed_edges:
+            raise ElementNotFoundError("edge", edge_id)
+        key = edge_key(edge_id)
+        state = self._store.state_at(key, snapshot)
+        if state is None or self._store.hidden_from(key, snapshot):
+            raise ElementNotFoundError("edge", edge_id)
+        if state is CURRENT:
+            return self._engine.edge_endpoints(edge_id)
+        return state.source, state.target
+
+    def edge_label(self, edge_id: Any) -> str:
+        snapshot = self._snapshot
+        ws = self._ws
+        if edge_id in ws.created_edges:
+            return ws.created_edges[edge_id].label
+        if edge_id in ws.removed_edges:
+            raise ElementNotFoundError("edge", edge_id)
+        key = edge_key(edge_id)
+        state = self._store.state_at(key, snapshot)
+        if state is None or self._store.hidden_from(key, snapshot):
+            raise ElementNotFoundError("edge", edge_id)
+        if state is CURRENT:
+            return self._engine.edge_label(edge_id)
+        return state.label
+
+    # ------------------------------------------------------------------
+    # Structural traversal primitives
+    # ------------------------------------------------------------------
+
+    def _edge_visible(self, edge_id: Any, snapshot: int) -> bool:
+        """Visibility filter for edge ids coming out of the engine."""
+        if edge_id in self._ws.removed_edges:
+            return False
+        return not self._store.hidden_from(edge_key(edge_id), snapshot)
+
+    def _overlay_incident(
+        self, vertex_id: Any, direction: Direction, label: str | None, snapshot: int
+    ) -> Iterator[Any]:
+        """Resurrected + session-created edges incident to ``vertex_id``."""
+        for eid, state in self._store.resurrected_edges(vertex_id, snapshot):
+            if eid in self._ws.removed_edges:
+                continue
+            if label is not None and state.label != label:
+                continue
+            if direction is Direction.OUT:
+                if state.source == vertex_id:
+                    yield eid
+            elif direction is Direction.IN:
+                if state.target == vertex_id:
+                    yield eid
+            else:
+                # BOTH mirrors the engine's out-pass + in-pass semantics:
+                # a resurrected self-loop yields twice.
+                if state.source == vertex_id:
+                    yield eid
+                if state.target == vertex_id:
+                    yield eid
+        ws = self._ws
+        if direction in (Direction.OUT, Direction.BOTH):
+            for pid in ws.out_added.get(vertex_id, ()):
+                if pid in ws.created_edges and (
+                    label is None or ws.created_edges[pid].label == label
+                ):
+                    yield pid
+        if direction in (Direction.IN, Direction.BOTH):
+            for pid in ws.in_added.get(vertex_id, ()):
+                if pid not in ws.created_edges:
+                    continue
+                state = ws.created_edges[pid]
+                if label is not None and state.label != label:
+                    continue
+                # Self-loops yield twice under BOTH, matching the engine's
+                # ``both_edges`` (out pass + in pass) semantics.
+                yield pid
+
+    def out_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        yield from self._incident_edges(vertex_id, Direction.OUT, label)
+
+    def in_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        yield from self._incident_edges(vertex_id, Direction.IN, label)
+
+    def both_edges(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        yield from self._incident_edges(vertex_id, Direction.BOTH, label)
+
+    def _incident_edges(
+        self, vertex_id: Any, direction: Direction, label: str | None
+    ) -> Iterator[Any]:
+        snapshot = self._snapshot
+        ws = self._ws
+        if vertex_id in ws.created_vertices:
+            yield from self._overlay_incident(vertex_id, direction, label, snapshot)
+            return
+        if vertex_id in ws.removed_vertices:
+            raise ElementNotFoundError("vertex", vertex_id)
+        key = vertex_key(vertex_id)
+        if self._store.hidden_from(key, snapshot):
+            raise ElementNotFoundError("vertex", vertex_id)
+        if self._store.state_at(key, snapshot) is None:
+            raise ElementNotFoundError("vertex", vertex_id)
+        if self._store.removed_at.get(key, 0) > snapshot:
+            # The vertex was removed in place after our snapshot; its
+            # adjacency survives only in the resurrection index.
+            yield from self._overlay_incident(vertex_id, direction, label, snapshot)
+            return
+        for edge_id in self._engine.edges_for(vertex_id, direction, label):
+            if self._edge_visible(edge_id, snapshot):
+                yield edge_id
+        yield from self._overlay_incident(vertex_id, direction, label, snapshot)
+
+    def edges_for(
+        self, vertex_id: Any, direction: Direction, label: str | None = None
+    ) -> Iterator[Any]:
+        return self._incident_edges(vertex_id, direction, label)
+
+    def neighbors(
+        self, vertex_id: Any, direction: Direction, label: str | None = None
+    ) -> Iterator[Any]:
+        snapshot = self._snapshot
+        if self._vertex_clean(vertex_id, snapshot):
+            # Overlay-clean vertex: the engine's own (possibly bulk-charged)
+            # neighbour expansion is exactly what a direct caller sees.
+            yield from self._engine.neighbors(vertex_id, direction, label)
+            return
+        for edge_id in self._incident_edges(vertex_id, direction, label):
+            source, target = self.edge_endpoints(edge_id)
+            if direction is Direction.OUT:
+                yield target
+            elif direction is Direction.IN:
+                yield source
+            else:
+                yield target if source == vertex_id else source
+
+    def out_neighbors(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        return self.neighbors(vertex_id, Direction.OUT, label)
+
+    def in_neighbors(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        return self.neighbors(vertex_id, Direction.IN, label)
+
+    def both_neighbors(self, vertex_id: Any, label: str | None = None) -> Iterator[Any]:
+        return self.neighbors(vertex_id, Direction.BOTH, label)
+
+    def degree(self, vertex_id: Any, direction: Direction = Direction.BOTH) -> int:
+        """Incident-edge count, overlay-aware.
+
+        The overlay-dirty path counts incident edges (self-loops twice
+        under BOTH, the :class:`GraphDatabase` default); engines that
+        override ``degree`` with structure-specific counting (the bitmap
+        engine's cardinalities count a self-loop once) keep their own
+        semantics only on the overlay-clean path.
+        """
+        snapshot = self._snapshot
+        if self._vertex_clean(vertex_id, snapshot):
+            return self._engine.degree(vertex_id, direction)
+        return sum(1 for _edge in self._incident_edges(vertex_id, direction, None))
+
+    def degree_at_least(
+        self, vertex_id: Any, k: int, direction: Direction = Direction.BOTH
+    ) -> bool:
+        snapshot = self._snapshot
+        if self._vertex_clean(vertex_id, snapshot):
+            return self._engine.degree_at_least(vertex_id, k, direction)
+        if k <= 0:
+            return True
+        count = 0
+        for _edge in self._incident_edges(vertex_id, direction, None):
+            count += 1
+            if count >= k:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Bulk structural primitives
+    # ------------------------------------------------------------------
+
+    def neighbors_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        if self._fast():
+            yield from self._engine.neighbors_many(vertex_ids, direction, label)
+            return
+        for vertex_id in vertex_ids:
+            for neighbor in self.neighbors(vertex_id, direction, label):
+                yield vertex_id, neighbor
+
+    def edges_for_many(
+        self,
+        vertex_ids: Iterable[Any],
+        direction: Direction,
+        label: str | None = None,
+    ) -> Iterator[tuple[Any, Any]]:
+        if self._fast():
+            yield from self._engine.edges_for_many(vertex_ids, direction, label)
+            return
+        for vertex_id in vertex_ids:
+            for edge_id in self._incident_edges(vertex_id, direction, label):
+                yield vertex_id, edge_id
+
+    # ------------------------------------------------------------------
+    # Search primitives
+    # ------------------------------------------------------------------
+
+    def _visible_vertex_value(self, vertex_id: Any, key: str) -> tuple[bool, Any]:
+        """(exists, value) of ``key`` for a suspect vertex, overlay-aware."""
+        try:
+            value = self.vertex_property(vertex_id, key)
+        except ElementNotFoundError:
+            return False, None
+        return True, value
+
+    def vertices_by_property(self, key: str, value: Any) -> Iterator[Any]:
+        snapshot = self._snapshot
+        if self._fast():
+            yield from self._engine.vertices_by_property(key, value)
+            return
+        ws = self._ws
+        suspects: dict[Any, None] = {}  # ordered, deduplicated
+        for vid in self._store.overlaid_keys("vertex", snapshot):
+            suspects[vid] = None
+        for vid in ws.vertex_props:
+            suspects[vid] = None
+        for vid in ws.removed_vertices:
+            suspects[vid] = None
+        for vertex_id in self._engine.vertices_by_property(key, value):
+            if vertex_id in suspects:
+                continue
+            if self._store.hidden_from(vertex_key(vertex_id), snapshot):
+                continue
+            yield vertex_id
+        for vertex_id in suspects:
+            exists, visible = self._visible_vertex_value(vertex_id, key)
+            if exists and visible == value:
+                yield vertex_id
+        for pid, draft in ws.created_vertices.items():
+            if draft.properties.get(key) == value:
+                yield pid
+
+    def edges_by_property(self, key: str, value: Any) -> Iterator[Any]:
+        snapshot = self._snapshot
+        if self._fast():
+            yield from self._engine.edges_by_property(key, value)
+            return
+        ws = self._ws
+        suspects: dict[Any, None] = {}
+        for eid in self._store.overlaid_keys("edge", snapshot):
+            suspects[eid] = None
+        for eid in ws.edge_props:
+            suspects[eid] = None
+        for eid in ws.removed_edges:
+            suspects[eid] = None
+        for edge_id in self._engine.edges_by_property(key, value):
+            if edge_id in suspects:
+                continue
+            if self._store.hidden_from(edge_key(edge_id), snapshot):
+                continue
+            yield edge_id
+        for edge_id in suspects:
+            try:
+                visible = self.edge_property(edge_id, key)
+            except ElementNotFoundError:
+                continue
+            if visible == value:
+                yield edge_id
+        for pid, draft in ws.created_edges.items():
+            if draft.properties.get(key) == value:
+                yield pid
+
+    def edges_by_label(self, label: str) -> Iterator[Any]:
+        snapshot = self._snapshot
+        if self._fast():
+            yield from self._engine.edges_by_label(label)
+            return
+        ws = self._ws
+        for edge_id in self._engine.edges_by_label(label):
+            if self._edge_visible(edge_id, snapshot):
+                yield edge_id
+        for edge_id in self._store.removed_object_ids("edge", snapshot):
+            if edge_id in ws.removed_edges:
+                continue
+            state = self._store.state_at(edge_key(edge_id), snapshot)
+            if state is not None and state is not CURRENT and state.label == label:
+                yield edge_id
+        for pid, draft in ws.created_edges.items():
+            if draft.label == label:
+                yield pid
+
+    # ------------------------------------------------------------------
+    # Whole-graph statistics
+    # ------------------------------------------------------------------
+
+    def vertex_count(self) -> int:
+        snapshot = self._snapshot
+        if self._fast():
+            return self._engine.vertex_count()
+        count = self._engine.vertex_count()
+        for key, created_ts in self._store.created_at.items():
+            if key[0] == "vertex" and created_ts > snapshot and key not in self._store.removed_at:
+                count -= 1  # exists in place, invisible at the snapshot
+        count += sum(1 for _vid in self._store.removed_object_ids("vertex", snapshot))
+        count -= len(self._ws.removed_vertices)
+        count += len(self._ws.created_vertices)
+        return count
+
+    def edge_count(self) -> int:
+        snapshot = self._snapshot
+        if self._fast():
+            return self._engine.edge_count()
+        count = self._engine.edge_count()
+        for key, created_ts in self._store.created_at.items():
+            if key[0] == "edge" and created_ts > snapshot and key not in self._store.removed_at:
+                count -= 1
+        count += sum(1 for _eid in self._store.removed_object_ids("edge", snapshot))
+        count -= sum(
+            1 for eid in self._ws.removed_edges if not isinstance(eid, ProvisionalId)
+        )
+        count += len(self._ws.created_edges)
+        return count
+
+    def distinct_edge_labels(self) -> set[str]:
+        if self._fast():
+            return self._engine.distinct_edge_labels()
+        return {self.edge_label(edge_id) for edge_id in self.edge_ids()}
+
+    # ------------------------------------------------------------------
+    # Indexes, space, misc (non-transactional; delegated)
+    # ------------------------------------------------------------------
+
+    def create_vertex_index(self, key: str) -> None:
+        # DDL is not versioned: it takes effect immediately, like the
+        # paper's index-creation experiments (Section 6.4).
+        self._engine.create_vertex_index(key)
+
+    def has_vertex_index(self, key: str) -> bool:
+        return self._engine.has_vertex_index(key)
+
+    def space_breakdown(self) -> dict[str, int]:
+        return self._engine.space_breakdown()
+
+    def close(self) -> None:  # pragma: no cover - sessions close via commit/abort
+        pass

@@ -15,6 +15,7 @@ from repro.engines.registry import (
     create_engine,
     engine_info,
     register_engine,
+    resolve_engine_id,
 )
 from repro.engines.native_linked import NativeLinkedEngine, NativeLinkedV3Engine
 from repro.engines.native_indirect import NativeIndirectEngine
@@ -33,6 +34,7 @@ __all__ = [
     "create_engine",
     "engine_info",
     "register_engine",
+    "resolve_engine_id",
     "NativeLinkedEngine",
     "NativeLinkedV3Engine",
     "NativeIndirectEngine",

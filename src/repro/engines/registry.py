@@ -53,6 +53,30 @@ def available_engines() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
+def resolve_engine_id(name: str) -> str:
+    """Resolve ``name`` to a registered identifier, accepting short aliases.
+
+    Exact identifiers pass through; otherwise ``name`` matches by prefix
+    (``"triple"`` → ``"triplegraph-2.1"``).  When several versions match
+    (``"nativelinked"``), the one in :data:`DEFAULT_ENGINES` wins, mirroring
+    how the paper reports one headline version per system.
+    """
+    if name in _REGISTRY:
+        return name
+    matches = [identifier for identifier in _REGISTRY if identifier.startswith(name)]
+    if not matches:
+        known = ", ".join(sorted(_REGISTRY))
+        raise BenchmarkError(f"unknown engine {name!r}; known engines: {known}")
+    preferred = [identifier for identifier in matches if identifier in DEFAULT_ENGINES]
+    if len(preferred) == 1:
+        return preferred[0]
+    if len(matches) == 1:
+        return matches[0]
+    raise BenchmarkError(
+        f"ambiguous engine {name!r}: matches {', '.join(sorted(matches))}"
+    )
+
+
 def register_engine(identifier: str, engine_class: type[BaseEngine]) -> None:
     """Register a new engine class under ``identifier`` (extensibility hook)."""
     global ALL_ENGINES

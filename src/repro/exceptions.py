@@ -78,6 +78,29 @@ class TransactionError(GraphBenchError):
     """A transactional operation could not be completed."""
 
 
+class WriteConflictError(TransactionError):
+    """A commit lost a first-committer-wins write-write conflict.
+
+    Snapshot isolation aborts a transaction when another transaction
+    committed a write to one of its write-set objects after this
+    transaction took its snapshot (:mod:`repro.concurrency.sessions`).
+    """
+
+    def __init__(self, session_id: int, key: object, committed_at: int, snapshot: int) -> None:
+        super().__init__(
+            f"session {session_id} aborted: {key!r} was committed at "
+            f"timestamp {committed_at}, after this session's snapshot {snapshot}"
+        )
+        self.session_id = session_id
+        self.key = key
+        self.committed_at = committed_at
+        self.snapshot = snapshot
+
+
+class SessionStateError(TransactionError):
+    """A session was used after it was committed or aborted."""
+
+
 class DatasetError(GraphBenchError):
     """A dataset could not be generated, loaded, or parsed."""
 

@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator
 from repro.model.elements import Direction, Edge, Vertex
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.concurrency.sessions import Session, SessionManager
     from repro.gremlin.traversal import GraphTraversal
 
 
@@ -407,6 +408,30 @@ class GraphDatabase(abc.ABC):
         from repro.gremlin.traversal import GraphTraversal
 
         return GraphTraversal(self)
+
+    # ------------------------------------------------------------------
+    # Transactional sessions (concurrency layer)
+    # ------------------------------------------------------------------
+
+    def transactions(self) -> "SessionManager":
+        """Return this database's session manager (created lazily, cached).
+
+        All sessions over one database must share a manager — it owns the
+        commit clock and the version store that make snapshot isolation
+        work — so the manager is a singleton per engine instance.  See
+        :mod:`repro.concurrency` for the full model.
+        """
+        manager = getattr(self, "_session_manager", None)
+        if manager is None:
+            from repro.concurrency.sessions import SessionManager
+
+            manager = SessionManager(self)
+            self._session_manager = manager
+        return manager
+
+    def begin_session(self) -> "Session":
+        """Open a transactional session (snapshot-isolated view + write set)."""
+        return self.transactions().begin()
 
     # ------------------------------------------------------------------
     # Misc

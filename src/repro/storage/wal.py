@@ -60,6 +60,15 @@ class WriteAheadLog:
         return len(self._records) - self._durable_upto
 
     @property
+    def last_sequence(self) -> int:
+        """Highest LSN handed out so far (0 before the first append).
+
+        Monotonic for the lifetime of the log — a checkpoint truncation
+        never resets it, so replay ordering survives checkpoints.
+        """
+        return self._next_sequence - 1
+
+    @property
     def size_in_bytes(self) -> int:
         return sum(64 + len(str(record.payload)) for record in self._records)
 
@@ -82,10 +91,25 @@ class WriteAheadLog:
         return pending
 
     def replay(self) -> list[LogRecord]:
-        """Return every durable record in order (crash-recovery view)."""
+        """Return every durable record in order (crash-recovery view).
+
+        Unflushed ASYNC records are excluded by construction: they never
+        reached simulated stable storage, so a crash would lose them.
+        """
         return list(self._records[: self._durable_upto])
 
-    def truncate(self) -> None:
-        """Drop all records (checkpoint completed)."""
-        self._records.clear()
+    def truncate(self) -> int:
+        """Checkpoint: drop durable records, keep undurable pending ones.
+
+        A checkpoint can only cover state that reached stable storage, so
+        records appended in ASYNC mode but not yet flushed survive the
+        truncation (and still flush later).  The checkpoint itself writes
+        one page (the checkpoint marker), which is charged here; sequence
+        numbers keep increasing across truncations so LSNs stay monotonic.
+        Returns the number of records dropped.
+        """
+        dropped = self._durable_upto
+        self._records = self._records[self._durable_upto :]
         self._durable_upto = 0
+        self.metrics.charge_page_write(1, 64)
+        return dropped

@@ -1,0 +1,53 @@
+"""Determinism regression: the concurrency report is a pure function of its seed.
+
+The scheduler advances by charged logical cost, every random choice is
+drawn at plan time from seeded generators, and all percentile math is
+integer — so two runs with the same seed and client mix must produce a
+byte-identical ``BENCH_concurrency.json`` payload (modulo the wall-clock
+field), and a different seed must actually change the schedule.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.concurrency import comparable_payload, run_concurrent_benchmark
+from repro.concurrency.report import write_concurrency_report
+
+_ARGS = dict(
+    engine_ids=["nativelinked-1.9", "triplegraph-2.1"],
+    clients=4,
+    mix_name="write-heavy",
+    dataset_name="yeast",
+    scale=0.15,
+    txns=8,
+)
+
+
+def test_same_seed_same_payload_bytes():
+    first = run_concurrent_benchmark(seed=20181204, **_ARGS)
+    second = run_concurrent_benchmark(seed=20181204, **_ARGS)
+    assert comparable_payload(first) == comparable_payload(second)
+    # Only the wall-clock field may differ between the full payloads.
+    first.pop("wall_seconds")
+    second.pop("wall_seconds")
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+def test_different_seed_changes_the_schedule():
+    first = run_concurrent_benchmark(seed=20181204, **_ARGS)
+    other = run_concurrent_benchmark(seed=42, **_ARGS)
+    assert comparable_payload(first) != comparable_payload(other)
+
+
+def test_written_report_round_trips(tmp_path):
+    report = run_concurrent_benchmark(seed=20181204, **_ARGS)
+    json_path = tmp_path / "BENCH_concurrency.json"
+    text_path = tmp_path / "fig8_concurrency.txt"
+    write_concurrency_report(report, json_path=json_path, text_path=text_path)
+    loaded = json.loads(json_path.read_text())
+    assert comparable_payload(loaded) == comparable_payload(report)
+    rendered = text_path.read_text()
+    assert "Figure 8" in rendered
+    for engine_id in _ARGS["engine_ids"]:
+        assert engine_id in rendered

@@ -1,0 +1,178 @@
+"""The virtual-time scheduler and group commit: determinism and charging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import load_dataset_into
+from repro.concurrency import ClientOp, VirtualTimeScheduler, percentile
+from repro.concurrency.driver import MIXES, client_stream, plan_client, run_engine_mode
+from repro.datasets import get_dataset
+from repro.engines import create_engine
+from repro.storage.wal import DurabilityMode
+
+
+@pytest.fixture(scope="module")
+def yeast_dataset():
+    return get_dataset("yeast", scale=0.2, seed=11)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 99) == 99
+        assert percentile([7], 99) == 7
+        assert percentile([], 50) == 0
+
+    def test_small_samples_round_up(self):
+        assert percentile([1, 2, 3], 50) == 2
+        assert percentile([1, 2], 95) == 2
+        assert percentile([5, 1], 1) == 1
+
+
+class TestSchedulerModel:
+    def _constant_stream(self, engine, loaded, count):
+        vid = loaded.vertex_map["n0"] if "n0" in loaded.vertex_map else None
+
+        def ops():
+            for _index in range(count):
+                yield ClientOp("read", lambda: engine.vertex(vid))
+
+        return ops()
+
+    def test_fcfs_interleaving_and_latency(self, small_dataset):
+        engine = create_engine("nativelinked-1.9")
+        loaded = load_dataset_into(engine, small_dataset)
+        engine.reset_metrics()
+        streams = [self._constant_stream(engine, loaded, 3) for _client in range(2)]
+        result = VirtualTimeScheduler(engine, None, streams).run()
+        assert result.operations == 6
+        # Client 0 and client 1 alternate: both submit at 0, ties break by
+        # index, and each op's cost is identical, so the trace interleaves.
+        assert [trace.client for trace in result.traces] == [0, 1, 0, 1, 0, 1]
+        # Single server: each op starts when the previous one finishes.
+        for earlier, later in zip(result.traces, result.traces[1:]):
+            assert later.started == earlier.finished
+        # The second client's first op waited for the first client's op.
+        assert result.traces[1].latency == result.traces[1].cost * 2
+        assert result.makespan == sum(trace.cost for trace in result.traces)
+
+    def test_open_loop_queueing_grows_tail_latency(self, small_dataset):
+        engine = create_engine("nativelinked-1.9")
+        loaded = load_dataset_into(engine, small_dataset)
+        engine.reset_metrics()
+        # Arrivals faster than the service rate: the queue builds and each
+        # successive operation waits longer.
+        streams = [self._constant_stream(engine, loaded, 5)]
+        result = VirtualTimeScheduler(
+            engine, None, streams, loop="open", arrival_interval=1
+        ).run()
+        latencies = [trace.latency for trace in result.traces]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > latencies[0]
+
+    def test_open_loop_requires_interval(self, small_dataset):
+        engine = create_engine("nativelinked-1.9")
+        with pytest.raises(ValueError):
+            VirtualTimeScheduler(engine, None, [], loop="open")
+        with pytest.raises(ValueError):
+            VirtualTimeScheduler(engine, None, [], loop="sometimes")
+
+
+class TestGroupCommit:
+    def test_async_flushes_every_group(self, small_dataset):
+        engine = create_engine("nativelinked-1.9", durability="async")
+        load_dataset_into(engine, small_dataset)
+        engine.wal.flush()
+        manager = engine.transactions()
+        manager.group_commit_size = 3
+        for index in range(3):
+            session = manager.begin()
+            session.graph.set_vertex_property(
+                list(engine.vertex_ids())[index], "touched", index
+            )
+            session.commit()
+            if index < 2:
+                assert manager.maybe_group_flush() == 0
+        assert engine.wal.pending == 3
+        flushed = manager.maybe_group_flush()
+        assert flushed == 3
+        assert engine.wal.pending == 0
+        assert manager.stats.group_flushes == 1
+        assert manager.stats.flushed_records == 3
+
+    def test_sync_mode_never_group_flushes(self, small_dataset):
+        engine = create_engine("nativelinked-1.9", durability="sync")
+        load_dataset_into(engine, small_dataset)
+        manager = engine.transactions()
+        session = manager.begin()
+        session.graph.set_vertex_property(next(iter(engine.vertex_ids())), "touched", 1)
+        session.commit()
+        assert engine.wal.mode is DurabilityMode.SYNC
+        assert engine.wal.pending == 0
+        assert manager.maybe_group_flush() == 0
+
+    def test_async_commit_latency_beats_sync_under_four_writers(self, yeast_dataset):
+        """The Section 6.4 effect under contention: the acceptance criterion."""
+        rows = {
+            durability: run_engine_mode(
+                "nativelinked-1.9",
+                durability,
+                yeast_dataset,
+                MIXES["write-heavy"],
+                clients=4,
+                txns=10,
+                seed=20181204,
+                group_commit=4,
+            )
+            for durability in ("sync", "async")
+        }
+        assert rows["async"]["commit_cost_mean_charge"] < rows["sync"]["commit_cost_mean_charge"]
+        assert rows["async"]["commit_mean_charge"] < rows["sync"]["commit_mean_charge"]
+        # The work does not disappear: it moves into background flushes.
+        assert rows["async"]["group_flushes"] > 0
+        assert rows["async"]["background_charge"] > 0
+        assert rows["sync"]["background_charge"] == 0
+
+
+class TestDriverStreams:
+    def test_plans_are_deterministic(self, small_dataset):
+        engine = create_engine("nativelinked-1.9")
+        loaded = load_dataset_into(engine, small_dataset)
+        mix = MIXES["write-heavy"]
+        first = plan_client(loaded, mix, client=0, txns=8, seed=7)
+        second = plan_client(loaded, mix, client=0, txns=8, seed=7)
+        assert [[op.kind for op in txn] for txn in first] == [
+            [op.kind for op in txn] for txn in second
+        ]
+        other_client = plan_client(loaded, mix, client=1, txns=8, seed=7)
+        assert [[op.kind for op in txn] for txn in first] != [
+            [op.kind for op in txn] for txn in other_client
+        ]
+
+    def test_streams_produce_conflicts_under_contention(self, yeast_dataset):
+        row = run_engine_mode(
+            "nativelinked-1.9",
+            "sync",
+            yeast_dataset,
+            MIXES["write-heavy"],
+            clients=8,
+            txns=16,
+            seed=20181204,
+            group_commit=4,
+        )
+        assert row["conflict_aborts"] > 0
+        assert 0.0 < row["abort_rate"] < 0.5
+        assert row["commits"] + row["conflict_aborts"] == 8 * 16
+
+    def test_session_begins_at_schedule_position(self, small_dataset):
+        engine = create_engine("nativelinked-1.9")
+        loaded = load_dataset_into(engine, small_dataset)
+        manager = engine.transactions()
+        plans = plan_client(loaded, MIXES["read-heavy"], client=0, txns=2, seed=3)
+        stream = client_stream(manager, plans)
+        assert manager.stats.begun == 0
+        next(stream)  # fetching the first op begins the first session
+        assert manager.stats.begun == 1

@@ -225,11 +225,47 @@ class TestWriteAheadLog:
         second = wal.append("b")
         assert second.sequence == first.sequence + 1
 
-    def test_truncate(self):
+    def test_truncate_drops_only_durable_records(self):
         wal = WriteAheadLog()
         wal.append("a")
-        wal.truncate()
+        assert wal.truncate() == 1
         assert len(wal) == 0 and wal.pending == 0
+
+    def test_truncate_keeps_undurable_async_records(self):
+        wal = WriteAheadLog(mode=DurabilityMode.ASYNC)
+        wal.append("durable")
+        wal.flush()
+        wal.append("pending-1")
+        wal.append("pending-2")
+        assert wal.truncate() == 1
+        # The unflushed records survive the checkpoint and flush later.
+        assert len(wal) == 2 and wal.pending == 2
+        assert wal.replay() == []  # still not durable: a crash loses them
+        assert wal.flush() == 2
+        assert [record.operation for record in wal.replay()] == ["pending-1", "pending-2"]
+
+    def test_truncate_charges_the_checkpoint_page_write(self):
+        wal = WriteAheadLog(mode=DurabilityMode.ASYNC)
+        wal.append("op")
+        wal.flush()
+        before = wal.metrics.page_writes
+        wal.truncate()
+        assert wal.metrics.page_writes == before + 1
+
+    def test_lsns_stay_monotonic_across_truncation(self):
+        wal = WriteAheadLog()
+        first = wal.append("a")
+        wal.truncate()
+        second = wal.append("b")
+        assert second.sequence == first.sequence + 1
+        assert wal.last_sequence == second.sequence
+
+    def test_replay_excludes_unflushed_async_records(self):
+        wal = WriteAheadLog(mode=DurabilityMode.ASYNC)
+        wal.append("flushed")
+        wal.flush()
+        wal.append("unflushed")
+        assert [record.operation for record in wal.replay()] == ["flushed"]
 
 
 class TestRelationalDatabase:
