@@ -15,6 +15,12 @@ derived purely from logical charges, so on an unchanged tree they
 reproduce *exactly*; the 25% headroom only exists to let genuinely
 beneficial cost-model changes land without ceremony.
 
+``--kind saturation`` gates ``BENCH_saturation.json``: every engine's
+knee throughput (the open-loop saturation point found by ``graphbench
+saturate``) must stay within the allowed fraction of the committed
+baseline, and ``--require-identical`` demands the byte-exact payload,
+mirroring the concurrency gate.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf_smoke --output BENCH_current.json
@@ -85,13 +91,13 @@ def check_regressions(
     return failures
 
 
-def check_concurrency_identity(baseline: dict, current: dict) -> list[str]:
+def check_payload_identity(baseline: dict, current: dict, regen_hint: str) -> list[str]:
     """Require the payloads to match exactly (modulo wall-clock fields).
 
-    Concurrency numbers derive purely from seeded choices and logical
-    charges, so on an unchanged tree the comparison is byte-exact; a
-    mismatch means either an intentional cost-model change (regenerate the
-    committed baseline) or lost determinism (a bug).
+    Concurrency and saturation numbers derive purely from seeded choices
+    and logical charges, so on an unchanged tree the comparison is
+    byte-exact; a mismatch means either an intentional cost-model change
+    (regenerate the committed baseline) or lost determinism (a bug).
     """
     from repro.concurrency.report import comparable_payload
 
@@ -99,8 +105,7 @@ def check_concurrency_identity(baseline: dict, current: dict) -> list[str]:
         return []
     return [
         "payload differs from the committed baseline (determinism lost, or an "
-        "intentional change that needs the baseline regenerated via "
-        "`python -m benchmarks.concurrency_smoke`)"
+        f"intentional change that needs the baseline regenerated via `{regen_hint}`)"
     ]
 
 
@@ -136,12 +141,37 @@ def check_concurrency_regressions(
     return failures
 
 
+def check_saturation_regressions(
+    baseline: dict,
+    current: dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[str]:
+    """Return one failure per engine whose saturation knee regressed."""
+    failures: list[str] = []
+    for engine_name, baseline_sweep in sorted(baseline.get("engines", {}).items()):
+        current_sweep = current.get("engines", {}).get(engine_name)
+        if current_sweep is None:
+            failures.append(f"{engine_name}: missing from the current report")
+            continue
+        base_tp = baseline_sweep["knee"]["throughput_ops_per_kcharge"]
+        current_tp = current_sweep["knee"]["throughput_ops_per_kcharge"]
+        floor = base_tp * (1.0 - max_regression)
+        if current_tp < floor:
+            failures.append(
+                f"{engine_name}: knee throughput {current_tp:.2f} ops/kcharge "
+                f"vs baseline {base_tp:.2f} "
+                f"(-{(1.0 - current_tp / base_tp) * 100:.0f}%, "
+                f"limit -{max_regression * 100:.0f}%)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--kind",
         default="traversal",
-        choices=["traversal", "concurrency"],
+        choices=["traversal", "concurrency", "saturation"],
         help="which report family to gate",
     )
     parser.add_argument(
@@ -164,25 +194,43 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--require-identical",
         action="store_true",
-        help="concurrency only: also require the payload to match the baseline "
-        "exactly (modulo wall-clock fields); charges are deterministic, so any "
-        "difference is a lost-determinism bug or an unregenerated baseline",
+        help="concurrency/saturation only: also require the payload to match the "
+        "baseline exactly (modulo wall-clock fields); charges are deterministic, "
+        "so any difference is a lost-determinism bug or an unregenerated baseline",
     )
     args = parser.parse_args(argv)
 
     if args.baseline is None:
-        args.baseline = (
-            "BENCH_concurrency.json" if args.kind == "concurrency" else "BENCH_traversal.json"
-        )
+        args.baseline = {
+            "concurrency": "BENCH_concurrency.json",
+            "saturation": "BENCH_saturation.json",
+        }.get(args.kind, "BENCH_traversal.json")
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
     if args.kind == "concurrency":
         failures = check_concurrency_regressions(baseline, current, args.max_regression)
         if args.require_identical:
-            failures.extend(check_concurrency_identity(baseline, current))
+            failures.extend(
+                check_payload_identity(
+                    baseline, current, "python -m benchmarks.concurrency_smoke"
+                )
+            )
         passed = (
             f"concurrency regression gate passed: throughput within "
             f"-{args.max_regression * 100:.0f}% for every engine × durability"
+            + (", payload identical to the baseline" if args.require_identical else "")
+        )
+    elif args.kind == "saturation":
+        failures = check_saturation_regressions(baseline, current, args.max_regression)
+        if args.require_identical:
+            failures.extend(
+                check_payload_identity(
+                    baseline, current, "python -m benchmarks.saturation_smoke"
+                )
+            )
+        passed = (
+            f"saturation regression gate passed: knee throughput within "
+            f"-{args.max_regression * 100:.0f}% for every engine"
             + (", payload identical to the baseline" if args.require_identical else "")
         )
     else:

@@ -1,0 +1,80 @@
+"""Saturation smoke: open-loop arrival-rate sweep to the throughput knee.
+
+Runs the deterministic saturation sweep (:mod:`repro.concurrency.saturation`)
+over a small engine subset and writes the JSON payload consumed by the
+regression gate.  Every number derives from seeded choices and logical
+charges — never wall clock — so the payload is byte-identical across
+machines and CI gates it exactly.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.saturation_smoke \
+        [--engines ID...] [--clients N] [--txns N] [--mix NAME] \
+        [--output BENCH_saturation.json] [--report PATH]
+
+Gate a fresh run against the committed report with
+``python -m benchmarks.check_regression --kind saturation``.
+
+The defaults mirror the CI smoke and the committed ``BENCH_saturation.json``
+baseline; regenerate that baseline with the defaults after any intentional
+change to the concurrency layer or cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.concurrency import format_saturation_report, run_saturation_sweep
+from repro.concurrency.report import DEFAULT_SATURATION_JSON, write_saturation_report
+from repro.concurrency.saturation import (
+    DEFAULT_MAX_STEPS,
+    DEFAULT_MIN_INTERVAL,
+    DEFAULT_START_INTERVAL,
+    DEFAULT_SWEEP_ENGINES,
+)
+from repro.engines import resolve_engine_id
+
+#: The CI smoke subset — shared with `graphbench saturate` so both produce
+#: the same committed baseline (one native engine, one remote/async one).
+DEFAULT_ENGINES = DEFAULT_SWEEP_ENGINES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engines", nargs="+", default=list(DEFAULT_ENGINES))
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--txns", type=int, default=8)
+    parser.add_argument("--mix", default="write-heavy")
+    parser.add_argument("--dataset", default="yeast")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=20181204)
+    parser.add_argument("--durability", default="sync", choices=["sync", "async"])
+    parser.add_argument("--start-interval", type=int, default=DEFAULT_START_INTERVAL)
+    parser.add_argument("--min-interval", type=int, default=DEFAULT_MIN_INTERVAL)
+    parser.add_argument("--max-steps", type=int, default=DEFAULT_MAX_STEPS)
+    parser.add_argument("--output", default=DEFAULT_SATURATION_JSON)
+    parser.add_argument("--report", default=None)
+    args = parser.parse_args(argv)
+
+    report = run_saturation_sweep(
+        [resolve_engine_id(name) for name in args.engines],
+        clients=args.clients,
+        mix_name=args.mix,
+        dataset_name=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        txns=args.txns,
+        durability=args.durability,
+        start_interval=args.start_interval,
+        min_interval=args.min_interval,
+        max_steps=args.max_steps,
+    )
+    print(format_saturation_report(report))
+    for path in write_saturation_report(report, json_path=args.output, text_path=args.report):
+        print(f"\nwrote {path.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,9 @@ Sub-commands mirror the workflow of the paper's test suite:
 * ``graphbench space`` — measure space occupancy (Figure 1a/1b);
 * ``graphbench concurrent`` — run the multi-client concurrency benchmark
   (MVCC sessions, deterministic virtual-time scheduling, SYNC vs ASYNC
-  group commit) and print per-engine throughput / tail-latency tables.
+  group commit) and print per-engine throughput / tail-latency tables;
+* ``graphbench saturate`` — open-loop saturation sweep: step each engine's
+  arrival rate until throughput collapses and report the knee (Figure 9).
 """
 
 from __future__ import annotations
@@ -30,8 +32,27 @@ from repro.bench.report import (
 from repro.bench.spaces import measure_space_matrix
 from repro.bench.suite import BenchmarkSuite
 from repro.bench.summary import summary_table
-from repro.concurrency import MIXES, format_concurrency_report, run_concurrent_benchmark
-from repro.concurrency.report import write_concurrency_report
+from repro.concurrency import (
+    MIXES,
+    format_concurrency_report,
+    format_saturation_report,
+    run_concurrent_benchmark,
+    run_saturation_sweep,
+)
+from repro.concurrency.driver import DEFAULT_BACKOFF, DEFAULT_RETRIES
+from repro.concurrency.report import (
+    DEFAULT_SATURATION_JSON,
+    DEFAULT_SATURATION_REPORT,
+    write_concurrency_report,
+    write_saturation_report,
+)
+from repro.concurrency.saturation import (
+    DEFAULT_MAX_STEPS,
+    DEFAULT_MIN_INTERVAL,
+    DEFAULT_START_INTERVAL,
+    DEFAULT_SWEEP_ENGINES,
+)
+from repro.concurrency.versioning import DEFAULT_SHARDS
 from repro.config import BenchConfig
 from repro.datasets import available_datasets, compute_statistics, get_dataset
 from repro.engines import DEFAULT_ENGINES, available_engines, engine_info, resolve_engine_id
@@ -129,10 +150,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-loop inter-arrival gap per client, in charge units",
     )
     concurrent_parser.add_argument(
+        "--retries",
+        type=int,
+        default=DEFAULT_RETRIES,
+        help="retry budget for conflict-aborted transactions (0 disables)",
+    )
+    concurrent_parser.add_argument(
+        "--backoff",
+        type=int,
+        default=DEFAULT_BACKOFF,
+        help="retry backoff base in charge units (doubles per attempt + seeded jitter)",
+    )
+    concurrent_parser.add_argument(
+        "--shards",
+        type=int,
+        default=DEFAULT_SHARDS,
+        help="version-store shards (conflict detection and GC scan per shard)",
+    )
+    concurrent_parser.add_argument(
         "--output", default=None, help="write the JSON payload here (e.g. BENCH_concurrency.json)"
     )
     concurrent_parser.add_argument(
         "--report", default=None, help="write the rendered table here (e.g. benchmarks/reports/fig8_concurrency.txt)"
+    )
+
+    saturate_parser = subparsers.add_parser(
+        "saturate",
+        help="open-loop saturation sweep: step the arrival rate until throughput collapses (Figure 9)",
+    )
+    # Defaults deliberately mirror benchmarks/saturation_smoke.py: a plain
+    # `graphbench saturate` regenerates the committed BENCH_saturation.json
+    # byte-identically rather than clobbering the CI baseline with an
+    # incompatible-parameter payload.
+    saturate_parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=list(DEFAULT_SWEEP_ENGINES),
+        help="engines to sweep; identifiers or unambiguous prefixes",
+    )
+    saturate_parser.add_argument("--clients", type=int, default=4, help="open-loop clients")
+    saturate_parser.add_argument(
+        "--mix", default="write-heavy", choices=sorted(MIXES), help="operation mix per client"
+    )
+    saturate_parser.add_argument("--txns", type=int, default=8, help="transactions per client")
+    saturate_parser.add_argument("--dataset", default="yeast", choices=list(available_datasets()))
+    saturate_parser.add_argument("--scale", type=float, default=0.25)
+    saturate_parser.add_argument("--seed", type=int, default=20181204)
+    saturate_parser.add_argument(
+        "--durability", default="sync", choices=["sync", "async"], help="WAL durability mode"
+    )
+    saturate_parser.add_argument(
+        "--group-commit", type=int, default=4, help="commits batched per ASYNC WAL flush"
+    )
+    saturate_parser.add_argument(
+        "--start-interval",
+        type=int,
+        default=DEFAULT_START_INTERVAL,
+        help="first (slowest) per-client arrival interval, in charge units",
+    )
+    saturate_parser.add_argument(
+        "--min-interval",
+        type=int,
+        default=DEFAULT_MIN_INTERVAL,
+        help="stop stepping below this interval even without a knee",
+    )
+    saturate_parser.add_argument(
+        "--max-steps", type=int, default=DEFAULT_MAX_STEPS, help="maximum sweep steps per engine"
+    )
+    saturate_parser.add_argument("--retries", type=int, default=DEFAULT_RETRIES)
+    saturate_parser.add_argument("--backoff", type=int, default=DEFAULT_BACKOFF)
+    saturate_parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    saturate_parser.add_argument(
+        "--output",
+        default=DEFAULT_SATURATION_JSON,
+        help="write the JSON payload here ('' to skip)",
+    )
+    saturate_parser.add_argument(
+        "--report",
+        default=DEFAULT_SATURATION_REPORT,
+        help="write the rendered figure here ('' to skip)",
     )
     return parser
 
@@ -195,12 +291,27 @@ def _command_complex(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_concurrency_knobs(args: argparse.Namespace) -> str | None:
+    """Shared sanity checks for the concurrent/saturate knobs."""
+    if args.shards < 1:
+        return f"--shards must be >= 1, not {args.shards}"
+    if args.retries < 0:
+        return f"--retries must be >= 0, not {args.retries}"
+    if args.backoff < 0:
+        return f"--backoff must be >= 0, not {args.backoff}"
+    return None
+
+
 def _command_concurrent(args: argparse.Namespace) -> int:
     if args.loop == "open" and args.arrival_interval <= 0:
         print(
             "graphbench concurrent: --loop open requires a positive --arrival-interval",
             file=sys.stderr,
         )
+        return 2
+    problem = _validate_concurrency_knobs(args)
+    if problem is not None:
+        print(f"graphbench concurrent: {problem}", file=sys.stderr)
         return 2
     try:
         engine_ids = [resolve_engine_id(name) for name in args.engines]
@@ -218,10 +329,51 @@ def _command_concurrent(args: argparse.Namespace) -> int:
         group_commit=args.group_commit,
         loop=args.loop,
         arrival_interval=args.arrival_interval,
+        retries=args.retries,
+        backoff=args.backoff,
+        shards=args.shards,
     )
     print(format_concurrency_report(report))
     written = write_concurrency_report(
         report, json_path=args.output, text_path=args.report
+    )
+    for path in written:
+        print(f"wrote {path.resolve()}")
+    return 0
+
+
+def _command_saturate(args: argparse.Namespace) -> int:
+    problem = _validate_concurrency_knobs(args)
+    if problem is not None:
+        print(f"graphbench saturate: {problem}", file=sys.stderr)
+        return 2
+    try:
+        engine_ids = [resolve_engine_id(name) for name in args.engines]
+        report = run_saturation_sweep(
+            engine_ids,
+            clients=args.clients,
+            mix_name=args.mix,
+            dataset_name=args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            txns=args.txns,
+            durability=args.durability,
+            group_commit=args.group_commit,
+            start_interval=args.start_interval,
+            min_interval=args.min_interval,
+            max_steps=args.max_steps,
+            retries=args.retries,
+            backoff=args.backoff,
+            shards=args.shards,
+        )
+    except BenchmarkError as error:
+        print(f"graphbench saturate: {error}", file=sys.stderr)
+        return 2
+    print(format_saturation_report(report))
+    written = write_saturation_report(
+        report,
+        json_path=args.output or None,
+        text_path=args.report or None,
     )
     for path in written:
         print(f"wrote {path.resolve()}")
@@ -251,6 +403,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_space(args)
     if args.command == "concurrent":
         return _command_concurrent(args)
+    if args.command == "saturate":
+        return _command_saturate(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -4,22 +4,29 @@ The paper measures every query in single-client isolation; this package
 adds the missing dimension.  ``versioning`` implements snapshot isolation
 as an engine-agnostic overlay, ``sessions`` the begin/commit/abort API with
 group commit through the engine WAL, ``scheduler`` a deterministic
-virtual-time interleaver of client streams, and ``driver``/``report`` the
-mixed-workload benchmark behind ``graphbench concurrent``.
+virtual-time interleaver of client streams (with deterministic retry
+backoff), and ``driver``/``report`` the mixed-workload benchmark behind
+``graphbench concurrent``.  ``saturation`` steps open-loop arrival rates
+until throughput collapses (``graphbench saturate``).  The version store
+is sharded and garbage-collected at the active-session low-water mark.
 """
 
 from repro.concurrency.driver import (
     DURABILITY_MODES,
     MIXES,
     MixSpec,
+    RetryPolicy,
     run_concurrent_benchmark,
     run_engine_mode,
 )
 from repro.concurrency.report import (
     comparable_payload,
     format_concurrency_report,
+    format_saturation_report,
     write_concurrency_report,
+    write_saturation_report,
 )
+from repro.concurrency.saturation import run_saturation_sweep, sweep_engine
 from repro.concurrency.scheduler import (
     ClientOp,
     OpTrace,
@@ -28,28 +35,44 @@ from repro.concurrency.scheduler import (
     percentile,
 )
 from repro.concurrency.sessions import CommitResult, ConcurrencyStats, Session, SessionManager
-from repro.concurrency.versioning import ProvisionalId, VersionStore, VersionedGraph, WriteSet
+from repro.concurrency.versioning import (
+    DEFAULT_SHARDS,
+    GCStats,
+    ProvisionalId,
+    VersionShard,
+    VersionStore,
+    VersionedGraph,
+    WriteSet,
+)
 
 __all__ = [
     "ClientOp",
     "CommitResult",
     "ConcurrencyStats",
+    "DEFAULT_SHARDS",
     "DURABILITY_MODES",
+    "GCStats",
     "MIXES",
     "MixSpec",
     "OpTrace",
     "ProvisionalId",
+    "RetryPolicy",
     "ScheduleResult",
     "Session",
     "SessionManager",
+    "VersionShard",
     "VersionStore",
     "VersionedGraph",
     "VirtualTimeScheduler",
     "WriteSet",
     "comparable_payload",
     "format_concurrency_report",
+    "format_saturation_report",
     "percentile",
     "run_concurrent_benchmark",
     "run_engine_mode",
+    "run_saturation_sweep",
+    "sweep_engine",
     "write_concurrency_report",
+    "write_saturation_report",
 ]

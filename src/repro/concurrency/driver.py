@@ -28,9 +28,10 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.bench.workload import LoadedGraph, load_dataset_into
 from repro.concurrency.scheduler import ClientOp, ScheduleResult, VirtualTimeScheduler, percentile
 from repro.concurrency.sessions import Session, SessionManager
+from repro.concurrency.versioning import DEFAULT_SHARDS
 from repro.datasets import get_dataset
 from repro.engines import create_engine
-from repro.exceptions import BenchmarkError, TransactionError
+from repro.exceptions import BenchmarkError, TransactionError, WriteConflictError
 from repro.queries import query_by_id
 
 #: Engines × durability modes benchmarked by default.
@@ -41,6 +42,35 @@ HOT_SET_SIZE = 16
 
 #: Fraction (percent) of write targets drawn from the hot set.
 HOT_WRITE_PERCENT = 70
+
+#: Default retry budget for conflict-aborted transactions.
+DEFAULT_RETRIES = 2
+
+#: Default backoff base, in charge units (doubles per attempt + jitter).
+DEFAULT_BACKOFF = 64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client reacts to a first-committer-wins conflict abort.
+
+    The aborted transaction is re-planned onto a fresh session and its
+    first operation re-enqueues at virtual-time + backoff, where backoff
+    for attempt ``n`` (1-based) is ``backoff_base * 2**(n-1)`` plus a
+    jitter drawn from the client's seeded generator — deterministic
+    exponential backoff, bounded by ``max_retries`` attempts.  Retries are
+    counted separately from aborts (an abort that retries is still an
+    abort) and exhausted budgets count as ``giveups``.
+    """
+
+    max_retries: int = DEFAULT_RETRIES
+    backoff_base: int = DEFAULT_BACKOFF
+
+    def backoff_for(self, attempt: int, rng: random.Random) -> int:
+        """Backoff before retry ``attempt`` (1-based), in charge units."""
+        base = self.backoff_base * (2 ** (attempt - 1))
+        jitter = rng.randrange(self.backoff_base) if self.backoff_base > 0 else 0
+        return base + jitter
 
 
 @dataclass(frozen=True)
@@ -202,37 +232,87 @@ def plan_client(
 
 
 def client_stream(
-    manager: SessionManager, plans: list[list[PlannedOp]]
+    manager: SessionManager,
+    plans: list[list[PlannedOp]],
+    retry: RetryPolicy | None = None,
+    backoff_rng: random.Random | None = None,
 ) -> Iterator[ClientOp]:
     """Turn planned transactions into a lazily-evaluated ClientOp stream.
 
-    ``manager.begin()`` runs when the scheduler fetches the transaction's
-    first operation — i.e. at the stream's true schedule position — so the
-    snapshot reflects every commit that happened before that moment.
+    ``manager.begin()`` runs when the transaction's first operation
+    *executes* — i.e. at the stream's true schedule position, **after**
+    any retry backoff has elapsed — so the snapshot reflects every commit
+    that happened before that moment.  (Beginning at fetch time would hand
+    a retried transaction a snapshot from before its backoff window,
+    guaranteeing a re-abort against whatever commits during the wait, and
+    would pin the GC low-water mark through the idle window.)
+
+    With a :class:`RetryPolicy`, a conflict-aborted transaction replays on
+    a fresh session: its first operation carries a submission delay (the
+    seeded exponential backoff), so the scheduler re-enqueues the client at
+    virtual-time + backoff.  Jitter draws come from ``backoff_rng`` in
+    stream order, which is deterministic because the generator is
+    per-client.
     """
+    rng = backoff_rng if backoff_rng is not None else random.Random(0)
     for txn in plans:
-        session = manager.begin()
-        for op in txn:
-            kind = "write" if op.kind in WRITE_KINDS else "read"
-            yield ClientOp(kind, _bind_run(op, session), label=op.kind)
-        yield ClientOp("commit", _bind_commit(session), label="commit")
+        attempt = 0
+        delay = 0
+        while True:
+            # The session is created by whichever bound op runs first.
+            cell: dict[str, Session] = {}
+            outcome: dict[str, bool] = {}
+            for op in txn:
+                kind = "write" if op.kind in WRITE_KINDS else "read"
+                yield ClientOp(kind, _bind_run(op, manager, cell), label=op.kind, delay=delay)
+                delay = 0
+            yield ClientOp(
+                "commit", _bind_commit(manager, cell, outcome), label="commit", delay=delay
+            )
+            delay = 0
+            if not outcome.get("conflict"):
+                break
+            if retry is None or attempt >= retry.max_retries:
+                manager.stats.giveups += 1
+                break
+            attempt += 1
+            manager.stats.retries += 1
+            delay = retry.backoff_for(attempt, rng)
 
 
-def _bind_run(op: PlannedOp, session: Session) -> Callable[[], Any]:
+def _session_of(manager: SessionManager, cell: dict[str, Session]) -> Session:
+    session = cell.get("session")
+    if session is None:
+        session = cell["session"] = manager.begin()
+    return session
+
+
+def _bind_run(
+    op: PlannedOp, manager: SessionManager, cell: dict[str, Session]
+) -> Callable[[], Any]:
     def run() -> Any:
-        return op.run(session.graph)
+        return op.run(_session_of(manager, cell).graph)
 
     return run
 
 
-def _bind_commit(session: Session) -> Callable[[], Any]:
+def _bind_commit(
+    manager: SessionManager, cell: dict[str, Session], outcome: dict[str, bool]
+) -> Callable[[], Any]:
     def run() -> Any:
         try:
-            session.commit()
+            _session_of(manager, cell).commit()
+        except WriteConflictError:
+            # A first-committer-wins loss; the manager counted the abort
+            # and the stream decides whether to retry with backoff.
+            outcome["conflict"] = True
         except TransactionError:
-            # Conflict aborts are part of the workload; the manager counted
-            # it and the client moves on to its next transaction.
-            pass
+            # Non-conflict commit failure (e.g. a blind write on a dead
+            # id): not retryable — replaying would fail identically.  The
+            # manager counted the abort; this counter keeps the dropped
+            # transaction visible in the driver's accounting invariant.
+            outcome["failed"] = True
+            manager.stats.commit_failures += 1
 
     return run
 
@@ -270,6 +350,9 @@ def _stats_row(result: ScheduleResult, manager: SessionManager) -> dict[str, Any
         "op_errors": errors,
     }
     row.update(manager.stats.snapshot())
+    # Version-store health: cumulative reclaim counters plus what is still
+    # retained at the end of the run (bounded when GC works).
+    row.update(manager.store.gc_snapshot())
     return row
 
 
@@ -284,15 +367,25 @@ def run_engine_mode(
     group_commit: int,
     loop: str = "closed",
     arrival_interval: int = 0,
+    retries: int = DEFAULT_RETRIES,
+    backoff: int = DEFAULT_BACKOFF,
+    shards: int = DEFAULT_SHARDS,
 ) -> dict[str, Any]:
     """Run one (engine, durability) cell of the benchmark matrix."""
     engine = create_engine(engine_id, durability=durability)
     loaded = load_dataset_into(engine, dataset)
     engine.reset_metrics()
-    manager = engine.transactions()
-    manager.group_commit_size = group_commit
+    # First transactions() call on the fresh engine: configuration applies
+    # and engine.begin_session() stays on the same clock as the benchmark.
+    manager = engine.transactions(group_commit_size=group_commit, shards=shards)
+    retry = RetryPolicy(max_retries=retries, backoff_base=backoff) if retries > 0 else None
     streams = [
-        client_stream(manager, plan_client(loaded, mix, client, txns, seed))
+        client_stream(
+            manager,
+            plan_client(loaded, mix, client, txns, seed),
+            retry=retry,
+            backoff_rng=random.Random(seed * 2_147_483_629 + client * 104_729 + 13),
+        )
         for client in range(clients)
     ]
     scheduler = VirtualTimeScheduler(
@@ -317,6 +410,9 @@ def run_concurrent_benchmark(
     loop: str = "closed",
     arrival_interval: int = 0,
     dataset_seed: int = 11,
+    retries: int = DEFAULT_RETRIES,
+    backoff: int = DEFAULT_BACKOFF,
+    shards: int = DEFAULT_SHARDS,
 ) -> dict[str, Any]:
     """Run the full engines × durability matrix and return the report.
 
@@ -344,6 +440,9 @@ def run_concurrent_benchmark(
                 group_commit,
                 loop=loop,
                 arrival_interval=arrival_interval,
+                retries=retries,
+                backoff=backoff,
+                shards=shards,
             )
             for durability in durabilities
         }
@@ -363,6 +462,9 @@ def run_concurrent_benchmark(
         "group_commit": group_commit,
         "loop": loop,
         "arrival_interval": arrival_interval,
+        "retries": retries,
+        "backoff": backoff,
+        "shards": shards,
         "engines": engines,
         "wall_seconds": round(time.perf_counter() - started, 3),
     }

@@ -1,9 +1,11 @@
-"""Rendering and persistence of the concurrency benchmark report.
+"""Rendering and persistence of the concurrency benchmark reports.
 
-The JSON payload (``BENCH_concurrency.json``) is the machine-readable
-artifact gated by ``benchmarks/check_regression.py --kind concurrency``;
-the text table (``benchmarks/reports/fig8_concurrency.txt``) is the
-human-readable figure, following the repo's per-figure report convention.
+The JSON payloads (``BENCH_concurrency.json``, ``BENCH_saturation.json``)
+are the machine-readable artifacts gated by
+``benchmarks/check_regression.py --kind concurrency`` / ``--kind
+saturation``; the text tables (``benchmarks/reports/fig8_concurrency.txt``,
+``benchmarks/reports/fig9_saturation.txt``) are the human-readable figures,
+following the repo's per-figure report convention.
 """
 
 from __future__ import annotations
@@ -14,6 +16,8 @@ from typing import Any
 
 DEFAULT_JSON = "BENCH_concurrency.json"
 DEFAULT_REPORT = "benchmarks/reports/fig8_concurrency.txt"
+DEFAULT_SATURATION_JSON = "BENCH_saturation.json"
+DEFAULT_SATURATION_REPORT = "benchmarks/reports/fig9_saturation.txt"
 
 _COLUMNS = (
     ("throughput_ops_per_kcharge", "thrpt/kc", "{:.2f}"),
@@ -27,6 +31,10 @@ _COLUMNS = (
     ("commits", "commits", "{:d}"),
     ("conflict_aborts", "aborts", "{:d}"),
     ("abort_rate", "abort%", "{:.1%}"),
+    ("retries", "retries", "{:d}"),
+    ("gc_reclaimed_undo", "gc undo", "{:d}"),
+    ("gc_reclaimed_tombstones", "gc tomb", "{:d}"),
+    ("retained_entries", "retained", "{:d}"),
 )
 
 
@@ -63,7 +71,95 @@ def format_concurrency_report(report: dict[str, Any]) -> str:
         "ASYNC durability moves WAL page writes out of the committing "
         "client's path into batched background group flushes (Section 6.4)."
     )
+    lines.append(
+        "'retries' re-enqueue conflict-aborted transactions at virtual-time "
+        "+ seeded backoff; 'gc'/'retained' count MVCC version-store entries "
+        "reclaimed at the low-water mark vs still held at the end."
+    )
     return "\n".join(lines)
+
+
+_SATURATION_COLUMNS = (
+    ("arrival_interval", "interval", "{:d}"),
+    ("offered_ops_per_kcharge", "offered/kc", "{:.2f}"),
+    ("throughput_ops_per_kcharge", "thrpt/kc", "{:.2f}"),
+    ("p50_charge", "p50", "{:d}"),
+    ("p95_charge", "p95", "{:d}"),
+    ("p99_charge", "p99", "{:d}"),
+    ("abort_rate", "abort%", "{:.1%}"),
+    ("retries", "retries", "{:d}"),
+)
+
+
+def format_saturation_report(report: dict[str, Any]) -> str:
+    """Render the per-engine open-loop sweeps as aligned text tables."""
+    dataset = report["dataset"]
+    lines = [
+        "Figure 9: open-loop saturation sweep "
+        "(offered arrival rate stepped until throughput collapses)",
+        f"dataset={dataset['name']} scale={dataset['scale']} "
+        f"(V={dataset['vertices']}, E={dataset['edges']})  "
+        f"clients={report['clients']}  mix={report['mix']}  "
+        f"txns/client={report['txns_per_client']}  seed={report['seed']}  "
+        f"durability={report['durability']}  retries={report['retries']}",
+    ]
+    header = "  " + f"{'':<2}" + "".join(
+        f" {title:>11}" for _key, title, _fmt in _SATURATION_COLUMNS
+    )
+    for engine_id, sweep in report["engines"].items():
+        knee_interval = sweep["knee"]["arrival_interval"]
+        lines.append("")
+        lines.append(
+            f"{engine_id} — knee at interval {knee_interval} "
+            f"({sweep['knee']['throughput_ops_per_kcharge']:.2f} ops/kcharge"
+            f"{', collapse observed' if sweep['saturated'] else ', budget exhausted'})"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for step in sweep["steps"]:
+            marker = "*" if step["arrival_interval"] == knee_interval else " "
+            cells = "".join(
+                f" {fmt.format(step[key]):>11}"
+                for key, _title, fmt in _SATURATION_COLUMNS
+            )
+            lines.append(f"  {marker:<2}{cells}")
+    lines.append("")
+    lines.append(
+        "each step halves the arrival interval (doubles the offered load); "
+        "'*' marks the knee — past it the single charged server saturates: "
+        "throughput flattens while open-loop queueing blows up the tail."
+    )
+    return "\n".join(lines)
+
+
+def write_saturation_report(
+    report: dict[str, Any],
+    json_path: str | Path | None = DEFAULT_SATURATION_JSON,
+    text_path: str | Path | None = DEFAULT_SATURATION_REPORT,
+) -> list[Path]:
+    """Persist the saturation payload and/or table; return the paths."""
+    return _write_report(report, format_saturation_report, json_path, text_path)
+
+
+def _write_report(
+    report: dict[str, Any],
+    formatter,
+    json_path: str | Path | None,
+    text_path: str | Path | None,
+) -> list[Path]:
+    """Persist a payload and/or its rendered table; return the paths written."""
+    written: list[Path] = []
+    if json_path is not None:
+        path = Path(json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    if text_path is not None:
+        path = Path(text_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(formatter(report) + "\n")
+        written.append(path)
+    return written
 
 
 def write_concurrency_report(
@@ -72,17 +168,7 @@ def write_concurrency_report(
     text_path: str | Path | None = DEFAULT_REPORT,
 ) -> list[Path]:
     """Persist the JSON payload and/or the rendered table; return the paths."""
-    written: list[Path] = []
-    if json_path is not None:
-        path = Path(json_path)
-        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-        written.append(path)
-    if text_path is not None:
-        path = Path(text_path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(format_concurrency_report(report) + "\n")
-        written.append(path)
-    return written
+    return _write_report(report, format_concurrency_report, json_path, text_path)
 
 
 def comparable_payload(report: dict[str, Any]) -> str:

@@ -1,0 +1,234 @@
+"""Open-loop saturation sweeps: find each engine's throughput knee.
+
+The closed-loop benchmark (``graphbench concurrent``) measures latency at
+whatever throughput the clients happen to sustain; it cannot say *where the
+server falls over*.  This module answers that question the way open-loop
+load testing does: clients submit at a fixed arrival interval regardless of
+completions, the sweep halves the interval step by step (doubling the
+offered rate), and the measured throughput curve bends — first linear in
+the offered load, then flat once the single charged server saturates while
+queueing delay (and therefore p99 latency) grows without bound.  The step
+where the curve stops improving is the **knee**.
+
+Everything derives from seeded choices and logical charges, so the full
+``BENCH_saturation.json`` payload is byte-identical across machines and CI
+gates it with ``check_regression.py --kind saturation --require-identical``
+(plus a knee-throughput floor as the fallback signal), exactly like the
+fig8 concurrency gate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+from repro.concurrency.driver import (
+    DEFAULT_BACKOFF,
+    DEFAULT_RETRIES,
+    MIXES,
+    run_engine_mode,
+)
+from repro.concurrency.versioning import DEFAULT_SHARDS
+from repro.datasets import get_dataset
+from repro.exceptions import BenchmarkError
+
+#: Sweep defaults: the interval starts comfortably above every engine's
+#: mean service cost and halves until the knee (or this floor) is reached.
+#: These are also the committed-baseline parameters: ``graphbench
+#: saturate`` with no flags, ``benchmarks/saturation_smoke.py``, and the
+#: CI gate all agree, so a plain run regenerates ``BENCH_saturation.json``
+#: byte-identically instead of silently clobbering it with an
+#: incompatible-parameter payload.
+DEFAULT_START_INTERVAL = 1024
+DEFAULT_MIN_INTERVAL = 2
+DEFAULT_MAX_STEPS = 10
+
+#: The default sweep subset, matching the concurrency smoke: one native
+#: engine, one remote/async-flavoured one.
+DEFAULT_SWEEP_ENGINES = ("nativelinked-1.9", "documentgraph-2.8")
+
+#: A step must improve throughput by more than this fraction to count as
+#: "still scaling"; the first step that fails the test is the collapse
+#: point and ends the sweep for that engine.
+KNEE_GAIN = 0.05
+
+#: Fields copied from the per-run row into each sweep step.
+_STEP_FIELDS = (
+    "operations",
+    "makespan_charge",
+    "throughput_ops_per_kcharge",
+    "p50_charge",
+    "p95_charge",
+    "p99_charge",
+    "commit_p99_charge",
+    "commits",
+    "conflict_aborts",
+    "abort_rate",
+    "retries",
+    "giveups",
+    "gc_reclaimed_undo",
+    "retained_entries",
+)
+
+
+def sweep_engine(
+    engine_id: str,
+    durability: str,
+    dataset: Any,
+    mix_name: str,
+    clients: int,
+    txns: int,
+    seed: int,
+    group_commit: int,
+    start_interval: int = DEFAULT_START_INTERVAL,
+    min_interval: int = DEFAULT_MIN_INTERVAL,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    knee_gain: float = KNEE_GAIN,
+    retries: int = DEFAULT_RETRIES,
+    backoff: int = DEFAULT_BACKOFF,
+    shards: int = DEFAULT_SHARDS,
+) -> dict[str, Any]:
+    """Sweep one engine's arrival rate until its throughput collapses.
+
+    Returns ``{"steps": [...], "knee": {...}, "saturated": bool}`` where
+    ``saturated`` records whether the sweep actually observed the collapse
+    (as opposed to exhausting its step or interval budget first).
+    """
+    if start_interval < 1:
+        raise BenchmarkError(f"start interval must be >= 1, not {start_interval}")
+    if min_interval < 1:
+        raise BenchmarkError(f"minimum interval must be >= 1, not {min_interval}")
+    if start_interval < min_interval:
+        raise BenchmarkError(
+            f"start interval {start_interval} is below the minimum interval "
+            f"{min_interval}: the sweep would take no steps"
+        )
+    if max_steps < 1:
+        raise BenchmarkError(f"max steps must be >= 1, not {max_steps}")
+    mix = MIXES[mix_name]
+    steps: list[dict[str, Any]] = []
+    interval = start_interval
+    previous_throughput: float | None = None
+    saturated = False
+    while interval >= min_interval and len(steps) < max_steps:
+        row = run_engine_mode(
+            engine_id,
+            durability,
+            dataset,
+            mix,
+            clients,
+            txns,
+            seed,
+            group_commit,
+            loop="open",
+            arrival_interval=interval,
+            retries=retries,
+            backoff=backoff,
+            shards=shards,
+        )
+        step: dict[str, Any] = {
+            "arrival_interval": interval,
+            # Each of the N clients offers one op per `interval` charges.
+            "offered_ops_per_kcharge": round(clients * 1000 / interval, 4),
+        }
+        for field in _STEP_FIELDS:
+            step[field] = row[field]
+        steps.append(step)
+        throughput = step["throughput_ops_per_kcharge"]
+        if previous_throughput is not None and throughput <= previous_throughput * (
+            1.0 + knee_gain
+        ):
+            # Doubling the offered load no longer buys throughput: the
+            # server is saturated, and this step documents the collapse
+            # (flat throughput, exploding queueing latency).
+            saturated = True
+            break
+        previous_throughput = throughput
+        interval //= 2
+    knee = max(steps, key=lambda step: step["throughput_ops_per_kcharge"])
+    return {
+        "steps": steps,
+        "knee": {
+            "arrival_interval": knee["arrival_interval"],
+            "offered_ops_per_kcharge": knee["offered_ops_per_kcharge"],
+            "throughput_ops_per_kcharge": knee["throughput_ops_per_kcharge"],
+            "p99_charge": knee["p99_charge"],
+        },
+        "saturated": saturated,
+    }
+
+
+def run_saturation_sweep(
+    engine_ids: Sequence[str],
+    clients: int = 4,
+    mix_name: str = "write-heavy",
+    dataset_name: str = "yeast",
+    scale: float = 0.25,
+    seed: int = 20181204,
+    txns: int = 8,
+    durability: str = "sync",
+    group_commit: int = 4,
+    start_interval: int = DEFAULT_START_INTERVAL,
+    min_interval: int = DEFAULT_MIN_INTERVAL,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    knee_gain: float = KNEE_GAIN,
+    retries: int = DEFAULT_RETRIES,
+    backoff: int = DEFAULT_BACKOFF,
+    shards: int = DEFAULT_SHARDS,
+    dataset_seed: int = 11,
+) -> dict[str, Any]:
+    """Sweep every engine and return the ``BENCH_saturation.json`` payload.
+
+    Every field except ``wall_seconds`` derives from seeded choices and
+    logical charges, so the payload is byte-identical across runs with the
+    same arguments (the saturation determinism test holds this).
+    """
+    if mix_name not in MIXES:
+        known = ", ".join(sorted(MIXES))
+        raise BenchmarkError(f"unknown mix {mix_name!r}; known mixes: {known}")
+    dataset = get_dataset(dataset_name, scale=scale, seed=dataset_seed)
+    started = time.perf_counter()
+    engines: dict[str, dict[str, Any]] = {}
+    for engine_id in engine_ids:
+        engines[engine_id] = sweep_engine(
+            engine_id,
+            durability,
+            dataset,
+            mix_name,
+            clients,
+            txns,
+            seed,
+            group_commit,
+            start_interval=start_interval,
+            min_interval=min_interval,
+            max_steps=max_steps,
+            knee_gain=knee_gain,
+            retries=retries,
+            backoff=backoff,
+            shards=shards,
+        )
+    return {
+        "benchmark": "open-loop-saturation",
+        "dataset": {
+            "name": dataset_name,
+            "scale": scale,
+            "seed": dataset_seed,
+            "vertices": dataset.vertex_count,
+            "edges": dataset.edge_count,
+        },
+        "clients": clients,
+        "mix": mix_name,
+        "txns_per_client": txns,
+        "seed": seed,
+        "durability": durability,
+        "group_commit": group_commit,
+        "start_interval": start_interval,
+        "min_interval": min_interval,
+        "max_steps": max_steps,
+        "knee_gain": knee_gain,
+        "retries": retries,
+        "backoff": backoff,
+        "shards": shards,
+        "engines": engines,
+        "wall_seconds": round(time.perf_counter() - started, 3),
+    }

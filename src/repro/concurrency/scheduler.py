@@ -24,6 +24,11 @@ Model
   submits at fixed arrivals ``i_0, i_0 + interval, ...`` regardless of
   completions, so queueing delay — and therefore tail latency — grows
   when the server saturates.
+* An operation may carry a **submission delay** (retry backoff): when the
+  scheduler fetches it, the client's submission time moves forward by the
+  delay and the server is re-offered to whoever is now earliest — a
+  backing-off client re-enqueues at virtual-time + backoff instead of
+  holding its FCFS slot.
 * After every commit the scheduler gives the session manager a chance to
   run a group flush (:meth:`SessionManager.maybe_group_flush`).  The
   flush's charge advances the server clock (the work is real) but is not
@@ -50,6 +55,12 @@ class ClientOp:
     kind: str  # "read" | "write" | "commit" (free-form; stats group by it)
     run: Callable[[], Any]
     label: str = ""
+    #: Charge units this client waits before submitting the operation
+    #: (retry backoff / think time).  Applied once, when the scheduler
+    #: first fetches the op: the client's submission time moves forward by
+    #: ``delay`` and the server is re-offered to whoever is now earliest,
+    #: so a backing-off client never blocks the FCFS queue.
+    delay: int = 0
 
 
 @dataclass
@@ -122,6 +133,9 @@ class _ClientState:
         self.next_submit = first_submit
         self.ops_done = 0
         self.done = False
+        #: An op fetched whose delay pushed the submission forward; it runs
+        #: when this client is next the earliest submitter.
+        self.pending: ClientOp | None = None
 
 
 class VirtualTimeScheduler:
@@ -154,12 +168,24 @@ class VirtualTimeScheduler:
         live = [client for client in self._clients if not client.done]
         while live:
             client = min(live, key=lambda c: (c.next_submit, c.index))
-            try:
-                op = next(client.stream)
-            except StopIteration:
-                client.done = True
-                live = [c for c in self._clients if not c.done]
-                continue
+            op = client.pending
+            if op is None:
+                try:
+                    op = next(client.stream)
+                except StopIteration:
+                    client.done = True
+                    live = [c for c in self._clients if not c.done]
+                    continue
+                if op.delay > 0:
+                    # Backoff: push this client's submission into the
+                    # future and re-offer the server to the new earliest
+                    # submitter — the delayed op must not hold its FCFS
+                    # slot at the stale submission time.
+                    client.next_submit += op.delay
+                    client.pending = op
+                    continue
+            else:
+                client.pending = None
 
             submitted = client.next_submit
             started = max(server_free, submitted)

@@ -47,6 +47,7 @@ from repro.exceptions import (
 from repro.model.graph import GraphDatabase
 from repro.storage.wal import DurabilityMode
 from repro.concurrency.versioning import (
+    DEFAULT_SHARDS,
     EdgeState,
     ProvisionalId,
     VersionStore,
@@ -80,6 +81,17 @@ class ConcurrencyStats:
     explicit_aborts: int = 0
     group_flushes: int = 0
     flushed_records: int = 0
+    #: Conflict aborts the driver re-enqueued with backoff (a retry is
+    #: *also* counted as a conflict abort — retries never hide aborts).
+    retries: int = 0
+    #: Transactions dropped after exhausting their retry budget.
+    giveups: int = 0
+    #: Commits that failed at apply time for a non-conflict reason (e.g. a
+    #: blind write on an id whose tombstone GC already reclaimed).  Not
+    #: retryable — replaying would fail identically — and counted so that
+    #: ``commits + conflict_aborts + commit_failures == planned + retries``
+    #: stays a checkable invariant.
+    commit_failures: int = 0
 
     @property
     def aborts(self) -> int:
@@ -100,6 +112,9 @@ class ConcurrencyStats:
             "abort_rate": round(self.abort_rate, 6),
             "group_flushes": self.group_flushes,
             "flushed_records": self.flushed_records,
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "commit_failures": self.commit_failures,
         }
 
 
@@ -143,9 +158,14 @@ class Session:
 class SessionManager:
     """Factory and commit coordinator for sessions over one engine."""
 
-    def __init__(self, engine: GraphDatabase, group_commit_size: int = 4) -> None:
+    def __init__(
+        self,
+        engine: GraphDatabase,
+        group_commit_size: int = 4,
+        shards: int = DEFAULT_SHARDS,
+    ) -> None:
         self.engine = engine
-        self.store = VersionStore()
+        self.store = VersionStore(shards)
         #: ASYNC durability flushes the engine WAL once this many mutating
         #: commits are pending (across all sessions).
         self.group_commit_size = group_commit_size
@@ -168,11 +188,32 @@ class SessionManager:
     def active_sessions(self) -> int:
         return len(self._active)
 
+    def low_water_mark(self) -> int:
+        """The oldest snapshot any active session holds (clock when idle).
+
+        Every version with a timestamp at or below this mark is invisible
+        to all current sessions and to any session that can still be
+        opened (new snapshots start at the clock), so it is garbage.
+        """
+        if self._active:
+            return min(session.snapshot_ts for session in self._active.values())
+        return self.store.clock
+
+    def _finish(self, session: Session, state: str) -> None:
+        """Close a session and let the store reclaim newly-dead versions.
+
+        Closing a session is the only event that can raise the low-water
+        mark, so this is the one deterministic GC trigger; the sweep is
+        pure RAM bookkeeping and charges no simulated I/O.
+        """
+        session.state = state
+        self._active.pop(session.id, None)
+        self.store.collect_garbage(self.low_water_mark())
+
     def abort(self, session: Session) -> None:
         if not session.is_open:
             raise SessionStateError(f"session {session.id} is already {session.state}")
-        session.state = "aborted"
-        self._active.pop(session.id, None)
+        self._finish(session, "aborted")
         self.stats.explicit_aborts += 1
 
     # -- commit -------------------------------------------------------------
@@ -182,18 +223,18 @@ class SessionManager:
             raise SessionStateError(f"session {session.id} is already {session.state}")
         ws = session.write_set
         if not ws.ops:
-            session.state = "committed"
-            self._active.pop(session.id, None)
+            self._finish(session, "committed")
             self.stats.commits += 1
             self.stats.read_only_commits += 1
             return CommitResult(session.snapshot_ts, 0, read_only=True)
 
-        # 1. Validate: first committer wins.
+        # 1. Validate: first committer wins.  Each key consults exactly one
+        # version-store shard (charge-free RAM bookkeeping: a stable hash
+        # plus one shard-local dict lookup).
         for key in ws.write_keys:
-            committed = self.store.committed_at.get(key, 0)
+            committed = self.store.committed_ts(key)
             if committed > session.snapshot_ts:
-                session.state = "aborted"
-                self._active.pop(session.id, None)
+                self._finish(session, "aborted")
                 self.stats.conflict_aborts += 1
                 raise WriteConflictError(session.id, key, committed, session.snapshot_ts)
 
@@ -218,19 +259,20 @@ class SessionManager:
         try:
             applied = self._apply(session, id_map)
         except GraphBenchError as exc:
-            session.state = "aborted"
-            self._active.pop(session.id, None)
+            self._finish(session, "aborted")
             self.stats.explicit_aborts += 1
             raise TransactionError(
                 f"session {session.id} commit failed while applying its "
                 f"operation log: {exc}"
             ) from exc
 
-        # 4. Publish timestamps and structural bookkeeping.
+        # 4. Publish timestamps and structural bookkeeping, then close the
+        # session (which also garbage-collects versions that just became
+        # unobservable, including this commit's own marks when it ran
+        # uncontended).
         self._publish(session, commit_ts, id_map, removed_edge_states, cascade_keys)
 
-        session.state = "committed"
-        self._active.pop(session.id, None)
+        self._finish(session, "committed")
         self.stats.commits += 1
         if self.engine_wal_mode is DurabilityMode.ASYNC:
             self._unflushed_commits += 1
@@ -290,7 +332,7 @@ class SessionManager:
         cascade_keys: set[tuple[str, Any]] = set()
 
         def capture(key: tuple[str, Any]) -> None:
-            if any(ts == commit_ts for ts, _state in store.undo.get(key, ())):
+            if store.has_undo_at(key, commit_ts):
                 return
             kind, obj_id = key
             state: Any = None
@@ -303,7 +345,7 @@ class SessionManager:
                     base = engine.edge(obj_id)
                     state = EdgeState(base.label, base.source, base.target, dict(base.properties))
                     removed_edge_states.setdefault(obj_id, state)
-            store.undo.setdefault(key, []).append((commit_ts, state))
+            store.push_undo(key, commit_ts, state)
 
         for key in sorted(ws.write_keys, key=repr):
             capture(key)
@@ -390,32 +432,31 @@ class SessionManager:
         # dict insertion order — and therefore every overlay iteration
         # downstream — is identical across processes (hash seeds vary).
         for key in sorted(ws.write_keys, key=repr):
-            store.committed_at[key] = commit_ts
+            store.mark_committed(key, commit_ts)
         for key in sorted(cascade_keys, key=repr):
-            store.committed_at[key] = commit_ts
-            store.removed_at[key] = commit_ts
+            store.mark_committed(key, commit_ts)
+            store.mark_removed(key, commit_ts)
 
         # Objects created by this commit.
         for pid, engine_id in id_map.items():
             key = vertex_key(engine_id) if pid.kind == "vertex" else edge_key(engine_id)
-            store.committed_at[key] = commit_ts
-            store.created_at[key] = commit_ts
+            store.mark_committed(key, commit_ts)
+            store.mark_created(key, commit_ts)
         for pid, state in ws.created_edges.items():
             engine_id = id_map.get(pid)
             if engine_id is None:
                 continue
             for endpoint in (state.source, state.target):
-                resolved = id_map.get(endpoint, endpoint)
-                store.adj_changed_at[resolved] = commit_ts
+                store.mark_adj_changed(id_map.get(endpoint, endpoint), commit_ts)
 
         # Objects removed by this commit.
         for vertex_id in sorted(ws.removed_vertices, key=repr):
-            store.removed_at[vertex_key(vertex_id)] = commit_ts
-            store.adj_changed_at[vertex_id] = commit_ts
+            store.mark_removed(vertex_key(vertex_id), commit_ts)
+            store.mark_adj_changed(vertex_id, commit_ts)
         for edge_id in sorted(ws.removed_edges, key=repr):
             if isinstance(edge_id, ProvisionalId):
                 continue
-            store.removed_at[edge_key(edge_id)] = commit_ts
+            store.mark_removed(edge_key(edge_id), commit_ts)
             self._index_removed_edge(edge_id, removed_edge_states, commit_ts)
         for _kind, edge_id in sorted(cascade_keys, key=repr):
             self._index_removed_edge(edge_id, removed_edge_states, commit_ts)
@@ -432,8 +473,4 @@ class SessionManager:
             # session can hold an older snapshot, so resurrection metadata
             # is unnecessary.
             return
-        for endpoint in dict.fromkeys((state.source, state.target)):
-            edges = self.store.removed_edges_by_vertex.setdefault(endpoint, [])
-            if edge_id not in edges:
-                edges.append(edge_id)
-            self.store.adj_changed_at[endpoint] = commit_ts
+        self.store.register_removed_edge(edge_id, state, commit_ts)

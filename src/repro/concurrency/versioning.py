@@ -33,16 +33,27 @@ The overlay never invents or hides simulated I/O:
   session could observe them.  An uncontended session therefore charges
   exactly what direct execution charges (enforced by
   ``tests/concurrency/test_isolation.py::TestChargeParity``).
+
+Version state is *sharded* (:class:`VersionShard`, stable crc32 partition)
+so point lookups touch one shard and garbage collection scans only shards
+holding old-enough entries, and it is *bounded*: the session manager feeds
+:meth:`VersionStore.collect_garbage` the low-water-mark snapshot whenever
+a session closes, reclaiming every undo chain and tombstone no active or
+future snapshot can observe (``tests/concurrency/test_gc.py``).
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.exceptions import ElementNotFoundError, SessionStateError
 from repro.model.elements import Direction, Edge, Vertex
 from repro.model.graph import GraphDatabase
+
+#: Default number of version-store shards (``hash(key) % n_shards``).
+DEFAULT_SHARDS = 8
 
 #: Sentinel returned by :meth:`VersionStore.state_at` when the engine's
 #: current (in-place) state is the one visible at the snapshot.
@@ -96,18 +107,30 @@ def edge_key(edge_id: Any) -> tuple[str, Any]:
     return ("edge", edge_id)
 
 
-class VersionStore:
-    """Shared commit-timestamp bookkeeping for one underlying engine.
+class VersionShard:
+    """One partition of the version state (see :class:`VersionStore`).
 
-    One store exists per :class:`~repro.concurrency.sessions.SessionManager`
-    and is consulted by every :class:`VersionedGraph` bound to it.  All
-    structures are plain dicts keyed by ``("vertex"|"edge", id)`` and are
-    maintained in commit order, so iteration is deterministic.
+    All structures are plain dicts keyed by ``("vertex"|"edge", id)`` (the
+    adjacency maps by vertex id) and are maintained in commit order, so
+    iteration within a shard is deterministic.  ``oldest_ts`` tracks the
+    smallest timestamp any entry in this shard carries; the garbage
+    collector skips shards whose oldest entry is newer than the low-water
+    mark, so a sweep touches only shards that can actually reclaim.
     """
 
-    def __init__(self) -> None:
-        #: Timestamp of the latest mutating commit (0 = the loaded baseline).
-        self.clock: int = 0
+    __slots__ = (
+        "index",
+        "committed_at",
+        "undo",
+        "created_at",
+        "removed_at",
+        "removed_edges_by_vertex",
+        "adj_changed_at",
+        "oldest_ts",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
         #: Last commit timestamp that wrote each key (conflict detection).
         self.committed_at: dict[tuple[str, Any], int] = {}
         #: Before-images: ``key -> [(commit_ts, state_before_commit)]`` in
@@ -124,6 +147,201 @@ class VersionStore:
         #: removed) touching each vertex; readers with an older snapshot
         #: must take the overlay-aware adjacency path.
         self.adj_changed_at: dict[Any, int] = {}
+        #: Smallest timestamp held by any entry, or None when empty.
+        self.oldest_ts: int | None = None
+
+    def note(self, ts: int) -> None:
+        """Record that an entry with timestamp ``ts`` entered this shard."""
+        if self.oldest_ts is None or ts < self.oldest_ts:
+            self.oldest_ts = ts
+
+    # -- garbage collection -------------------------------------------------
+
+    def sweep_timestamps(self, low_water_mark: int, stats: "GCStats") -> None:
+        """Drop every timestamped entry no snapshot >= ``low_water_mark`` needs."""
+        for key in [k for k, ts in self.committed_at.items() if ts <= low_water_mark]:
+            del self.committed_at[key]
+            stats.reclaimed_keys += 1
+        for key, chain in list(self.undo.items()):
+            survivors = [(ts, state) for ts, state in chain if ts > low_water_mark]
+            stats.reclaimed_undo += len(chain) - len(survivors)
+            if survivors:
+                self.undo[key] = survivors
+            else:
+                del self.undo[key]
+        for key in [k for k, ts in self.created_at.items() if ts <= low_water_mark]:
+            del self.created_at[key]
+            stats.reclaimed_keys += 1
+        for key in [k for k, ts in self.removed_at.items() if ts <= low_water_mark]:
+            del self.removed_at[key]
+            stats.reclaimed_tombstones += 1
+        for vid in [v for v, ts in self.adj_changed_at.items() if ts <= low_water_mark]:
+            del self.adj_changed_at[vid]
+            stats.reclaimed_keys += 1
+
+    def prune_resurrections(self, removed_ts_of: Any, stats: "GCStats") -> None:
+        """Drop resurrection entries whose tombstone was reclaimed.
+
+        The edge's tombstone may live in a different shard (edges shard by
+        edge key, this index by endpoint vertex), so the store passes a
+        cross-shard ``removed_ts_of`` lookup.  Runs after every eligible
+        shard swept its timestamp maps.
+        """
+        for vid, edge_ids in list(self.removed_edges_by_vertex.items()):
+            survivors = [eid for eid in edge_ids if removed_ts_of(edge_key(eid)) > 0]
+            stats.reclaimed_resurrections += len(edge_ids) - len(survivors)
+            if survivors:
+                self.removed_edges_by_vertex[vid] = survivors
+            else:
+                del self.removed_edges_by_vertex[vid]
+
+    def recompute_oldest(self) -> None:
+        timestamps: list[int] = []
+        for mapping in (self.committed_at, self.created_at, self.removed_at, self.adj_changed_at):
+            timestamps.extend(mapping.values())
+        for chain in self.undo.values():
+            timestamps.extend(ts for ts, _state in chain)
+        self.oldest_ts = min(timestamps) if timestamps else None
+
+    def entry_count(self) -> int:
+        return (
+            len(self.committed_at)
+            + len(self.created_at)
+            + len(self.removed_at)
+            + len(self.adj_changed_at)
+            + sum(len(chain) for chain in self.undo.values())
+            + sum(len(edges) for edges in self.removed_edges_by_vertex.values())
+        )
+
+
+@dataclass
+class GCStats:
+    """Cumulative reclaim counters for one :class:`VersionStore`."""
+
+    runs: int = 0
+    reclaimed_undo: int = 0
+    reclaimed_tombstones: int = 0
+    reclaimed_keys: int = 0
+    reclaimed_resurrections: int = 0
+    last_low_water_mark: int = 0
+
+    @property
+    def reclaimed_total(self) -> int:
+        return (
+            self.reclaimed_undo
+            + self.reclaimed_tombstones
+            + self.reclaimed_keys
+            + self.reclaimed_resurrections
+        )
+
+
+class VersionStore:
+    """Sharded commit-timestamp bookkeeping for one underlying engine.
+
+    One store exists per :class:`~repro.concurrency.sessions.SessionManager`
+    and is consulted by every :class:`VersionedGraph` bound to it.  Version
+    state is partitioned into :class:`VersionShard` buckets by a *stable*
+    hash of the key (``crc32(repr(key)) % n_shards`` — Python's builtin
+    ``hash`` is salted per process and would break cross-run determinism),
+    so conflict-detection lookups touch exactly one shard and a garbage
+    sweep skips shards whose oldest entry is newer than the low-water mark.
+    Vertex-keyed adjacency state shards by the vertex key, keeping a
+    vertex's structural metadata co-located.
+
+    Garbage collection: :meth:`collect_garbage` takes the low-water mark —
+    the oldest snapshot any active session holds (or the clock when no
+    session is active) — and reclaims every undo-chain entry, tombstone,
+    conflict key, and adjacency mark with a timestamp at or below it.  No
+    snapshot that exists now or can ever be opened (new snapshots start at
+    the clock) observes those versions, so reclaiming them never changes a
+    read result.  All of this is plain-dict RAM bookkeeping: GC charges no
+    simulated I/O, keeping the uncontended charge-parity contract intact.
+    """
+
+    def __init__(self, n_shards: int = DEFAULT_SHARDS) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, not {n_shards}")
+        #: Timestamp of the latest mutating commit (0 = the loaded baseline).
+        self.clock: int = 0
+        self.n_shards = n_shards
+        self.shards = [VersionShard(index) for index in range(n_shards)]
+        self.gc = GCStats()
+
+    # -- sharding -----------------------------------------------------------
+
+    def shard_of(self, key: tuple[str, Any]) -> VersionShard:
+        """The shard holding ``key`` (stable across processes and runs).
+
+        The crc32-of-repr costs more wall clock per point lookup than a
+        bare dict ``get`` would, but builtin ``hash`` is process-salted
+        (it would break the byte-identical payload contract) and the
+        partition is what lets conflict validation and GC touch one shard;
+        none of this charges simulated I/O, so the cost model is
+        unaffected.  A single-shard store skips the hash entirely.
+        """
+        if self.n_shards == 1:
+            return self.shards[0]
+        return self.shards[zlib.crc32(repr(key).encode("utf-8")) % self.n_shards]
+
+    def _vertex_shard(self, vertex_id: Any) -> VersionShard:
+        return self.shard_of(vertex_key(vertex_id))
+
+    # -- point lookups (one shard each) -------------------------------------
+
+    def committed_ts(self, key: tuple[str, Any]) -> int:
+        return self.shard_of(key).committed_at.get(key, 0)
+
+    def created_ts(self, key: tuple[str, Any]) -> int:
+        return self.shard_of(key).created_at.get(key, 0)
+
+    def removed_ts(self, key: tuple[str, Any]) -> int:
+        return self.shard_of(key).removed_at.get(key, 0)
+
+    def adj_changed_ts(self, vertex_id: Any) -> int:
+        return self._vertex_shard(vertex_id).adj_changed_at.get(vertex_id, 0)
+
+    def undo_chain(self, key: tuple[str, Any]) -> tuple[tuple[int, Any], ...]:
+        return tuple(self.shard_of(key).undo.get(key, ()))
+
+    def has_undo_at(self, key: tuple[str, Any], commit_ts: int) -> bool:
+        return any(ts == commit_ts for ts, _state in self.shard_of(key).undo.get(key, ()))
+
+    # -- writes (publish/capture time) --------------------------------------
+
+    def mark_committed(self, key: tuple[str, Any], commit_ts: int) -> None:
+        shard = self.shard_of(key)
+        shard.committed_at[key] = commit_ts
+        shard.note(commit_ts)
+
+    def mark_created(self, key: tuple[str, Any], commit_ts: int) -> None:
+        shard = self.shard_of(key)
+        shard.created_at[key] = commit_ts
+        shard.note(commit_ts)
+
+    def mark_removed(self, key: tuple[str, Any], commit_ts: int) -> None:
+        shard = self.shard_of(key)
+        shard.removed_at[key] = commit_ts
+        shard.note(commit_ts)
+
+    def mark_adj_changed(self, vertex_id: Any, commit_ts: int) -> None:
+        shard = self._vertex_shard(vertex_id)
+        shard.adj_changed_at[vertex_id] = commit_ts
+        shard.note(commit_ts)
+
+    def push_undo(self, key: tuple[str, Any], commit_ts: int, state: Any) -> None:
+        shard = self.shard_of(key)
+        shard.undo.setdefault(key, []).append((commit_ts, state))
+        shard.note(commit_ts)
+
+    def register_removed_edge(self, edge_id: Any, state: EdgeState, commit_ts: int) -> None:
+        """Index a removed edge for resurrection by older snapshots."""
+        for endpoint in dict.fromkeys((state.source, state.target)):
+            shard = self._vertex_shard(endpoint)
+            edges = shard.removed_edges_by_vertex.setdefault(endpoint, [])
+            if edge_id not in edges:
+                edges.append(edge_id)
+            shard.adj_changed_at[endpoint] = commit_ts
+            shard.note(commit_ts)
 
     # -- visibility ---------------------------------------------------------
 
@@ -134,9 +352,10 @@ class VersionStore:
         ``None`` means the object did not exist at the snapshot; anything
         else is a reconstructed :class:`VertexState` / :class:`EdgeState`.
         """
-        if self.committed_at.get(key, 0) <= snapshot:
+        shard = self.shard_of(key)
+        if shard.committed_at.get(key, 0) <= snapshot:
             return CURRENT
-        for commit_ts, state in self.undo.get(key, ()):
+        for commit_ts, state in shard.undo.get(key, ()):
             if commit_ts > snapshot:
                 return state
         # The key was overwritten after the snapshot but no before-image was
@@ -147,7 +366,7 @@ class VersionStore:
 
     def hidden_from(self, key: tuple[str, Any], snapshot: int) -> bool:
         """True if the object was created by a commit newer than ``snapshot``."""
-        return self.created_at.get(key, 0) > snapshot
+        return self.created_ts(key) > snapshot
 
     def removed_as_of(self, key: tuple[str, Any], snapshot: int) -> bool:
         """True if ``key`` was overlay-removed at/before ``snapshot`` (and not re-created).
@@ -156,12 +375,16 @@ class VersionStore:
         could see anymore *without* touching the engine — a free dict
         lookup, so charge parity is unaffected.  Objects that never went
         through the overlay are not covered (a blind write on an id that
-        never existed still fails at apply time).
+        never existed still fails at apply time), and neither are removals
+        whose tombstone the garbage collector already reclaimed — once no
+        snapshot can observe a removal it is indistinguishable from an id
+        that never existed, and the engine raises at apply time instead.
         """
-        removed_ts = self.removed_at.get(key)
+        shard = self.shard_of(key)
+        removed_ts = shard.removed_at.get(key)
         if removed_ts is None or removed_ts > snapshot:
             return False
-        return self.created_at.get(key, 0) <= removed_ts
+        return shard.created_at.get(key, 0) <= removed_ts
 
     def resurrected_edges(self, vertex_id: Any, snapshot: int) -> Iterator[tuple[Any, EdgeState]]:
         """Edges incident to ``vertex_id`` removed after ``snapshot``.
@@ -169,9 +392,10 @@ class VersionStore:
         Yields ``(edge_id, state)`` for edges that existed at the snapshot
         but were removed by a newer commit, in commit order.
         """
-        for eid in self.removed_edges_by_vertex.get(vertex_id, ()):
+        shard = self._vertex_shard(vertex_id)
+        for eid in shard.removed_edges_by_vertex.get(vertex_id, ()):
             key = edge_key(eid)
-            if self.removed_at.get(key, 0) <= snapshot:
+            if self.removed_ts(key) <= snapshot:
                 continue
             if self.hidden_from(key, snapshot):
                 continue
@@ -181,21 +405,91 @@ class VersionStore:
             yield eid, state
 
     def removed_object_ids(self, kind: str, snapshot: int) -> Iterator[Any]:
-        """Ids of ``kind`` objects removed after ``snapshot`` but visible at it."""
-        for (obj_kind, obj_id), removed_ts in self.removed_at.items():
-            if obj_kind != kind or removed_ts <= snapshot:
-                continue
-            if self.hidden_from((obj_kind, obj_id), snapshot):
-                continue
-            yield obj_id
+        """Ids of ``kind`` objects removed after ``snapshot`` but visible at it.
+
+        Iterates shards in index order (insertion order within a shard), so
+        the sequence is deterministic for a given shard count.
+        """
+        for shard in self.shards:
+            for (obj_kind, obj_id), removed_ts in shard.removed_at.items():
+                if obj_kind != kind or removed_ts <= snapshot:
+                    continue
+                if self.hidden_from((obj_kind, obj_id), snapshot):
+                    continue
+                yield obj_id
 
     def overlaid_keys(self, kind: str, snapshot: int) -> list[Any]:
         """Ids of ``kind`` objects whose visible state differs from in-place."""
         return [
             obj_id
-            for (obj_kind, obj_id), ts in self.committed_at.items()
+            for shard in self.shards
+            for (obj_kind, obj_id), ts in shard.committed_at.items()
             if obj_kind == kind and ts > snapshot
         ]
+
+    def iter_created(self, kind: str) -> Iterator[tuple[tuple[str, Any], int]]:
+        """Every ``(key, created_ts)`` of ``kind``, shard-by-shard."""
+        for shard in self.shards:
+            for key, ts in shard.created_at.items():
+                if key[0] == kind:
+                    yield key, ts
+
+    # -- garbage collection -------------------------------------------------
+
+    def collect_garbage(self, low_water_mark: int) -> int:
+        """Reclaim every version no active (or future) snapshot can observe.
+
+        ``low_water_mark`` is the oldest snapshot held by any active
+        session, or the commit clock when none is active.  An undo entry
+        recorded at commit ``ts`` is only ever read by a snapshot older
+        than ``ts``, so entries with ``ts <= low_water_mark`` are dead; the
+        same argument covers tombstones, conflict keys, creation marks, and
+        adjacency marks.  Only shards whose ``oldest_ts`` is at or below
+        the mark are swept.  Returns the number of entries reclaimed.
+        """
+        eligible = [
+            shard
+            for shard in self.shards
+            if shard.oldest_ts is not None and shard.oldest_ts <= low_water_mark
+        ]
+        self.gc.last_low_water_mark = low_water_mark
+        if not eligible:
+            return 0
+        before = self.gc.reclaimed_total
+        for shard in eligible:
+            shard.sweep_timestamps(low_water_mark, self.gc)
+        # Resurrection entries live in the *endpoint vertex's* shard while
+        # their tombstone lives in the edge-key shard; prune after every
+        # eligible shard dropped its tombstones.
+        for shard in eligible:
+            shard.prune_resurrections(self.removed_ts, self.gc)
+        for shard in eligible:
+            shard.recompute_oldest()
+        self.gc.runs += 1
+        return self.gc.reclaimed_total - before
+
+    # -- introspection ------------------------------------------------------
+
+    def retained_undo_entries(self) -> int:
+        return sum(
+            len(chain) for shard in self.shards for chain in shard.undo.values()
+        )
+
+    def retained_entries(self) -> int:
+        """Every live entry across all shards (the store's RAM footprint)."""
+        return sum(shard.entry_count() for shard in self.shards)
+
+    def gc_snapshot(self) -> dict[str, int]:
+        """Reclaim/retention counters for benchmark rows (all deterministic)."""
+        return {
+            "gc_runs": self.gc.runs,
+            "gc_reclaimed_undo": self.gc.reclaimed_undo,
+            "gc_reclaimed_tombstones": self.gc.reclaimed_tombstones,
+            "gc_reclaimed_keys": self.gc.reclaimed_keys,
+            "gc_reclaimed_resurrections": self.gc.reclaimed_resurrections,
+            "retained_undo": self.retained_undo_entries(),
+            "retained_entries": self.retained_entries(),
+        }
 
 
 class WriteSet:
@@ -301,7 +595,7 @@ class VersionedGraph(GraphDatabase):
         see (the overlay path raises ``ElementNotFoundError`` instead).
         """
         return (
-            self._store.adj_changed_at.get(vertex_id, 0) <= snapshot
+            self._store.adj_changed_ts(vertex_id) <= snapshot
             and not self._store.hidden_from(vertex_key(vertex_id), snapshot)
             and not self._ws.touches_adjacency_of(vertex_id)
         )
@@ -753,7 +1047,7 @@ class VersionedGraph(GraphDatabase):
             raise ElementNotFoundError("vertex", vertex_id)
         if self._store.state_at(key, snapshot) is None:
             raise ElementNotFoundError("vertex", vertex_id)
-        if self._store.removed_at.get(key, 0) > snapshot:
+        if self._store.removed_ts(key) > snapshot:
             # The vertex was removed in place after our snapshot; its
             # adjacency survives only in the resurrection index.
             yield from self._overlay_incident(vertex_id, direction, label, snapshot)
@@ -951,8 +1245,8 @@ class VersionedGraph(GraphDatabase):
         if self._fast():
             return self._engine.vertex_count()
         count = self._engine.vertex_count()
-        for key, created_ts in self._store.created_at.items():
-            if key[0] == "vertex" and created_ts > snapshot and key not in self._store.removed_at:
+        for key, created_ts in self._store.iter_created("vertex"):
+            if created_ts > snapshot and self._store.removed_ts(key) == 0:
                 count -= 1  # exists in place, invisible at the snapshot
         count += sum(1 for _vid in self._store.removed_object_ids("vertex", snapshot))
         count -= len(self._ws.removed_vertices)
@@ -964,8 +1258,8 @@ class VersionedGraph(GraphDatabase):
         if self._fast():
             return self._engine.edge_count()
         count = self._engine.edge_count()
-        for key, created_ts in self._store.created_at.items():
-            if key[0] == "edge" and created_ts > snapshot and key not in self._store.removed_at:
+        for key, created_ts in self._store.iter_created("edge"):
+            if created_ts > snapshot and self._store.removed_ts(key) == 0:
                 count -= 1
         count += sum(1 for _eid in self._store.removed_object_ids("edge", snapshot))
         count -= sum(

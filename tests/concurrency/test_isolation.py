@@ -19,7 +19,12 @@ import pytest
 from repro.bench.workload import load_dataset_into
 from repro.concurrency import ProvisionalId
 from repro.engines import ALL_ENGINES, create_engine
-from repro.exceptions import ElementNotFoundError, SessionStateError, WriteConflictError
+from repro.exceptions import (
+    ElementNotFoundError,
+    SessionStateError,
+    TransactionError,
+    WriteConflictError,
+)
 from repro.model.elements import Direction
 from repro.queries import query_by_id
 
@@ -285,10 +290,13 @@ class TestSessionLifecycle:
 
         Objects removed by a commit this snapshot already observed are
         rejected when the write is buffered (a free version-store lookup),
-        exactly like the immediate error a direct engine call gives.
+        exactly like the immediate error a direct engine call gives — for
+        as long as the tombstone is retained, i.e. while any session that
+        could still observe the object is active (here: a pinning reader).
         """
         engine = any_loaded.engine
         vmap, emap = any_loaded.vertex_map, any_loaded.edge_map
+        pin = engine.begin_session()  # keeps the low-water mark at 0
         remover = engine.begin_session()
         remover.graph.remove_edge(emap[4])
         remover.graph.remove_vertex(vmap["n7"])
@@ -306,7 +314,30 @@ class TestSessionLifecycle:
         with pytest.raises(ElementNotFoundError):
             session.graph.add_edge(vmap["n0"], vmap["n7"], "knows")
         session.commit()  # the valid write survives the rejected ones
+        pin.commit()
         assert engine.vertex_property(vmap["n0"], "rank") == 42
+
+    def test_writes_on_gc_reclaimed_objects_fail_at_apply_time(self, any_loaded):
+        """After GC a dead id is indistinguishable from one that never existed.
+
+        With no observer pinning them, an uncontended removal's tombstones
+        are reclaimed the moment the remover closes; a later blind write on
+        the dead id is then a caller bug that surfaces at apply time (the
+        documented behaviour for ids that never went through the overlay).
+        """
+        engine = any_loaded.engine
+        vmap, emap = any_loaded.vertex_map, any_loaded.edge_map
+        remover = engine.begin_session()
+        remover.graph.remove_edge(emap[4])
+        remover.commit()  # uncontended: GC reclaims the tombstone here
+        manager = engine.transactions()
+        assert manager.store.gc.reclaimed_tombstones > 0
+        assert manager.store.retained_entries() == 0
+        session = engine.begin_session()
+        session.graph.set_edge_property(emap[4], "weight", 1)  # buffers freely
+        with pytest.raises(TransactionError):
+            session.commit()
+        assert session.state == "aborted"
 
     def test_session_removal_of_resurrected_objects_is_read_your_writes(self, any_loaded):
         """Removing an object another commit already removed stays consistent."""

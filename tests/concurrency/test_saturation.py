@@ -1,0 +1,150 @@
+"""The open-loop saturation sweep: knee detection, determinism, gating."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.concurrency import (
+    comparable_payload,
+    format_saturation_report,
+    run_saturation_sweep,
+    write_saturation_report,
+)
+
+_ARGS = dict(
+    engine_ids=["nativelinked-1.9"],
+    clients=4,
+    mix_name="write-heavy",
+    dataset_name="yeast",
+    scale=0.15,
+    txns=4,
+    start_interval=512,
+    min_interval=4,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_report():
+    return run_saturation_sweep(seed=20181204, **_ARGS)
+
+
+class TestSweepShape:
+    def test_intervals_halve_and_knee_is_max_throughput(self, sweep_report):
+        sweep = sweep_report["engines"]["nativelinked-1.9"]
+        intervals = [step["arrival_interval"] for step in sweep["steps"]]
+        assert intervals[0] == 512
+        assert all(b == a // 2 for a, b in zip(intervals, intervals[1:]))
+        throughputs = [step["throughput_ops_per_kcharge"] for step in sweep["steps"]]
+        assert sweep["knee"]["throughput_ops_per_kcharge"] == max(throughputs)
+        assert sweep["knee"]["arrival_interval"] in intervals
+
+    def test_collapse_shows_the_open_loop_tail(self, sweep_report):
+        """Past the knee, throughput flattens while queueing delay blows up."""
+        sweep = sweep_report["engines"]["nativelinked-1.9"]
+        assert sweep["saturated"], "the sweep must actually observe the collapse"
+        first, last = sweep["steps"][0], sweep["steps"][-1]
+        # Offered load grew by orders of magnitude...
+        assert last["offered_ops_per_kcharge"] > 10 * first["offered_ops_per_kcharge"]
+        # ...but the last doubling no longer bought 5% more throughput,
+        assert last["throughput_ops_per_kcharge"] <= sweep["steps"][-2][
+            "throughput_ops_per_kcharge"
+        ] * 1.05
+        # ...while tail latency exploded (queueing, not service time).
+        assert last["p99_charge"] > 3 * first["p99_charge"]
+
+    def test_every_step_keeps_the_gc_bounded(self, sweep_report):
+        for step in sweep_report["engines"]["nativelinked-1.9"]["steps"]:
+            assert step["retained_entries"] == 0
+
+
+class TestSweepDeterminism:
+    def test_same_seed_same_payload(self, sweep_report):
+        again = run_saturation_sweep(seed=20181204, **_ARGS)
+        assert comparable_payload(sweep_report) == comparable_payload(again)
+
+    def test_different_seed_changes_the_sweep(self, sweep_report):
+        other = run_saturation_sweep(seed=42, **_ARGS)
+        assert comparable_payload(sweep_report) != comparable_payload(other)
+
+    def test_written_report_round_trips(self, sweep_report, tmp_path):
+        json_path = tmp_path / "BENCH_saturation.json"
+        text_path = tmp_path / "fig9_saturation.txt"
+        write_saturation_report(sweep_report, json_path=json_path, text_path=text_path)
+        loaded = json.loads(json_path.read_text())
+        assert comparable_payload(loaded) == comparable_payload(sweep_report)
+        rendered = text_path.read_text()
+        assert "Figure 9" in rendered
+        assert "knee at interval" in rendered
+        assert "*" in rendered
+
+
+def _load_check_regression():
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+    spec = importlib.util.spec_from_file_location("check_regression_under_test", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSaturationGate:
+    def _payload(self, knee_tp: float) -> dict:
+        return {
+            "engines": {
+                "nativelinked-1.9": {
+                    "steps": [],
+                    "knee": {"throughput_ops_per_kcharge": knee_tp},
+                    "saturated": True,
+                }
+            }
+        }
+
+    def test_knee_floor(self):
+        gate = _load_check_regression()
+        baseline = self._payload(100.0)
+        assert gate.check_saturation_regressions(baseline, self._payload(90.0)) == []
+        failures = gate.check_saturation_regressions(baseline, self._payload(50.0))
+        assert len(failures) == 1
+        assert "knee throughput" in failures[0]
+
+    def test_missing_engine_fails(self):
+        gate = _load_check_regression()
+        failures = gate.check_saturation_regressions(
+            self._payload(100.0), {"engines": {}}
+        )
+        assert failures == ["nativelinked-1.9: missing from the current report"]
+
+    def test_identity_gate_ignores_wall_clock(self, sweep_report):
+        gate = _load_check_regression()
+        other = dict(sweep_report)
+        other["wall_seconds"] = 1e9
+        assert gate.check_payload_identity(sweep_report, other, "regen") == []
+        mutated = json.loads(json.dumps(sweep_report))
+        mutated["seed"] = 1
+        failures = gate.check_payload_identity(sweep_report, mutated, "regen-hint")
+        assert len(failures) == 1
+        assert "regen-hint" in failures[0]
+
+    def test_cli_gate_end_to_end(self, sweep_report, tmp_path):
+        gate = _load_check_regression()
+        baseline_path = tmp_path / "baseline.json"
+        write_saturation_report(sweep_report, json_path=baseline_path, text_path=None)
+        assert (
+            gate.main(
+                [
+                    "--kind",
+                    "saturation",
+                    "--baseline",
+                    str(baseline_path),
+                    "--current",
+                    str(baseline_path),
+                    "--require-identical",
+                ]
+            )
+            == 0
+        )

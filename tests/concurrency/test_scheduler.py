@@ -165,14 +165,168 @@ class TestDriverStreams:
         )
         assert row["conflict_aborts"] > 0
         assert 0.0 < row["abort_rate"] < 0.5
-        assert row["commits"] + row["conflict_aborts"] == 8 * 16
+        # Every attempt (planned transaction or retry) ends in exactly one
+        # commit, conflict abort, or apply-time failure, and every conflict
+        # abort is either re-enqueued with backoff or given up — retries
+        # never hide aborts, and failures are never silently dropped.
+        assert (
+            row["commits"] + row["conflict_aborts"] + row["commit_failures"]
+            == 8 * 16 + row["retries"]
+        )
+        assert row["conflict_aborts"] == row["retries"] + row["giveups"]
+        assert row["commit_failures"] == 0  # guarded ops never blind-write
 
-    def test_session_begins_at_schedule_position(self, small_dataset):
+    def test_retry_budget_controls_giveups(self, yeast_dataset):
+        """A generous retry budget commits every transaction; zero retries
+        turns every conflict into a giveup."""
+        common = dict(
+            durability="sync",
+            dataset=yeast_dataset,
+            mix=MIXES["write-heavy"],
+            clients=6,
+            txns=10,
+            seed=20181204,
+            group_commit=4,
+        )
+        generous = run_engine_mode("nativelinked-1.9", retries=16, **common)
+        assert generous["retries"] > 0
+        assert generous["giveups"] == 0
+        # Every planned transaction eventually committed.
+        assert generous["commits"] == 6 * 10
+        none = run_engine_mode("nativelinked-1.9", retries=0, **common)
+        assert none["retries"] == 0
+        assert none["giveups"] == none["conflict_aborts"] > 0
+        assert none["commits"] == 6 * 10 - none["giveups"]
+
+    def test_backoff_delays_resubmission(self, small_dataset):
+        """A conflicted client's retry submits strictly later than the
+        abort finished — the backoff is visible in the trace."""
+        import random as _random
+
+        from repro.concurrency.driver import PlannedOp, RetryPolicy, client_stream
+
+        engine = create_engine("nativelinked-1.9")
+        loaded = load_dataset_into(engine, small_dataset)
+        engine.reset_metrics()
+        manager = engine.transactions()
+        vid = loaded.vertex_map["n0"]
+
+        # Each transaction reads first (a charge-bearing op, so the two
+        # sessions genuinely overlap in virtual time) and then writes the
+        # same vertex: the second committer conflicts and retries.
+        def plan(value):
+            return [[
+                PlannedOp("lookup", lambda g: g.vertex(vid)),
+                PlannedOp("set-prop", lambda g, v=value: g.set_vertex_property(vid, "x", v)),
+            ]]
+
+        policy = RetryPolicy(max_retries=3, backoff_base=32)
+        streams = [
+            client_stream(manager, plan(1), retry=policy, backoff_rng=_random.Random(1)),
+            client_stream(manager, plan(2), retry=policy, backoff_rng=_random.Random(2)),
+        ]
+        result = VirtualTimeScheduler(engine, manager, streams).run()
+        assert manager.stats.conflict_aborts == 1
+        assert manager.stats.retries == 1
+        assert manager.stats.giveups == 0
+        commits = [t for t in result.traces if t.kind == "commit"]
+        assert len(commits) == 3  # two planned + one retried
+        aborted_commit = commits[1]
+        retried_first_op = next(
+            t
+            for t in result.traces
+            if t.client == aborted_commit.client and t.submitted > aborted_commit.finished
+        )
+        # attempt-1 backoff = base * 1 + jitter, so the gap is >= base.
+        assert retried_first_op.submitted >= aborted_commit.finished + 32
+        # The retried transaction won: its write is the final state.
+        assert engine.vertex_property(vid, "x") is not None
+
+    def test_apply_time_failures_are_counted_not_retried(self, small_dataset):
+        """A non-conflict commit failure surfaces as commit_failures: the
+        transaction is dropped (replaying would fail identically) but the
+        accounting invariant still balances."""
+        import random as _random
+
+        from repro.concurrency.driver import PlannedOp, RetryPolicy
+
+        engine = create_engine("nativelinked-1.9")
+        loaded = load_dataset_into(engine, small_dataset)
+        engine.reset_metrics()
+        manager = engine.transactions()
+        dead_edge = loaded.edge_map[0]
+        remover = engine.begin_session()
+        remover.graph.remove_edge(dead_edge)
+        remover.commit()  # uncontended: GC reclaims the tombstone
+        assert manager.store.retained_entries() == 0
+
+        blind = [[PlannedOp("set-prop", lambda g: g.set_edge_property(dead_edge, "w", 1))]]
+        stream = client_stream(
+            manager,
+            blind,
+            retry=RetryPolicy(max_retries=3, backoff_base=8),
+            backoff_rng=_random.Random(0),
+        )
+        VirtualTimeScheduler(engine, manager, [stream]).run()
+        stats = manager.stats
+        assert stats.commit_failures == 1
+        assert stats.retries == 0  # not retryable
+        assert stats.conflict_aborts == 0
+        # planned = 2 (remover + blind txn); the invariant balances.
+        assert (
+            stats.commits + stats.conflict_aborts + stats.commit_failures
+            == 2 + stats.retries
+        )
+
+    def test_session_begins_when_first_op_executes(self, small_dataset):
+        """The snapshot is taken at execution time, not fetch time — so a
+        retried transaction backing off sees commits from its wait window."""
         engine = create_engine("nativelinked-1.9")
         loaded = load_dataset_into(engine, small_dataset)
         manager = engine.transactions()
         plans = plan_client(loaded, MIXES["read-heavy"], client=0, txns=2, seed=3)
         stream = client_stream(manager, plans)
         assert manager.stats.begun == 0
-        next(stream)  # fetching the first op begins the first session
+        op = next(stream)  # fetching alone opens nothing
+        assert manager.stats.begun == 0
+        op.run()  # executing the first op begins the session
         assert manager.stats.begun == 1
+
+    def test_retry_snapshot_postdates_the_backoff_window(self, small_dataset):
+        """A commit that lands *during* a retry's backoff must be visible
+        to the retried transaction (its snapshot is taken post-backoff)."""
+        import random as _random
+
+        from repro.concurrency.driver import PlannedOp, RetryPolicy
+
+        engine = create_engine("nativelinked-1.9")
+        loaded = load_dataset_into(engine, small_dataset)
+        engine.reset_metrics()
+        manager = engine.transactions()
+        vid = loaded.vertex_map["n0"]
+        seen: list = []
+
+        def observing_write(g):
+            seen.append(g.vertex_property(vid, "x"))
+            g.set_vertex_property(vid, "x", "retrier")
+
+        retrier = [[
+            PlannedOp("lookup", lambda g: g.vertex(vid)),
+            PlannedOp("set-prop", observing_write),
+        ]]
+        winner = [[
+            PlannedOp("lookup", lambda g: g.vertex(vid)),
+            PlannedOp("set-prop", lambda g: g.set_vertex_property(vid, "x", "winner")),
+        ]]
+        policy = RetryPolicy(max_retries=3, backoff_base=32)
+        streams = [
+            client_stream(manager, winner, retry=policy, backoff_rng=_random.Random(1)),
+            client_stream(manager, retrier, retry=policy, backoff_rng=_random.Random(2)),
+        ]
+        VirtualTimeScheduler(engine, manager, streams).run()
+        assert manager.stats.retries == 1
+        assert manager.stats.giveups == 0
+        # First attempt read the pre-winner state; the retry's snapshot
+        # includes the winner's commit (it would re-abort otherwise).
+        assert seen == [None, "winner"]
+        assert engine.vertex_property(vid, "x") == "retrier"

@@ -1,0 +1,110 @@
+"""WAL checkpoint edge cases under sessions, group commit, and MVCC GC.
+
+``WAL.truncate()`` models a checkpoint: it may only drop records that
+reached simulated stable storage.  Under ASYNC durability, commits from
+*different* sessions interleave durable (flushed) and undurable (pending)
+records in the log, and version-store GC runs between them — none of which
+may let a checkpoint drop an unflushed record or disturb LSN monotonicity.
+"""
+
+from __future__ import annotations
+
+from repro.bench.workload import load_dataset_into
+from repro.engines import create_engine
+from repro.storage.wal import DurabilityMode
+
+
+def _commit_prop(engine, vid, value) -> None:
+    session = engine.begin_session()
+    session.graph.set_vertex_property(vid, "touched", value)
+    session.commit()
+
+
+class TestTruncateUnderMixedDurability:
+    def test_truncate_after_gc_keeps_undurable_async_records(self, small_dataset):
+        engine = create_engine("nativelinked-1.9", durability="async")
+        loaded = load_dataset_into(engine, small_dataset)
+        engine.wal.flush()  # load records are durable
+        manager = engine.transactions()
+        vids = list(loaded.vertex_map.values())
+
+        # A contended pair so the version store actually has work to GC:
+        # the pin forces before-image capture, then its close reclaims.
+        pin = engine.begin_session()
+        _commit_prop(engine, vids[0], "durable")
+        pin.commit()
+        assert manager.store.gc.reclaimed_total > 0
+        assert manager.store.retained_entries() == 0
+        manager.flush()  # the first commit's records reach stable storage
+        durable_before = len(engine.wal.replay())
+
+        # A second commit stays pending (ASYNC, group not yet full).
+        _commit_prop(engine, vids[1], "pending")
+        pending = engine.wal.pending
+        assert pending > 0
+        lsn_before = engine.wal.last_sequence
+
+        dropped = engine.wal.truncate()
+        # The checkpoint drops exactly the durable prefix and keeps every
+        # undurable record — an unflushed commit must survive a checkpoint.
+        assert dropped == durable_before
+        assert engine.wal.pending == pending
+        assert engine.wal.last_sequence == lsn_before  # LSNs never rewind
+        assert engine.wal.replay() == []  # pending records are not durable
+
+        # The surviving records flush later with their original, strictly
+        # monotonic sequence numbers.
+        flushed = manager.flush()
+        assert flushed == pending
+        sequences = [record.sequence for record in engine.wal.replay()]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+        assert all(sequence <= lsn_before for sequence in sequences)
+
+        # New appends keep climbing past the checkpoint.
+        _commit_prop(engine, vids[2], "after-checkpoint")
+        assert engine.wal.last_sequence > lsn_before
+
+    def test_sync_sessions_leave_nothing_for_truncate_to_spare(self, small_dataset):
+        engine = create_engine("nativelinked-1.9", durability="sync")
+        loaded = load_dataset_into(engine, small_dataset)
+        assert engine.wal.mode is DurabilityMode.SYNC
+        _commit_prop(engine, list(loaded.vertex_map.values())[0], 1)
+        assert engine.wal.pending == 0
+        lsn_before = engine.wal.last_sequence
+        dropped = engine.wal.truncate()
+        assert dropped > 0
+        assert len(engine.wal) == 0
+        assert engine.wal.last_sequence == lsn_before
+        _commit_prop(engine, list(loaded.vertex_map.values())[1], 2)
+        assert engine.wal.last_sequence > lsn_before
+
+    def test_group_flush_boundary_interacts_with_truncate(self, small_dataset):
+        """A checkpoint in the middle of a commit group: the flushed half
+        drops, the unflushed half survives and still group-flushes."""
+        engine = create_engine("nativelinked-1.9", durability="async")
+        loaded = load_dataset_into(engine, small_dataset)
+        engine.wal.flush()
+        manager = engine.transactions()
+        manager.group_commit_size = 4
+        vids = list(loaded.vertex_map.values())
+
+        _commit_prop(engine, vids[0], 0)
+        _commit_prop(engine, vids[1], 1)
+        assert manager.maybe_group_flush() == 0  # group of 4 not yet full
+        first_half = engine.wal.pending
+        engine.wal.flush()  # an engine-level flush outside group commit
+        _commit_prop(engine, vids[2], 2)
+        second_half = engine.wal.pending
+        assert second_half > 0
+
+        dropped = engine.wal.truncate()
+        assert dropped >= first_half
+        assert engine.wal.pending == second_half
+
+        _commit_prop(engine, vids[3], 3)
+        flushed = manager.flush()
+        assert flushed > 0
+        assert engine.wal.pending == 0
+        sequences = [record.sequence for record in engine.wal.replay()]
+        assert sequences == sorted(sequences)
