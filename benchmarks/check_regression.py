@@ -21,6 +21,12 @@ saturate``) must stay within the allowed fraction of the committed
 baseline, and ``--require-identical`` demands the byte-exact payload,
 mirroring the concurrency gate.
 
+``--kind partition`` gates ``BENCH_partition.json``: every (engine,
+partitioner, K) cell's distributed makespan must not grow by more than the
+allowed fraction, and ``--require-identical`` demands the byte-exact
+payload — scale-out numbers derive purely from seeded choices, logical
+charges, and the network cost model.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf_smoke --output BENCH_current.json
@@ -141,6 +147,54 @@ def check_concurrency_regressions(
     return failures
 
 
+def check_partition_regressions(
+    baseline: dict,
+    current: dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[str]:
+    """Return one failure per (engine, partitioner, K) makespan regression.
+
+    Makespan is charge-derived and lower is better, so the gate mirrors the
+    traversal one: a cell may not get slower by more than the allowed
+    fraction (K=1 cells double as the charge-parity baseline, so a K=1
+    regression means direct execution itself got more expensive).
+    """
+    failures: list[str] = []
+    for engine_name, baseline_strategies in sorted(baseline.get("engines", {}).items()):
+        current_strategies = current.get("engines", {}).get(engine_name)
+        if current_strategies is None:
+            failures.append(f"{engine_name}: missing from the current report")
+            continue
+        for strategy, baseline_sweep in sorted(baseline_strategies.items()):
+            current_sweep = current_strategies.get(strategy)
+            if current_sweep is None:
+                failures.append(
+                    f"{engine_name}/{strategy}: missing from the current report"
+                )
+                continue
+            current_runs = {run["shards"]: run for run in current_sweep["runs"]}
+            for base_run in baseline_sweep["runs"]:
+                shards = base_run["shards"]
+                current_run = current_runs.get(shards)
+                if current_run is None:
+                    failures.append(
+                        f"{engine_name}/{strategy}/K={shards}: "
+                        "missing from the current report"
+                    )
+                    continue
+                base_makespan = max(base_run["makespan_charge"], 1)
+                limit = base_makespan * (1.0 + max_regression)
+                if current_run["makespan_charge"] > limit:
+                    failures.append(
+                        f"{engine_name}/{strategy}/K={shards}: makespan "
+                        f"{current_run['makespan_charge']} vs baseline "
+                        f"{base_makespan} "
+                        f"(+{(current_run['makespan_charge'] / base_makespan - 1.0) * 100:.0f}%, "
+                        f"limit +{max_regression * 100:.0f}%)"
+                    )
+    return failures
+
+
 def check_saturation_regressions(
     baseline: dict,
     current: dict,
@@ -171,7 +225,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--kind",
         default="traversal",
-        choices=["traversal", "concurrency", "saturation"],
+        choices=["traversal", "concurrency", "saturation", "partition"],
         help="which report family to gate",
     )
     parser.add_argument(
@@ -204,6 +258,7 @@ def main(argv: list[str] | None = None) -> int:
         args.baseline = {
             "concurrency": "BENCH_concurrency.json",
             "saturation": "BENCH_saturation.json",
+            "partition": "BENCH_partition.json",
         }.get(args.kind, "BENCH_traversal.json")
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
@@ -218,6 +273,19 @@ def main(argv: list[str] | None = None) -> int:
         passed = (
             f"concurrency regression gate passed: throughput within "
             f"-{args.max_regression * 100:.0f}% for every engine × durability"
+            + (", payload identical to the baseline" if args.require_identical else "")
+        )
+    elif args.kind == "partition":
+        failures = check_partition_regressions(baseline, current, args.max_regression)
+        if args.require_identical:
+            failures.extend(
+                check_payload_identity(
+                    baseline, current, "python -m benchmarks.partition_smoke"
+                )
+            )
+        passed = (
+            f"partition regression gate passed: makespan within "
+            f"+{args.max_regression * 100:.0f}% for every engine × partitioner × K"
             + (", payload identical to the baseline" if args.require_identical else "")
         )
     elif args.kind == "saturation":

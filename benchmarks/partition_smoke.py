@@ -1,0 +1,82 @@
+"""Partition smoke: the scale-out matrix behind the CI gate.
+
+Runs the deterministic scale-out benchmark (:mod:`repro.partition.bench`)
+over the default matrix — two engines × the three partitioners ×
+K ∈ {1, 2, 4, 8} — and writes the JSON payload consumed by the regression
+gate.  Every number derives from seeded choices, logical charges, and the
+network cost model — never wall clock — so the payload is byte-identical
+across machines and CI gates it exactly.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.partition_smoke \
+        [--engines ID...] [--partitioners NAME...] [--shards K...] \
+        [--output BENCH_partition.json] [--report PATH]
+
+Gate a fresh run against the committed report with
+``python -m benchmarks.check_regression --kind partition``.
+
+The defaults mirror ``graphbench scaleout`` and the committed
+``BENCH_partition.json`` baseline; regenerate that baseline with the
+defaults after any intentional change to the partition layer, the bulk
+primitives, or the cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engines import resolve_engine_id
+from repro.partition import (
+    DEFAULT_BENCH_ENGINES,
+    DEFAULT_PARTITIONERS,
+    DEFAULT_PARTITION_JSON,
+    DEFAULT_SHARD_COUNTS,
+    format_scaleout_report,
+    run_scaleout_benchmark,
+    write_scaleout_report,
+)
+from repro.partition.bench import DEFAULT_BFS_SOURCES, DEFAULT_DEPTH
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engines", nargs="+", default=list(DEFAULT_BENCH_ENGINES))
+    parser.add_argument(
+        "--partitioners", nargs="+", default=list(DEFAULT_PARTITIONERS)
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=list(DEFAULT_SHARD_COUNTS)
+    )
+    parser.add_argument("--dataset", default="yeast")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=20181204)
+    parser.add_argument("--depth", type=int, default=DEFAULT_DEPTH)
+    parser.add_argument("--bfs-sources", type=int, default=DEFAULT_BFS_SOURCES)
+    parser.add_argument("--latency", type=int, default=None)
+    parser.add_argument("--per-item", type=int, default=None)
+    parser.add_argument("--output", default=DEFAULT_PARTITION_JSON)
+    parser.add_argument("--report", default=None)
+    args = parser.parse_args(argv)
+
+    report = run_scaleout_benchmark(
+        [resolve_engine_id(name) for name in args.engines],
+        partitioner_names=args.partitioners,
+        shard_counts=args.shards,
+        dataset_name=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        depth=args.depth,
+        bfs_sources=args.bfs_sources,
+        latency_per_message=args.latency,
+        cost_per_item=args.per_item,
+    )
+    print(format_scaleout_report(report))
+    for path in write_scaleout_report(report, json_path=args.output, text_path=args.report):
+        print(f"\nwrote {path.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

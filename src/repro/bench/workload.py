@@ -20,6 +20,40 @@ from repro.exceptions import BenchmarkError
 from repro.model.graph import GraphDatabase
 
 
+def build_adjacency(edges: list[dict[str, Any]]) -> dict[Any, list[Any]]:
+    """Undirected adjacency over external ids, in edge-list order."""
+    adjacency: dict[Any, list[Any]] = {}
+    for edge in edges:
+        adjacency.setdefault(edge["source"], []).append(edge["target"])
+        adjacency.setdefault(edge["target"], []).append(edge["source"])
+    return adjacency
+
+
+def reachable_within(
+    adjacency: dict[Any, list[Any]], source: Any, hops: int = 3
+) -> list[Any]:
+    """External ids within ``hops`` of ``source``, in discovery order.
+
+    Used to pick shortest-path targets that actually have a path.  The
+    visited structure is a dict so iteration keeps insertion order —
+    drawing a target from a *set* would pick up the per-process hash salt
+    and break cross-process byte-identity of seeded parameter plans.
+    """
+    frontier = [source]
+    visited = {source: True}
+    for _hop in range(hops):
+        next_frontier = []
+        for vertex in frontier:
+            for neighbor in adjacency.get(vertex, ()):
+                if neighbor not in visited:
+                    visited[neighbor] = True
+                    next_frontier.append(neighbor)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return [vertex for vertex in visited if vertex != source]
+
+
 @dataclass(frozen=True)
 class ExternalVertex:
     """A parameter referring to a dataset-level vertex id."""
@@ -348,30 +382,14 @@ class ParameterPlan:
     def _path_endpoints(self, rng: random.Random) -> dict[str, Any]:
         """Pick two vertices a few hops apart so shortest paths exist."""
         source = self._hub_vertex(rng).id
-        frontier = [source]
-        visited = {source}
-        for _hop in range(3):
-            next_frontier = []
-            for vertex in frontier:
-                for neighbor in self._adjacency.get(vertex, ()):
-                    if neighbor not in visited:
-                        visited.add(neighbor)
-                        next_frontier.append(neighbor)
-            if not next_frontier:
-                break
-            frontier = next_frontier
-        reachable = [vertex for vertex in visited if vertex != source]
+        reachable = reachable_within(self._adjacency, source)
         target = rng.choice(reachable) if reachable else rng.choice(self._vertex_ids)
         return {"vertex": ExternalVertex(source), "vertex2": ExternalVertex(target)}
 
     # -- dataset pre-processing -----------------------------------------------------
 
     def _build_adjacency(self) -> dict[Any, list[Any]]:
-        adjacency: dict[Any, list[Any]] = {}
-        for edge in self.dataset.edges:
-            adjacency.setdefault(edge["source"], []).append(edge["target"])
-            adjacency.setdefault(edge["target"], []).append(edge["source"])
-        return adjacency
+        return build_adjacency(self.dataset.edges)
 
     def _sample_properties(self) -> dict[str, list[tuple[str, Any, Any]]]:
         rng = random.Random(self.seed + 1)

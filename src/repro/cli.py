@@ -12,7 +12,11 @@ Sub-commands mirror the workflow of the paper's test suite:
   (MVCC sessions, deterministic virtual-time scheduling, SYNC vs ASYNC
   group commit) and print per-engine throughput / tail-latency tables;
 * ``graphbench saturate`` — open-loop saturation sweep: step each engine's
-  arrival rate until throughput collapses and report the knee (Figure 9).
+  arrival rate until throughput collapses and report the knee (Figure 9);
+  ``--compare-loops`` re-drives the workload closed-loop for Figure 9b;
+* ``graphbench scaleout`` — partition each engine across K charged
+  executors and measure distributed traversal speedup, efficiency, and
+  cut ratio per partitioning strategy (Figure 10).
 """
 
 from __future__ import annotations
@@ -35,15 +39,19 @@ from repro.bench.summary import summary_table
 from repro.concurrency import (
     MIXES,
     format_concurrency_report,
+    format_loop_comparison,
     format_saturation_report,
     run_concurrent_benchmark,
+    run_loop_comparison,
     run_saturation_sweep,
 )
 from repro.concurrency.driver import DEFAULT_BACKOFF, DEFAULT_RETRIES
 from repro.concurrency.report import (
+    DEFAULT_LOOP_COMPARISON_REPORT,
     DEFAULT_SATURATION_JSON,
     DEFAULT_SATURATION_REPORT,
     write_concurrency_report,
+    write_loop_comparison,
     write_saturation_report,
 )
 from repro.concurrency.saturation import (
@@ -57,6 +65,19 @@ from repro.config import BenchConfig
 from repro.datasets import available_datasets, compute_statistics, get_dataset
 from repro.engines import DEFAULT_ENGINES, available_engines, engine_info, resolve_engine_id
 from repro.exceptions import BenchmarkError
+from repro.partition import (
+    DEFAULT_BENCH_ENGINES,
+    DEFAULT_PARTITIONERS,
+    DEFAULT_PARTITION_JSON,
+    DEFAULT_PARTITION_REPORT,
+    DEFAULT_SHARD_COUNTS,
+    PARTITIONERS,
+    format_scaleout_report,
+    run_scaleout_benchmark,
+    write_scaleout_report,
+)
+from repro.partition.bench import DEFAULT_BFS_SOURCES, DEFAULT_DEPTH
+from repro.partition.messages import DEFAULT_COST_PER_ITEM, DEFAULT_LATENCY_PER_MESSAGE
 from repro.queries.registry import query_ids
 
 
@@ -230,6 +251,77 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_SATURATION_REPORT,
         help="write the rendered figure here ('' to skip)",
     )
+    saturate_parser.add_argument(
+        "--compare-loops",
+        action="store_true",
+        help="after the sweep, re-drive the same workload closed-loop and "
+        "write the closed-vs-open comparison figure (Figure 9b)",
+    )
+    saturate_parser.add_argument(
+        "--loop-report",
+        default=DEFAULT_LOOP_COMPARISON_REPORT,
+        help="where --compare-loops writes the comparison figure",
+    )
+
+    scaleout_parser = subparsers.add_parser(
+        "scaleout",
+        help="partition each engine across K charged executors and measure "
+        "distributed traversal speedup (Figure 10)",
+    )
+    # Defaults deliberately mirror benchmarks/partition_smoke.py: a plain
+    # `graphbench scaleout` regenerates the committed BENCH_partition.json
+    # byte-identically rather than clobbering the CI baseline.
+    scaleout_parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=list(DEFAULT_BENCH_ENGINES),
+        help="engines to shard; identifiers or unambiguous prefixes",
+    )
+    scaleout_parser.add_argument(
+        "--partitioners",
+        nargs="+",
+        default=list(DEFAULT_PARTITIONERS),
+        choices=sorted(PARTITIONERS),
+        help="partitioning strategies to compare",
+    )
+    scaleout_parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SHARD_COUNTS),
+        help="shard counts K to sweep (must include 1, the parity baseline)",
+    )
+    scaleout_parser.add_argument("--dataset", default="yeast", choices=list(available_datasets()))
+    scaleout_parser.add_argument("--scale", type=float, default=0.25)
+    scaleout_parser.add_argument("--seed", type=int, default=20181204)
+    scaleout_parser.add_argument(
+        "--depth", type=int, default=DEFAULT_DEPTH, help="BFS depth per seeded source"
+    )
+    scaleout_parser.add_argument(
+        "--bfs-sources", type=int, default=DEFAULT_BFS_SOURCES, help="seeded BFS sources"
+    )
+    scaleout_parser.add_argument(
+        "--latency",
+        type=int,
+        default=DEFAULT_LATENCY_PER_MESSAGE,
+        help="charge per cross-shard message batch (the RPC envelope)",
+    )
+    scaleout_parser.add_argument(
+        "--per-item",
+        type=int,
+        default=DEFAULT_COST_PER_ITEM,
+        help="charge per frontier item carried in a batch",
+    )
+    scaleout_parser.add_argument(
+        "--output",
+        default=DEFAULT_PARTITION_JSON,
+        help="write the JSON payload here ('' to skip)",
+    )
+    scaleout_parser.add_argument(
+        "--report",
+        default=DEFAULT_PARTITION_REPORT,
+        help="write the rendered figure here ('' to skip)",
+    )
     return parser
 
 
@@ -375,6 +467,48 @@ def _command_saturate(args: argparse.Namespace) -> int:
         json_path=args.output or None,
         text_path=args.report or None,
     )
+    if args.compare_loops:
+        comparison = run_loop_comparison(report)
+        print()
+        print(format_loop_comparison(comparison))
+        written.extend(
+            write_loop_comparison(comparison, text_path=args.loop_report or None)
+        )
+    for path in written:
+        print(f"wrote {path.resolve()}")
+    return 0
+
+
+def _command_scaleout(args: argparse.Namespace) -> int:
+    if args.latency < 0 or args.per_item < 0:
+        print(
+            "graphbench scaleout: --latency and --per-item must be >= 0",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        engine_ids = [resolve_engine_id(name) for name in args.engines]
+        report = run_scaleout_benchmark(
+            engine_ids,
+            partitioner_names=args.partitioners,
+            shard_counts=args.shards,
+            dataset_name=args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            depth=args.depth,
+            bfs_sources=args.bfs_sources,
+            latency_per_message=args.latency,
+            cost_per_item=args.per_item,
+        )
+    except BenchmarkError as error:
+        print(f"graphbench scaleout: {error}", file=sys.stderr)
+        return 2
+    print(format_scaleout_report(report))
+    written = write_scaleout_report(
+        report,
+        json_path=args.output or None,
+        text_path=args.report or None,
+    )
     for path in written:
         print(f"wrote {path.resolve()}")
     return 0
@@ -405,6 +539,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_concurrent(args)
     if args.command == "saturate":
         return _command_saturate(args)
+    if args.command == "scaleout":
+        return _command_scaleout(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -22,12 +22,19 @@ from repro.concurrency.driver import (
 from repro.concurrency.report import (
     comparable_payload,
     format_concurrency_report,
+    format_loop_comparison,
     format_saturation_report,
     write_concurrency_report,
+    write_loop_comparison,
     write_saturation_report,
 )
-from repro.concurrency.saturation import run_saturation_sweep, sweep_engine
+from repro.concurrency.saturation import (
+    run_loop_comparison,
+    run_saturation_sweep,
+    sweep_engine,
+)
 from repro.concurrency.scheduler import (
+    BarrierClock,
     ClientOp,
     OpTrace,
     ScheduleResult,
@@ -46,6 +53,7 @@ from repro.concurrency.versioning import (
 )
 
 __all__ = [
+    "BarrierClock",
     "ClientOp",
     "CommitResult",
     "ConcurrencyStats",
@@ -67,12 +75,15 @@ __all__ = [
     "WriteSet",
     "comparable_payload",
     "format_concurrency_report",
+    "format_loop_comparison",
     "format_saturation_report",
     "percentile",
     "run_concurrent_benchmark",
     "run_engine_mode",
+    "run_loop_comparison",
     "run_saturation_sweep",
     "sweep_engine",
     "write_concurrency_report",
+    "write_loop_comparison",
     "write_saturation_report",
 ]

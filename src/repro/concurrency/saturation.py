@@ -158,6 +158,91 @@ def sweep_engine(
     }
 
 
+#: Fields carried into each loop-comparison row.
+_COMPARISON_FIELDS = (
+    "throughput_ops_per_kcharge",
+    "p50_charge",
+    "p95_charge",
+    "p99_charge",
+    "abort_rate",
+    "retries",
+)
+
+
+def run_loop_comparison(sweep_report: dict[str, Any]) -> dict[str, Any]:
+    """Put a closed-loop run beside each engine's open-loop sweep (fig 9b).
+
+    The closed loop answers "how fast do N clients go when each waits for
+    its own completions"; the open loop at the knee answers "how much can
+    the server be *offered* before queueing sets in"; the collapse row
+    shows what the same server looks like past saturation.  All three use
+    the identical seeded workload, so the contrast is purely the loop
+    model — the classic closed-vs-open methodology distinction the
+    benchmarking literature warns about.
+
+    Derives every parameter from ``sweep_report`` (a
+    :func:`run_saturation_sweep` payload), so the comparison is exactly
+    the sweep's workload re-driven closed-loop — and just as
+    deterministic.
+    """
+    dataset = get_dataset(
+        sweep_report["dataset"]["name"],
+        scale=sweep_report["dataset"]["scale"],
+        seed=sweep_report["dataset"]["seed"],
+    )
+    mix = MIXES[sweep_report["mix"]]
+    engines: dict[str, Any] = {}
+    for engine_id, sweep in sweep_report["engines"].items():
+        closed_row = run_engine_mode(
+            engine_id,
+            sweep_report["durability"],
+            dataset,
+            mix,
+            sweep_report["clients"],
+            sweep_report["txns_per_client"],
+            sweep_report["seed"],
+            sweep_report["group_commit"],
+            loop="closed",
+            retries=sweep_report["retries"],
+            backoff=sweep_report["backoff"],
+            shards=sweep_report["shards"],
+        )
+        knee_interval = sweep["knee"]["arrival_interval"]
+        knee_step = next(
+            step
+            for step in sweep["steps"]
+            if step["arrival_interval"] == knee_interval
+        )
+        collapse_step = sweep["steps"][-1]
+
+        def _row(source: dict[str, Any], interval: int) -> dict[str, Any]:
+            row = {"arrival_interval": interval}
+            for field in _COMPARISON_FIELDS:
+                row[field] = source[field]
+            return row
+
+        engines[engine_id] = {
+            # Closed loop has no arrival interval: submission == completion.
+            "closed": _row(closed_row, 0),
+            "open_knee": _row(knee_step, knee_interval),
+            "open_collapse": _row(collapse_step, collapse_step["arrival_interval"]),
+            # Whether the sweep actually observed the collapse; when it
+            # exhausted its budget first, the last step is not past the
+            # knee and the figure must not label it a collapse.
+            "saturated": sweep["saturated"],
+        }
+    return {
+        "benchmark": "loop-comparison",
+        "dataset": dict(sweep_report["dataset"]),
+        "clients": sweep_report["clients"],
+        "mix": sweep_report["mix"],
+        "txns_per_client": sweep_report["txns_per_client"],
+        "seed": sweep_report["seed"],
+        "durability": sweep_report["durability"],
+        "engines": engines,
+    }
+
+
 def run_saturation_sweep(
     engine_ids: Sequence[str],
     clients: int = 4,

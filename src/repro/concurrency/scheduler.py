@@ -126,6 +126,37 @@ def percentile(values: Sequence[int], percent: int) -> int:
     return ordered[min(len(ordered), rank) - 1]
 
 
+@dataclass
+class BarrierClock:
+    """One virtual clock drained by K parallel executors in barrier steps.
+
+    The single-server scheduler above serialises every operation; the
+    partitioning layer instead runs K shard executors side by side and
+    synchronises them at superstep barriers (BSP).  Each step the caller
+    reports every executor's charged work for that step; the clock advances
+    by the *slowest* executor (``elapsed`` — where stragglers show up) while
+    ``busy`` accumulates the *sum* of all work (the serial-equivalent
+    charge).  ``elapsed == busy`` with one executor, which is what makes the
+    K=1 distributed run charge-identical to direct execution; the ratio
+    ``busy / (K * elapsed)`` is the classic parallel efficiency.
+    """
+
+    #: Virtual time: sum over steps of the slowest executor's charge.
+    elapsed: int = 0
+    #: Total charged work across all executors (serial-equivalent time).
+    busy: int = 0
+    #: Number of barrier steps taken.
+    steps: int = 0
+
+    def advance(self, step_costs: Sequence[int]) -> int:
+        """Advance past one barrier step; return the step's critical path."""
+        critical = max(step_costs) if step_costs else 0
+        self.elapsed += critical
+        self.busy += sum(step_costs)
+        self.steps += 1
+        return critical
+
+
 class _ClientState:
     def __init__(self, index: int, stream: Iterator[ClientOp], first_submit: int) -> None:
         self.index = index

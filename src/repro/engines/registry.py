@@ -57,23 +57,23 @@ def resolve_engine_id(name: str) -> str:
     """Resolve ``name`` to a registered identifier, accepting short aliases.
 
     Exact identifiers pass through; otherwise ``name`` matches by prefix
-    (``"triple"`` → ``"triplegraph-2.1"``).  When several versions match
-    (``"nativelinked"``), the one in :data:`DEFAULT_ENGINES` wins, mirroring
-    how the paper reports one headline version per system.
+    (``"triple"`` → ``"triplegraph-2.1"``).  A prefix matching several
+    identifiers (``"nativelinked"``, ``"columnar"``, ``"native"``) is an
+    error that lists every match: silently preferring one version would
+    make a benchmark run measure a different engine than the one the user
+    thought they named.
     """
     if name in _REGISTRY:
         return name
-    matches = [identifier for identifier in _REGISTRY if identifier.startswith(name)]
+    matches = sorted(identifier for identifier in _REGISTRY if identifier.startswith(name))
     if not matches:
         known = ", ".join(sorted(_REGISTRY))
         raise BenchmarkError(f"unknown engine {name!r}; known engines: {known}")
-    preferred = [identifier for identifier in matches if identifier in DEFAULT_ENGINES]
-    if len(preferred) == 1:
-        return preferred[0]
     if len(matches) == 1:
         return matches[0]
     raise BenchmarkError(
-        f"ambiguous engine {name!r}: matches {', '.join(sorted(matches))}"
+        f"ambiguous engine prefix {name!r}: matches {', '.join(matches)}; "
+        "use one of those exact identifiers"
     )
 
 

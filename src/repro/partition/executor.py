@@ -1,0 +1,379 @@
+"""The distributed charged executor: K shard engines under one clock.
+
+Each shard of a partitioned graph is a full engine instance holding only
+its own vertices and intra-shard edges; cross-shard adjacency lives in a
+RAM routing table built from the cut edges at partition time.  Traversal
+runs as BSP supersteps:
+
+1. every shard with a non-empty frontier expands it *locally* through the
+   PR 1 bulk primitive (``neighbors_many``), charging its own engine's
+   logical I/O;
+2. frontier entries with cut-edge neighbours produce **batched messages**
+   to the owning shards, charged by the
+   :class:`~repro.partition.messages.NetworkCostModel` (per-message latency
+   + per-item cost); a shard never re-sends a remote vertex it has already
+   messaged (the sender-side dedup filter real BSP engines keep);
+3. the shards synchronise on a
+   :class:`~repro.concurrency.scheduler.BarrierClock`: virtual time
+   advances by the *slowest* shard's compute+send charge — stragglers are
+   first-class — while the busy sum records the serial-equivalent work;
+4. delivered messages seed the receivers' next frontiers (receive is free:
+   its cost is accounted at the sender, once per item crossing the wire).
+
+Determinism contract
+--------------------
+
+Every number is a pure function of ``(dataset, partition plan, engine,
+query, network model)``: shards expand in index order, frontiers keep
+discovery order, batches are emitted in destination order, and ownership
+hashing is ``zlib.crc32``-stable — so a scale-out run reproduces
+byte-for-byte anywhere, which is what lets CI gate ``BENCH_partition.json``
+exactly.
+
+Charge parity at K=1
+--------------------
+
+With one shard there are no cut edges, no messages, and one executor
+draining the clock, so ``makespan == busy == the engine's I/O delta`` and
+the result set equals :func:`direct_bfs` on the unpartitioned engine —
+the distributed machinery costs *nothing* until the graph actually spans
+shards.  ``tests/partition/test_executor.py`` pins this for every engine ×
+partitioner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.concurrency.scheduler import BarrierClock
+from repro.exceptions import BenchmarkError
+from repro.model.elements import Direction
+from repro.model.graph import GraphDatabase
+from repro.partition.messages import MessageBatch, NetworkCostModel, NetworkStats
+from repro.partition.partitioners import PartitionPlan
+
+
+def direct_bfs(
+    engine: GraphDatabase, source: Any, depth: int
+) -> dict[Any, int]:
+    """Reference BFS on an unpartitioned engine (internal ids → distance).
+
+    Frontier-at-a-time over ``neighbors_many`` in BOTH directions with
+    discovery-order dedup — exactly the expansion each shard runs locally,
+    which is what makes the K=1 charge-parity contract hold by
+    construction (and testable by assertion).
+    """
+    distances = {source: 0}
+    frontier = [source]
+    for hop in range(1, depth + 1):
+        if not frontier:
+            break
+        next_frontier: list[Any] = []
+        for _origin, neighbor in engine.neighbors_many(frontier, Direction.BOTH):
+            if neighbor not in distances:
+                distances[neighbor] = hop
+                next_frontier.append(neighbor)
+        frontier = next_frontier
+    return distances
+
+
+def direct_shortest_path(
+    engine: GraphDatabase, source: Any, target: Any, max_depth: int = 32
+) -> int:
+    """Reference unweighted shortest-path distance (-1 when unreachable)."""
+    if source == target:
+        return 0
+    distances = {source: 0}
+    frontier = [source]
+    for hop in range(1, max_depth + 1):
+        if not frontier:
+            break
+        next_frontier: list[Any] = []
+        for _origin, neighbor in engine.neighbors_many(frontier, Direction.BOTH):
+            if neighbor not in distances:
+                distances[neighbor] = hop
+                next_frontier.append(neighbor)
+        if target in distances:
+            # Finish the hop (the whole frontier was already expanded),
+            # then stop — mirrors the distributed barrier early-exit.
+            return hop
+        frontier = next_frontier
+    return distances.get(target, -1)
+
+
+@dataclass
+class ShardRuntime:
+    """One shard: its engine, id translation, and cut-edge routing table."""
+
+    index: int
+    engine: GraphDatabase
+    #: External id → this shard engine's internal id.
+    id_map: dict[Any, Any]
+    #: Internal id → external id (derived).
+    reverse: dict[Any, Any] = field(init=False)
+    #: External id → ``((remote external id, remote shard), ...)`` for every
+    #: cut edge incident to the local vertex, in cut-table build order.
+    remote: dict[Any, list[tuple[Any, int]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.reverse = {internal: external for external, internal in self.id_map.items()}
+
+
+@dataclass
+class DistributedResult:
+    """One distributed query's answer plus its full charge accounting."""
+
+    #: External vertex id → BFS distance (shortest-path runs leave only
+    #: the vertices discovered before the early exit).
+    distances: dict[Any, int]
+    #: Virtual time: sum over supersteps of the slowest shard (compute+send).
+    makespan_charge: int
+    #: Serial-equivalent work: every shard's compute+send summed.
+    busy_charge: int
+    #: Local engine I/O across all shards.
+    compute_charge: int
+    #: Batched-message charge (latency + per-item).
+    network_charge: int
+    supersteps: int
+    messages: int
+    message_items: int
+
+    @property
+    def total_charge(self) -> int:
+        """All charged work: local compute + network (== busy)."""
+        return self.compute_charge + self.network_charge
+
+
+class DistributedExecutor:
+    """Run traversal queries over K shard engines in deterministic supersteps."""
+
+    def __init__(
+        self,
+        shards: list[ShardRuntime],
+        owner: dict[Any, int],
+        network: NetworkCostModel | None = None,
+    ) -> None:
+        if not shards:
+            raise BenchmarkError("a distributed executor needs at least one shard")
+        self.shards = shards
+        self.owner = owner
+        self.network = network or NetworkCostModel()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def bfs(self, source: Any, depth: int) -> DistributedResult:
+        """Distances of every vertex within ``depth`` hops of ``source``."""
+        return self._run(source, depth, target=None)
+
+    def neighbourhood(self, source: Any, depth: int = 1) -> DistributedResult:
+        """The ``depth``-hop neighbourhood of ``source`` (Q22-Q27 flavour)."""
+        return self._run(source, depth, target=None)
+
+    def shortest_path(
+        self, source: Any, target: Any, max_depth: int = 32
+    ) -> DistributedResult:
+        """BFS with barrier early-exit once ``target`` is discovered.
+
+        ``result.distances.get(target, -1)`` is the path length; the run
+        stops at the end of the superstep that discovered the target (the
+        in-flight frontier was already expanded and charged, exactly like
+        :func:`direct_shortest_path`).
+        """
+        if target not in self.owner:
+            raise BenchmarkError(f"shortest-path target {target!r} is not a known vertex")
+        return self._run(source, max_depth, target=target)
+
+    # ------------------------------------------------------------------
+    # The superstep engine
+    # ------------------------------------------------------------------
+
+    def _run(self, source: Any, depth: int, target: Any | None) -> DistributedResult:
+        try:
+            home = self.owner[source]
+        except KeyError:
+            raise BenchmarkError(f"source vertex {source!r} is not a known vertex") from None
+        clock = BarrierClock()
+        stats = NetworkStats()
+        compute_charge = 0
+        distances: dict[Any, int] = {source: 0}
+        frontiers: dict[int, list[Any]] = {home: [source]}
+        #: Remote external ids each shard has already messaged (sender dedup).
+        sent: list[set[Any]] = [set() for _shard in self.shards]
+
+        if target is not None and target in distances:
+            # source == target: answered without expanding anything, like
+            # the direct reference.
+            frontiers = {}
+        hop = 0
+        while frontiers and hop < depth:
+            hop += 1
+            step_costs: list[int] = []
+            outboxes: list[MessageBatch] = []
+            for shard in self.shards:
+                frontier = frontiers.get(shard.index)
+                if not frontier:
+                    continue
+                local_frontier = [shard.id_map[external] for external in frontier]
+                before = shard.engine.io_cost()
+                discovered: list[Any] = []
+                for _origin, neighbor in shard.engine.neighbors_many(
+                    local_frontier, Direction.BOTH
+                ):
+                    external = shard.reverse[neighbor]
+                    if external not in distances:
+                        distances[external] = hop
+                        discovered.append(external)
+                compute = shard.engine.io_cost() - before
+                compute_charge += compute
+
+                batches = self._collect_batches(shard, frontier, hop, sent[shard.index])
+                send = sum(self.network.batch_cost(len(batch)) for batch in batches)
+                outboxes.extend(batches)
+                step_costs.append(compute + send)
+                frontiers[shard.index] = discovered
+
+            stats.record_step(outboxes, self.network)
+            clock.advance(step_costs)
+
+            # Barrier: deliver the batches into the receivers' frontiers.
+            for batch in outboxes:
+                receiver_frontier = frontiers.setdefault(batch.target_shard, [])
+                for external, distance in batch.items:
+                    if external not in distances:
+                        distances[external] = distance
+                        receiver_frontier.append(external)
+            frontiers = {
+                index: frontier for index, frontier in frontiers.items() if frontier
+            }
+            if target is not None and target in distances:
+                break
+
+        return DistributedResult(
+            distances=distances,
+            makespan_charge=clock.elapsed,
+            busy_charge=clock.busy,
+            compute_charge=compute_charge,
+            network_charge=stats.charge,
+            supersteps=clock.steps,
+            messages=stats.messages,
+            message_items=stats.items,
+        )
+
+    def _collect_batches(
+        self,
+        shard: ShardRuntime,
+        frontier: list[Any],
+        hop: int,
+        already_sent: set[Any],
+    ) -> list[MessageBatch]:
+        """Batch this shard's cut-edge crossings by destination shard."""
+        outbox: dict[int, list[tuple[Any, int]]] = {}
+        for external in frontier:
+            for remote_external, remote_shard in shard.remote.get(external, ()):
+                if remote_external in already_sent:
+                    continue
+                already_sent.add(remote_external)
+                outbox.setdefault(remote_shard, []).append((remote_external, hop))
+        return [
+            MessageBatch(
+                superstep=hop,
+                source_shard=shard.index,
+                target_shard=destination,
+                items=outbox[destination],
+            )
+            for destination in sorted(outbox)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Building an executor from a loaded engine and a partition plan
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BuildReport:
+    """What it cost to carve a loaded engine into shard engines."""
+
+    #: Source-engine I/O charged by ``export_partition``.
+    extract_charge: int
+    #: Vertices per shard actually loaded.
+    shard_sizes: list[int]
+    #: Cut-edge rows exported (each cut edge counted once, at its source).
+    cut_edges: int
+
+
+def build_distributed(
+    source_engine: GraphDatabase,
+    vertex_map: dict[Any, Any],
+    plan: PartitionPlan,
+    engine_factory: Callable[[], GraphDatabase],
+    network: NetworkCostModel | None = None,
+) -> tuple[DistributedExecutor, BuildReport]:
+    """Shard ``source_engine`` per ``plan`` into fresh engines from the factory.
+
+    ``vertex_map`` is the external→internal id map captured when the source
+    engine was loaded (:class:`~repro.bench.workload.LoadedGraph`).  The
+    extraction runs through the engine's
+    :meth:`~repro.model.graph.GraphDatabase.export_partition` bulk primitive
+    and its I/O is reported separately (it is a one-off resharding cost, not
+    part of any query's charge).  Cut edges become the executor's routing
+    table in both directions — BFS expands over ``Direction.BOTH``, so a cut
+    edge must be crossable from either endpoint.
+    """
+    assignment_internal = {
+        vertex_map[external]: shard for external, shard in plan.assignment.items()
+    }
+    reverse = {internal: external for external, internal in vertex_map.items()}
+
+    before = source_engine.io_cost()
+    payloads = source_engine.export_partition(assignment_internal, plan.shards)
+    extract_charge = source_engine.io_cost() - before
+
+    shards: list[ShardRuntime] = []
+    for index, payload in enumerate(payloads):
+        vertices = [
+            {
+                "id": reverse[row["id"]],
+                "label": row["label"],
+                "properties": row["properties"],
+            }
+            for row in payload["vertices"]
+        ]
+        edges = [
+            {
+                "source": reverse[row["source"]],
+                "target": reverse[row["target"]],
+                "label": row["label"],
+                "properties": row["properties"],
+            }
+            for row in payload["edges"]
+        ]
+        engine = engine_factory()
+        id_map = engine.load(vertices, edges)
+        engine.reset_metrics()
+        shards.append(ShardRuntime(index=index, engine=engine, id_map=id_map))
+
+    cut_rows = 0
+    for index, payload in enumerate(payloads):
+        for row in payload["cut_edges"]:
+            cut_rows += 1
+            source_external = reverse[row["source"]]
+            target_external = reverse[row["target"]]
+            target_shard = row["target_shard"]
+            shards[index].remote.setdefault(source_external, []).append(
+                (target_external, target_shard)
+            )
+            shards[target_shard].remote.setdefault(target_external, []).append(
+                (source_external, index)
+            )
+
+    executor = DistributedExecutor(shards, dict(plan.assignment), network=network)
+    report = BuildReport(
+        extract_charge=extract_charge,
+        shard_sizes=[len(shard.id_map) for shard in shards],
+        cut_edges=cut_rows,
+    )
+    return executor, report

@@ -1,0 +1,91 @@
+"""Rendering and persistence of the scale-out benchmark report.
+
+``BENCH_partition.json`` is the machine-readable artifact gated by
+``benchmarks/check_regression.py --kind partition``;
+``benchmarks/reports/fig10_scaleout.txt`` is the human-readable figure,
+following the repo's per-figure report convention.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.concurrency.report import _write_report
+
+DEFAULT_PARTITION_JSON = "BENCH_partition.json"
+DEFAULT_PARTITION_REPORT = "benchmarks/reports/fig10_scaleout.txt"
+
+_COLUMNS = (
+    ("shards", "K", "{:d}"),
+    ("balance", "balance", "{:.2f}"),
+    ("cut_ratio", "cut%", "{:.1%}"),
+    ("extract_charge", "extract", "{:d}"),
+    ("makespan_charge", "makespan", "{:d}"),
+    ("busy_charge", "busy", "{:d}"),
+    ("network_charge", "net", "{:d}"),
+    ("messages", "msgs", "{:d}"),
+    ("supersteps", "steps", "{:d}"),
+    ("speedup", "speedup", "{:.2f}x"),
+    ("efficiency", "eff", "{:.1%}"),
+)
+
+
+def format_scaleout_report(report: dict[str, Any]) -> str:
+    """Render the per-engine × partitioner sweeps as aligned text tables."""
+    dataset = report["dataset"]
+    lines = [
+        "Figure 10: scale-out over K charged executors "
+        "(BSP supersteps, batched cut-edge messages, deterministic charges)",
+        f"dataset={dataset['name']} scale={dataset['scale']} "
+        f"(V={dataset['vertices']}, E={dataset['edges']})  "
+        f"queries={len(report['queries'])} (bfs depth {report['depth']} ×"
+        f"{report['bfs_sources']}, 1-hop ×2, shortest path ×1)  "
+        f"seed={report['seed']}  "
+        f"network: {report['network']['latency_per_message']}/msg + "
+        f"{report['network']['cost_per_item']}/item",
+    ]
+    header = "  " + "".join(f" {title:>9}" for _key, title, _fmt in _COLUMNS)
+    for engine_id, strategies in report["engines"].items():
+        for strategy, sweep in strategies.items():
+            best = max(sweep["runs"], key=lambda run: run["speedup"])
+            lines.append("")
+            lines.append(
+                f"{engine_id} × {strategy} — best {best['speedup']:.2f}x "
+                f"at K={best['shards']} "
+                f"(cut {best['cut_ratio']:.1%}, efficiency {best['efficiency']:.1%})"
+            )
+            lines.append(header)
+            lines.append("  " + "-" * (len(header) - 2))
+            for run in sweep["runs"]:
+                marker = "*" if run["shards"] == best["shards"] else " "
+                cells = "".join(
+                    f" {fmt.format(run[key]):>9}" for key, _title, fmt in _COLUMNS
+                )
+                lines.append(f" {marker:<1}{cells}")
+    lines.append("")
+    lines.append(
+        "makespan = Σ per-superstep max over shards of (local bulk-frontier "
+        "I/O + batched message send); busy = the serial-equivalent sum."
+    )
+    lines.append(
+        "K=1 charges exactly like direct execution (charge-parity contract), "
+        "so speedup is scale-out over the unpartitioned engine; '*' marks "
+        "the best K — past it, per-message latency on an ever-thinner "
+        "frontier beats the gain from splitting local I/O."
+    )
+    lines.append(
+        "efficiency can exceed 100% at low K: cut edges live in the RAM "
+        "routing table instead of the shard engines, so a heavily cut "
+        "partition leaves each shard less charged adjacency to scan."
+    )
+    return "\n".join(lines)
+
+
+def write_scaleout_report(
+    report: dict[str, Any],
+    json_path: str | Path | None = DEFAULT_PARTITION_JSON,
+    text_path: str | Path | None = DEFAULT_PARTITION_REPORT,
+) -> list[Path]:
+    """Persist the payload and/or the rendered figure; return the paths."""
+    return _write_report(report, format_scaleout_report, json_path, text_path)

@@ -11,8 +11,11 @@ import pytest
 
 from repro.concurrency import (
     comparable_payload,
+    format_loop_comparison,
+    run_loop_comparison,
     format_saturation_report,
     run_saturation_sweep,
+    write_loop_comparison,
     write_saturation_report,
 )
 
@@ -60,6 +63,100 @@ class TestSweepShape:
     def test_every_step_keeps_the_gc_bounded(self, sweep_report):
         for step in sweep_report["engines"]["nativelinked-1.9"]["steps"]:
             assert step["retained_entries"] == 0
+
+
+class TestSweepEdgeCases:
+    def test_single_step_sweep_knee_is_the_first_interval(self):
+        """start == min interval: one step, knee == it, no collapse seen."""
+        report = run_saturation_sweep(
+            seed=20181204,
+            **{**_ARGS, "start_interval": 512, "min_interval": 512},
+        )
+        sweep = report["engines"]["nativelinked-1.9"]
+        assert len(sweep["steps"]) == 1
+        assert sweep["knee"]["arrival_interval"] == 512
+        assert not sweep["saturated"], (
+            "a one-step sweep never observed a failed doubling, so it must "
+            "report budget exhaustion, not collapse"
+        )
+
+    def test_sweep_that_never_improves_collapses_immediately(self):
+        """Starting past saturation: the first doubling already fails the
+        >5% gain rule, so the sweep stops at step two with the knee on the
+        first interval."""
+        report = run_saturation_sweep(
+            seed=20181204,
+            **{**_ARGS, "start_interval": 2, "min_interval": 1},
+        )
+        sweep = report["engines"]["nativelinked-1.9"]
+        assert len(sweep["steps"]) == 2
+        assert sweep["saturated"]
+        assert sweep["knee"]["arrival_interval"] == 2
+        first, second = sweep["steps"]
+        assert second["throughput_ops_per_kcharge"] <= (
+            first["throughput_ops_per_kcharge"] * 1.05
+        )
+
+
+class TestLoopComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        sweep_report = run_saturation_sweep(seed=20181204, **_ARGS)
+        return run_loop_comparison(sweep_report), sweep_report
+
+    def test_rows_cover_closed_knee_and_collapse(self, comparison):
+        payload, sweep_report = comparison
+        rows = payload["engines"]["nativelinked-1.9"]
+        assert sorted(rows) == ["closed", "open_collapse", "open_knee", "saturated"]
+        assert rows["saturated"] is True
+        assert rows["closed"]["arrival_interval"] == 0
+        sweep = sweep_report["engines"]["nativelinked-1.9"]
+        assert (
+            rows["open_knee"]["throughput_ops_per_kcharge"]
+            == sweep["knee"]["throughput_ops_per_kcharge"]
+        )
+        assert (
+            rows["open_collapse"]["arrival_interval"]
+            == sweep["steps"][-1]["arrival_interval"]
+        )
+
+    def test_open_collapse_shows_the_queueing_tail(self, comparison):
+        """The methodology point of fig9b: the same seeded workload has a
+        far worse p99 open-loop past the knee than closed-loop, because
+        closed-loop clients self-throttle."""
+        payload, _sweep_report = comparison
+        rows = payload["engines"]["nativelinked-1.9"]
+        assert rows["open_collapse"]["p99_charge"] > rows["closed"]["p99_charge"]
+
+    def test_comparison_is_deterministic(self, comparison):
+        payload, sweep_report = comparison
+        again = run_loop_comparison(sweep_report)
+        assert json.dumps(payload, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+    def test_unsaturated_sweep_is_not_labelled_a_collapse(self):
+        """A budget-exhausted sweep's last step is pre-knee evidence, so
+        fig9b must not present it as the post-saturation row."""
+        sweep_report = run_saturation_sweep(
+            seed=20181204,
+            **{**_ARGS, "start_interval": 512, "min_interval": 512},
+        )
+        assert not sweep_report["engines"]["nativelinked-1.9"]["saturated"]
+        payload = run_loop_comparison(sweep_report)
+        assert payload["engines"]["nativelinked-1.9"]["saturated"] is False
+        rendered = format_loop_comparison(payload)
+        assert "open @ last step" in rendered
+        assert "open @ collapse" not in rendered
+
+    def test_rendered_figure_names_both_loop_models(self, comparison, tmp_path):
+        payload, _sweep_report = comparison
+        rendered = format_loop_comparison(payload)
+        assert "Figure 9b" in rendered
+        assert "closed loop" in rendered
+        assert "open @ knee" in rendered
+        text_path = tmp_path / "fig9b.txt"
+        written = write_loop_comparison(payload, text_path=text_path)
+        assert written == [text_path]
+        assert text_path.read_text().startswith("Figure 9b")
 
 
 class TestSweepDeterminism:

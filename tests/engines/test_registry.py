@@ -1,0 +1,54 @@
+"""Engine identifier resolution: exact ids, unique prefixes, ambiguity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines import available_engines, resolve_engine_id
+from repro.exceptions import BenchmarkError
+
+
+class TestResolveEngineId:
+    def test_exact_identifier_passes_through(self):
+        assert resolve_engine_id("nativelinked-1.9") == "nativelinked-1.9"
+
+    @pytest.mark.parametrize(
+        ("prefix", "expected"),
+        [
+            ("triple", "triplegraph-2.1"),
+            ("doc", "documentgraph-2.8"),
+            ("bitmap", "bitmapgraph-5.1"),
+            ("relational", "relationalgraph-1.2"),
+            ("nativelinked-1", "nativelinked-1.9"),
+        ],
+    )
+    def test_unique_prefix_resolves(self, prefix, expected):
+        assert resolve_engine_id(prefix) == expected
+
+    @pytest.mark.parametrize(
+        ("prefix", "matches"),
+        [
+            ("nativelinked", ["nativelinked-1.9", "nativelinked-3.0"]),
+            ("columnar", ["columnargraph-0.5", "columnargraph-1.0"]),
+            (
+                "native",
+                ["nativeindirect-2.2", "nativelinked-1.9", "nativelinked-3.0"],
+            ),
+        ],
+    )
+    def test_ambiguous_prefix_raises_listing_every_match(self, prefix, matches):
+        """Never silently pick a version: the error names every candidate."""
+        with pytest.raises(BenchmarkError) as excinfo:
+            resolve_engine_id(prefix)
+        message = str(excinfo.value)
+        assert "ambiguous" in message
+        for identifier in matches:
+            assert identifier in message
+
+    def test_unknown_name_lists_known_engines(self):
+        with pytest.raises(BenchmarkError) as excinfo:
+            resolve_engine_id("neo4j")
+        message = str(excinfo.value)
+        assert "unknown engine" in message
+        for identifier in available_engines():
+            assert identifier in message

@@ -1,0 +1,220 @@
+"""The distributed charged executor: parity, correctness, determinism.
+
+The acceptance contract: for every engine × partitioner, a K=1 distributed
+run returns identical results and identical total charge to direct
+execution; K>1 runs return identical *results* while splitting the charges
+across shards and the network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import load_dataset_into
+from repro.concurrency.scheduler import BarrierClock
+from repro.datasets import get_dataset
+from repro.engines import ALL_ENGINES, create_engine
+from repro.exceptions import BenchmarkError
+from repro.partition import (
+    PARTITIONERS,
+    NetworkCostModel,
+    build_distributed,
+    direct_bfs,
+    direct_shortest_path,
+    partition_dataset,
+)
+
+STRATEGIES = tuple(PARTITIONERS)
+
+
+def _distributed(identifier, dataset, shards, strategy, network=None):
+    engine = create_engine(identifier)
+    loaded = load_dataset_into(engine, dataset)
+    engine.reset_metrics()
+    plan = partition_dataset(dataset, shards, strategy)
+    executor, build = build_distributed(
+        engine,
+        loaded.vertex_map,
+        plan,
+        lambda: create_engine(identifier),
+        network=network,
+    )
+    return executor, build, loaded
+
+
+def _direct_distances(identifier, dataset, source_external, depth):
+    engine = create_engine(identifier)
+    loaded = load_dataset_into(engine, dataset)
+    engine.reset_metrics()
+    before = engine.io_cost()
+    distances = direct_bfs(engine, loaded.vertex_map[source_external], depth)
+    charge = engine.io_cost() - before
+    reverse = {internal: external for external, internal in loaded.vertex_map.items()}
+    return {reverse[vid]: dist for vid, dist in distances.items()}, charge
+
+
+class TestChargeParityAtK1:
+    """K=1 distributed == direct, for every engine (the acceptance gate)."""
+
+    @pytest.mark.parametrize("identifier", ALL_ENGINES)
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_bfs_results_and_charges_match_direct(
+        self, identifier, strategy, small_dataset
+    ):
+        source = small_dataset.vertices[0]["id"]
+        expected, direct_charge = _direct_distances(identifier, small_dataset, source, 3)
+        executor, _build, _loaded = _distributed(identifier, small_dataset, 1, strategy)
+        result = executor.bfs(source, 3)
+        assert result.distances == expected
+        assert result.total_charge == direct_charge
+        assert result.makespan_charge == direct_charge
+        assert result.busy_charge == direct_charge
+        assert result.network_charge == 0
+        assert result.messages == 0
+
+    @pytest.mark.parametrize("identifier", ALL_ENGINES)
+    def test_shortest_path_matches_direct(self, identifier, small_dataset):
+        source = small_dataset.vertices[0]["id"]
+        target = small_dataset.vertices[4]["id"]
+        engine = create_engine(identifier)
+        loaded = load_dataset_into(engine, small_dataset)
+        engine.reset_metrics()
+        before = engine.io_cost()
+        expected = direct_shortest_path(
+            engine, loaded.vertex_map[source], loaded.vertex_map[target]
+        )
+        direct_charge = engine.io_cost() - before
+
+        executor, _build, _loaded = _distributed(identifier, small_dataset, 1, "hash")
+        result = executor.shortest_path(source, target)
+        assert result.distances.get(target, -1) == expected
+        assert result.total_charge == direct_charge
+
+    def test_source_equals_target_charges_nothing(self, small_dataset):
+        executor, _build, _loaded = _distributed(
+            "nativelinked-1.9", small_dataset, 2, "hash"
+        )
+        vertex = small_dataset.vertices[0]["id"]
+        result = executor.shortest_path(vertex, vertex)
+        assert result.distances == {vertex: 0}
+        assert result.total_charge == 0
+        assert result.supersteps == 0
+
+
+class TestDistributedCorrectness:
+    """K>1 must answer exactly like K=1, only the cost structure changes."""
+
+    @pytest.fixture(scope="class")
+    def yeast(self):
+        return get_dataset("yeast", scale=0.2, seed=11)
+
+    @pytest.fixture(scope="class")
+    def hub(self, yeast):
+        adjacency: dict = {}
+        for edge in yeast.edges:
+            adjacency.setdefault(edge["source"], []).append(edge["target"])
+            adjacency.setdefault(edge["target"], []).append(edge["source"])
+        return max(adjacency, key=lambda vid: (len(adjacency[vid]), repr(vid)))
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_bfs_distances_are_partition_invariant(self, yeast, hub, strategy, shards):
+        expected, _charge = _direct_distances("nativelinked-1.9", yeast, hub, 3)
+        executor, _build, _loaded = _distributed(
+            "nativelinked-1.9", yeast, shards, strategy
+        )
+        result = executor.bfs(hub, 3)
+        assert result.distances == expected
+
+    def test_hash_partition_actually_crosses_the_network(self, yeast, hub):
+        executor, _build, _loaded = _distributed("nativelinked-1.9", yeast, 4, "hash")
+        result = executor.bfs(hub, 3)
+        assert result.messages > 0
+        assert result.network_charge > 0
+        assert result.makespan_charge < result.busy_charge  # genuine parallelism
+
+    def test_network_charge_is_exactly_latency_plus_items(self, yeast, hub):
+        network = NetworkCostModel(latency_per_message=17, cost_per_item=3)
+        executor, _build, _loaded = _distributed(
+            "nativelinked-1.9", yeast, 4, "hash", network=network
+        )
+        result = executor.bfs(hub, 3)
+        assert result.network_charge == 17 * result.messages + 3 * result.message_items
+        assert result.busy_charge == result.compute_charge + result.network_charge
+
+    def test_makespan_bounded_by_busy_and_critical_path(self, yeast, hub):
+        executor, _build, _loaded = _distributed("nativelinked-1.9", yeast, 4, "greedy")
+        result = executor.bfs(hub, 3)
+        assert result.makespan_charge <= result.busy_charge
+        # The critical path can never beat perfect K-way splitting.
+        assert result.makespan_charge * 4 >= result.busy_charge
+
+    def test_deterministic_across_runs(self, yeast, hub):
+        first_exec, _b, _l = _distributed("nativelinked-1.9", yeast, 4, "hash")
+        second_exec, _b2, _l2 = _distributed("nativelinked-1.9", yeast, 4, "hash")
+        first = first_exec.bfs(hub, 3)
+        second = second_exec.bfs(hub, 3)
+        assert first == second
+
+    def test_build_report_accounts_the_extraction(self, yeast):
+        _executor, build, loaded = _distributed("nativelinked-1.9", yeast, 4, "hash")
+        assert build.extract_charge > 0
+        assert sum(build.shard_sizes) == yeast.vertex_count
+        plan = partition_dataset(yeast, 4, "hash")
+        assert build.cut_edges == plan.cut_edges
+        # Extraction charges the *source* engine, not the shards.
+        assert loaded.engine.io_cost() == build.extract_charge
+
+
+class TestNetworkCostModel:
+    def test_negative_parameters_rejected_at_the_model(self):
+        """Every entry point (CLI, smoke, library) flows through the model,
+        so the guard lives there, not only in argument parsing."""
+        with pytest.raises(BenchmarkError, match="must be >= 0"):
+            NetworkCostModel(latency_per_message=-1)
+        with pytest.raises(BenchmarkError, match="must be >= 0"):
+            NetworkCostModel(cost_per_item=-1)
+
+    def test_batch_cost_formula(self):
+        model = NetworkCostModel(latency_per_message=10, cost_per_item=3)
+        assert model.batch_cost(0) == 10
+        assert model.batch_cost(7) == 31
+        assert model.params() == {"latency_per_message": 10, "cost_per_item": 3}
+
+
+class TestExecutorErrors:
+    def test_unknown_source_raises(self, small_dataset):
+        executor, _build, _loaded = _distributed(
+            "nativelinked-1.9", small_dataset, 2, "hash"
+        )
+        with pytest.raises(BenchmarkError, match="source vertex"):
+            executor.bfs("no-such-vertex", 2)
+
+    def test_unknown_shortest_path_target_raises(self, small_dataset):
+        executor, _build, _loaded = _distributed(
+            "nativelinked-1.9", small_dataset, 2, "hash"
+        )
+        source = small_dataset.vertices[0]["id"]
+        with pytest.raises(BenchmarkError, match="target"):
+            executor.shortest_path(source, "no-such-vertex")
+
+
+class TestBarrierClock:
+    def test_advances_by_the_slowest_executor(self):
+        clock = BarrierClock()
+        assert clock.advance([3, 5, 2]) == 5
+        assert clock.elapsed == 5
+        assert clock.busy == 10
+        assert clock.steps == 1
+
+    def test_empty_step_is_free(self):
+        clock = BarrierClock()
+        assert clock.advance([]) == 0
+        assert clock.elapsed == 0
+        assert clock.steps == 1
+
+    def test_single_executor_makes_elapsed_equal_busy(self):
+        clock = BarrierClock()
+        for cost in (7, 11, 2):
+            clock.advance([cost])
+        assert clock.elapsed == clock.busy == 20

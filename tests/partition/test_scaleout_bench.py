@@ -1,0 +1,166 @@
+"""The scale-out benchmark: payload shape, determinism, rendering, gating."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.concurrency import comparable_payload
+from repro.exceptions import BenchmarkError
+from repro.partition import (
+    format_scaleout_report,
+    plan_queries,
+    run_scaleout_benchmark,
+    write_scaleout_report,
+)
+from repro.datasets import get_dataset
+
+_ARGS = dict(
+    engine_ids=["nativelinked-1.9"],
+    partitioner_names=["hash", "greedy"],
+    shard_counts=[1, 2],
+    dataset_name="yeast",
+    scale=0.15,
+    depth=2,
+    bfs_sources=1,
+)
+
+
+@pytest.fixture(scope="module")
+def scaleout_report():
+    return run_scaleout_benchmark(seed=20181204, **_ARGS)
+
+
+class TestPayloadShape:
+    def test_matrix_covers_engines_strategies_and_shards(self, scaleout_report):
+        strategies = scaleout_report["engines"]["nativelinked-1.9"]
+        assert sorted(strategies) == ["greedy", "hash"]
+        for sweep in strategies.values():
+            assert [run["shards"] for run in sweep["runs"]] == [1, 2]
+
+    def test_k1_is_the_parity_baseline(self, scaleout_report):
+        for sweep in scaleout_report["engines"]["nativelinked-1.9"].values():
+            baseline = sweep["runs"][0]
+            assert baseline["shards"] == 1
+            assert baseline["speedup"] == 1.0
+            assert baseline["efficiency"] == 1.0
+            assert baseline["network_charge"] == 0
+            assert baseline["cut_ratio"] == 0.0
+            assert baseline["makespan_charge"] == baseline["busy_charge"]
+
+    def test_results_are_partition_invariant(self, scaleout_report):
+        """Every cell answers the same queries: same reached sets, same
+        distances, same shortest path — regardless of K or strategy."""
+        rows = [
+            run["results"]
+            for sweep in scaleout_report["engines"]["nativelinked-1.9"].values()
+            for run in sweep["runs"]
+        ]
+        assert all(results == rows[0] for results in rows[1:])
+
+    def test_query_plan_is_seeded_and_engine_independent(self):
+        dataset = get_dataset("yeast", scale=0.15, seed=11)
+        first = plan_queries(dataset, seed=20181204, depth=2, bfs_sources=1)
+        second = plan_queries(dataset, seed=20181204, depth=2, bfs_sources=1)
+        assert first == second
+        assert [query["kind"] for query in first] == [
+            "bfs",
+            "neighbourhood",
+            "neighbourhood",
+            "shortest-path",
+        ]
+
+
+class TestDeterminismAndRendering:
+    def test_same_seed_same_payload(self, scaleout_report):
+        again = run_scaleout_benchmark(seed=20181204, **_ARGS)
+        assert comparable_payload(scaleout_report) == comparable_payload(again)
+
+    def test_different_seed_changes_the_queries(self, scaleout_report):
+        other = run_scaleout_benchmark(seed=42, **_ARGS)
+        assert comparable_payload(scaleout_report) != comparable_payload(other)
+
+    def test_written_report_round_trips(self, scaleout_report, tmp_path):
+        json_path = tmp_path / "BENCH_partition.json"
+        text_path = tmp_path / "fig10_scaleout.txt"
+        write_scaleout_report(scaleout_report, json_path=json_path, text_path=text_path)
+        loaded = json.loads(json_path.read_text())
+        assert comparable_payload(loaded) == comparable_payload(scaleout_report)
+        rendered = text_path.read_text()
+        assert "Figure 10" in rendered
+        assert "charge-parity contract" in rendered
+        assert "*" in rendered
+
+    def test_shard_counts_must_include_the_baseline(self):
+        with pytest.raises(BenchmarkError, match="must include 1"):
+            run_scaleout_benchmark(shard_counts=[2, 4], **{
+                key: value for key, value in _ARGS.items() if key != "shard_counts"
+            })
+
+
+def _load_check_regression():
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+    spec = importlib.util.spec_from_file_location("check_regression_partition", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPartitionGate:
+    def _payload(self, makespan: int) -> dict:
+        return {
+            "engines": {
+                "nativelinked-1.9": {
+                    "hash": {
+                        "runs": [
+                            {"shards": 1, "makespan_charge": 100},
+                            {"shards": 4, "makespan_charge": makespan},
+                        ]
+                    }
+                }
+            }
+        }
+
+    def test_makespan_ceiling(self):
+        gate = _load_check_regression()
+        baseline = self._payload(50)
+        assert gate.check_partition_regressions(baseline, self._payload(60)) == []
+        failures = gate.check_partition_regressions(baseline, self._payload(80))
+        assert len(failures) == 1
+        assert "K=4" in failures[0]
+        assert "makespan" in failures[0]
+
+    def test_missing_pieces_fail(self):
+        gate = _load_check_regression()
+        baseline = self._payload(50)
+        assert gate.check_partition_regressions(baseline, {"engines": {}}) == [
+            "nativelinked-1.9: missing from the current report"
+        ]
+        missing_strategy = {"engines": {"nativelinked-1.9": {}}}
+        assert gate.check_partition_regressions(baseline, missing_strategy) == [
+            "nativelinked-1.9/hash: missing from the current report"
+        ]
+
+    def test_cli_gate_end_to_end(self, scaleout_report, tmp_path):
+        gate = _load_check_regression()
+        baseline_path = tmp_path / "baseline.json"
+        write_scaleout_report(scaleout_report, json_path=baseline_path, text_path=None)
+        assert (
+            gate.main(
+                [
+                    "--kind",
+                    "partition",
+                    "--baseline",
+                    str(baseline_path),
+                    "--current",
+                    str(baseline_path),
+                    "--require-identical",
+                ]
+            )
+            == 0
+        )
