@@ -1,0 +1,84 @@
+"""Chaos smoke: the availability-under-faults matrix behind the CI gate.
+
+Runs the deterministic chaos benchmark (:mod:`repro.faults.bench`) over the
+default matrix — one engine × two query mixes × K ∈ {2, 4} × both retry
+policies × fault rates {0, 10, 30, 60}% — and writes the JSON payload
+consumed by the regression gate.  Faults come from a seeded
+:class:`~repro.faults.plan.FaultPlan` (crc32 rolls, no :mod:`random`
+state), charges are logical, and the exactness invariant is asserted
+in-bench, so the payload is byte-identical across machines and CI gates
+it exactly.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.chaos_smoke \
+        [--engines ID...] [--mixes NAME...] [--shards K...] [--rates PCT...] \
+        [--policies NAME...] [--output BENCH_chaos.json] [--report PATH]
+
+Gate a fresh run against the committed report with
+``python -m benchmarks.check_regression --kind chaos``.
+
+The defaults mirror ``graphbench chaos`` and the committed
+``BENCH_chaos.json`` baseline; regenerate that baseline with the defaults
+after any intentional change to the fault model, the recovery path, the
+retry policies, or the underlying partition/cost layers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.concurrency.driver import RETRY_POLICIES
+from repro.engines import resolve_engine_id
+from repro.faults import (
+    CHAOS_MIXES,
+    DEFAULT_CHAOS_ENGINES,
+    DEFAULT_CHAOS_JSON,
+    DEFAULT_CHAOS_SHARDS,
+    DEFAULT_FAULT_RATES,
+    format_chaos_report,
+    run_chaos_benchmark,
+    write_chaos_report,
+)
+from repro.faults.bench import DEFAULT_CHAOS_PARTITIONER
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engines", nargs="+", default=list(DEFAULT_CHAOS_ENGINES))
+    parser.add_argument("--mixes", nargs="+", default=list(CHAOS_MIXES))
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=list(DEFAULT_CHAOS_SHARDS)
+    )
+    parser.add_argument(
+        "--rates", type=int, nargs="+", default=list(DEFAULT_FAULT_RATES)
+    )
+    parser.add_argument("--policies", nargs="+", default=list(RETRY_POLICIES))
+    parser.add_argument("--partitioner", default=DEFAULT_CHAOS_PARTITIONER)
+    parser.add_argument("--dataset", default="yeast")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=20181204)
+    parser.add_argument("--output", default=DEFAULT_CHAOS_JSON)
+    parser.add_argument("--report", default=None)
+    args = parser.parse_args(argv)
+
+    report = run_chaos_benchmark(
+        [resolve_engine_id(name) for name in args.engines],
+        mixes=args.mixes,
+        shard_counts=args.shards,
+        fault_rates=args.rates,
+        retry_policies=args.policies,
+        partitioner=args.partitioner,
+        dataset_name=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print(format_chaos_report(report))
+    for path in write_chaos_report(report, json_path=args.output, text_path=args.report):
+        print(f"\nwrote {path.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

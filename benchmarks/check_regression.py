@@ -27,6 +27,13 @@ allowed fraction, and ``--require-identical`` demands the byte-exact
 payload — scale-out numbers derive purely from seeded choices, logical
 charges, and the network cost model.
 
+``--kind chaos`` gates ``BENCH_chaos.json``: every (engine, mix, K,
+policy, rate) cell's availability must not drop below the baseline's by
+more than the allowed fraction, fault-free cells must stay at 100%
+availability, fault overhead must not grow past the allowed fraction, and
+``--require-identical`` demands the byte-exact payload — fault schedules
+are seeded crc32 rolls and every charge is logical.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf_smoke --output BENCH_current.json
@@ -195,6 +202,56 @@ def check_partition_regressions(
     return failures
 
 
+def check_chaos_regressions(
+    baseline: dict,
+    current: dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[str]:
+    """Return one failure per chaos cell whose availability or overhead slipped.
+
+    Chaos cells are fully deterministic (seeded fault plans, logical
+    charges), so slippage means the recovery path changed.  Two gates per
+    (engine, mix, K, policy, rate) cell: availability may not drop below
+    the baseline's by more than the allowed fraction, and the fault
+    overhead may not grow past the allowed fraction of the baseline's.
+    The rate-0 cells additionally pin the exactness invariant: they must
+    stay at availability 1.0 outright.
+    """
+    failures: list[str] = []
+
+    def key(cell: dict) -> tuple:
+        return (cell["engine"], cell["mix"], cell["shards"], cell["policy"], cell["rate"])
+
+    current_cells = {key(cell): cell for cell in current.get("cells", [])}
+    for base_cell in baseline.get("cells", []):
+        name = "/".join(str(part) for part in key(base_cell))
+        current_cell = current_cells.get(key(base_cell))
+        if current_cell is None:
+            failures.append(f"{name}: missing from the current report")
+            continue
+        if base_cell["rate"] == 0 and current_cell["availability"] < 1.0:
+            failures.append(
+                f"{name}: fault-free availability {current_cell['availability']:.2%} "
+                "< 100% (the exactness baseline itself failed)"
+            )
+            continue
+        floor = base_cell["availability"] * (1.0 - max_regression)
+        if current_cell["availability"] < floor:
+            failures.append(
+                f"{name}: availability {current_cell['availability']:.2%} vs "
+                f"baseline {base_cell['availability']:.2%} "
+                f"(limit -{max_regression * 100:.0f}%)"
+            )
+        ceiling = base_cell["overhead_pct"] * (1.0 + max_regression) + 1.0
+        if current_cell["overhead_pct"] > ceiling:
+            failures.append(
+                f"{name}: fault overhead {current_cell['overhead_pct']:.1f}% of "
+                f"base charge vs baseline {base_cell['overhead_pct']:.1f}% "
+                f"(limit +{max_regression * 100:.0f}% relative)"
+            )
+    return failures
+
+
 def check_saturation_regressions(
     baseline: dict,
     current: dict,
@@ -225,7 +282,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--kind",
         default="traversal",
-        choices=["traversal", "concurrency", "saturation", "partition"],
+        choices=["traversal", "concurrency", "saturation", "partition", "chaos"],
         help="which report family to gate",
     )
     parser.add_argument(
@@ -259,6 +316,7 @@ def main(argv: list[str] | None = None) -> int:
             "concurrency": "BENCH_concurrency.json",
             "saturation": "BENCH_saturation.json",
             "partition": "BENCH_partition.json",
+            "chaos": "BENCH_chaos.json",
         }.get(args.kind, "BENCH_traversal.json")
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
@@ -286,6 +344,20 @@ def main(argv: list[str] | None = None) -> int:
         passed = (
             f"partition regression gate passed: makespan within "
             f"+{args.max_regression * 100:.0f}% for every engine × partitioner × K"
+            + (", payload identical to the baseline" if args.require_identical else "")
+        )
+    elif args.kind == "chaos":
+        failures = check_chaos_regressions(baseline, current, args.max_regression)
+        if args.require_identical:
+            failures.extend(
+                check_payload_identity(
+                    baseline, current, "python -m benchmarks.chaos_smoke"
+                )
+            )
+        passed = (
+            f"chaos regression gate passed: availability within "
+            f"-{args.max_regression * 100:.0f}% and overhead within "
+            f"+{args.max_regression * 100:.0f}% for every cell"
             + (", payload identical to the baseline" if args.require_identical else "")
         )
     elif args.kind == "saturation":

@@ -16,7 +16,11 @@ Sub-commands mirror the workflow of the paper's test suite:
   ``--compare-loops`` re-drives the workload closed-loop for Figure 9b;
 * ``graphbench scaleout`` — partition each engine across K charged
   executors and measure distributed traversal speedup, efficiency, and
-  cut ratio per partitioning strategy (Figure 10).
+  cut ratio per partitioning strategy (Figure 10);
+* ``graphbench chaos`` — inject seeded faults (shard crashes, stalls,
+  message loss/dup/reorder, torn WAL tails, snapshot loss) into the
+  distributed executor and measure availability, staleness, and fault
+  overhead per fault rate and retry policy (Figure 11).
 """
 
 from __future__ import annotations
@@ -45,7 +49,7 @@ from repro.concurrency import (
     run_loop_comparison,
     run_saturation_sweep,
 )
-from repro.concurrency.driver import DEFAULT_BACKOFF, DEFAULT_RETRIES
+from repro.concurrency.driver import DEFAULT_BACKOFF, DEFAULT_RETRIES, RETRY_POLICIES
 from repro.concurrency.report import (
     DEFAULT_LOOP_COMPARISON_REPORT,
     DEFAULT_SATURATION_JSON,
@@ -65,6 +69,23 @@ from repro.config import BenchConfig
 from repro.datasets import available_datasets, compute_statistics, get_dataset
 from repro.engines import DEFAULT_ENGINES, available_engines, engine_info, resolve_engine_id
 from repro.exceptions import BenchmarkError
+from repro.faults import (
+    CHAOS_MIXES,
+    DEFAULT_CHAOS_ENGINES,
+    DEFAULT_CHAOS_JSON,
+    DEFAULT_CHAOS_REPORT,
+    DEFAULT_CHAOS_SHARDS,
+    DEFAULT_FAULT_RATES,
+    format_chaos_report,
+    run_chaos_benchmark,
+    write_chaos_report,
+)
+from repro.faults.bench import DEFAULT_CHAOS_PARTITIONER
+from repro.faults.chaos import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    DEFAULT_MAX_RESTARTS,
+    DEFAULT_SUPERSTEP_TIMEOUT,
+)
 from repro.partition import (
     DEFAULT_BENCH_ENGINES,
     DEFAULT_PARTITIONERS,
@@ -187,6 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=DEFAULT_SHARDS,
         help="version-store shards (conflict detection and GC scan per shard)",
+    )
+    concurrent_parser.add_argument(
+        "--retry-policy",
+        default="fixed",
+        choices=list(RETRY_POLICIES),
+        help="backoff policy for conflict retries: fixed constants or an "
+        "EWMA of each client's observed commit charge",
     )
     concurrent_parser.add_argument(
         "--output", default=None, help="write the JSON payload here (e.g. BENCH_concurrency.json)"
@@ -322,6 +350,87 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_PARTITION_REPORT,
         help="write the rendered figure here ('' to skip)",
     )
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="inject seeded faults into the distributed executor and "
+        "measure availability, staleness, and overhead (Figure 11)",
+    )
+    # Defaults deliberately mirror benchmarks/chaos_smoke.py: a plain
+    # `graphbench chaos` regenerates the committed BENCH_chaos.json
+    # byte-identically rather than clobbering the CI baseline.
+    chaos_parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=list(DEFAULT_CHAOS_ENGINES),
+        help="engines to shard; identifiers or unambiguous prefixes",
+    )
+    chaos_parser.add_argument(
+        "--mixes",
+        nargs="+",
+        default=list(CHAOS_MIXES),
+        choices=sorted(CHAOS_MIXES),
+        help="query mixes to replay under faults",
+    )
+    chaos_parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_CHAOS_SHARDS),
+        help="shard counts K to sweep",
+    )
+    chaos_parser.add_argument(
+        "--rates",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_FAULT_RATES),
+        help="fault rates in percent (must include 0, the exactness oracle)",
+    )
+    chaos_parser.add_argument(
+        "--policies",
+        nargs="+",
+        default=list(RETRY_POLICIES),
+        choices=list(RETRY_POLICIES),
+        help="retry policies to A/B per cell",
+    )
+    chaos_parser.add_argument(
+        "--partitioner",
+        default=DEFAULT_CHAOS_PARTITIONER,
+        choices=sorted(PARTITIONERS),
+        help="partitioning strategy for every cell",
+    )
+    chaos_parser.add_argument("--dataset", default="yeast", choices=list(available_datasets()))
+    chaos_parser.add_argument("--scale", type=float, default=0.25)
+    chaos_parser.add_argument("--seed", type=int, default=20181204)
+    chaos_parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=DEFAULT_MAX_RESTARTS,
+        help="per-query fault budget per shard before it is abandoned",
+    )
+    chaos_parser.add_argument(
+        "--superstep-timeout",
+        type=int,
+        default=DEFAULT_SUPERSTEP_TIMEOUT,
+        help="fixed straggler timeout in charge units (adaptive policy "
+        "scales it with the observed EWMA instead)",
+    )
+    chaos_parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=DEFAULT_CHECKPOINT_INTERVAL,
+        help="barriers between periodic charged snapshot checkpoints",
+    )
+    chaos_parser.add_argument(
+        "--output",
+        default=DEFAULT_CHAOS_JSON,
+        help="write the JSON payload here ('' to skip)",
+    )
+    chaos_parser.add_argument(
+        "--report",
+        default=DEFAULT_CHAOS_REPORT,
+        help="write the rendered figure here ('' to skip)",
+    )
     return parser
 
 
@@ -424,6 +533,7 @@ def _command_concurrent(args: argparse.Namespace) -> int:
         retries=args.retries,
         backoff=args.backoff,
         shards=args.shards,
+        retry_policy=args.retry_policy,
     )
     print(format_concurrency_report(report))
     written = write_concurrency_report(
@@ -514,6 +624,44 @@ def _command_scaleout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    if args.max_restarts < 0 or args.superstep_timeout < 1 or args.checkpoint_interval < 1:
+        print(
+            "graphbench chaos: --max-restarts must be >= 0; --superstep-timeout "
+            "and --checkpoint-interval must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        engine_ids = [resolve_engine_id(name) for name in args.engines]
+        report = run_chaos_benchmark(
+            engine_ids,
+            mixes=args.mixes,
+            shard_counts=args.shards,
+            fault_rates=args.rates,
+            retry_policies=args.policies,
+            partitioner=args.partitioner,
+            dataset_name=args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            max_restarts=args.max_restarts,
+            superstep_timeout=args.superstep_timeout,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    except BenchmarkError as error:
+        print(f"graphbench chaos: {error}", file=sys.stderr)
+        return 2
+    print(format_chaos_report(report))
+    written = write_chaos_report(
+        report,
+        json_path=args.output or None,
+        text_path=args.report or None,
+    )
+    for path in written:
+        print(f"wrote {path.resolve()}")
+    return 0
+
+
 def _command_space(args: argparse.Namespace) -> int:
     datasets = [get_dataset(name, scale=args.scale, seed=args.seed) for name in args.datasets]
     measurements = measure_space_matrix(list(args.engines), datasets)
@@ -541,6 +689,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_saturate(args)
     if args.command == "scaleout":
         return _command_scaleout(args)
+    if args.command == "chaos":
+        return _command_chaos(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

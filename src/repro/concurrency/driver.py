@@ -73,6 +73,87 @@ class RetryPolicy:
         return base + jitter
 
 
+#: EWMA weight denominator: each observation contributes 1/SMOOTHING.
+DEFAULT_SMOOTHING = 4
+
+#: Adaptive straggler threshold: a peer slower than ``ewma × factor`` is
+#: presumed stalled.
+DEFAULT_STRAGGLER_FACTOR = 4
+
+#: Retry-policy names accepted by the CLI and the chaos executor.
+RETRY_POLICIES = ("fixed", "adaptive")
+
+
+@dataclass
+class AdaptiveRetryPolicy:
+    """Latency-aware retry: waits scale with *observed* charge, not a constant.
+
+    The fixed policy waits ``backoff_base × 2^(n-1)`` regardless of how fast
+    the target actually is — on a lightly loaded shard that over-waits, on a
+    heavy one it under-waits and burns its budget.  This policy keeps an
+    integer EWMA of the observed per-attempt charge (each observation
+    weighted ``1/smoothing``) and derives both waits from it:
+
+    * backoff before retry ``n`` = ``max(1, ewma // 2) × 2^(n-1)`` + seeded
+      jitter of up to a quarter unit — proportional to how long work
+      actually takes where the retry will run;
+    * straggler timeout = ``ewma × straggler_factor`` — a peer that has
+      charged several multiples of typical is presumed stalled, instead of
+      waiting out a worst-case constant.
+
+    Until the first observation both fall back to the fixed policy's
+    numbers.  All arithmetic is integer, so A/B runs stay byte-identical.
+    """
+
+    base: RetryPolicy = RetryPolicy()
+    smoothing: int = DEFAULT_SMOOTHING
+    straggler_factor: int = DEFAULT_STRAGGLER_FACTOR
+    ewma: int = 0
+    observations: int = 0
+
+    def observe(self, charge: int) -> None:
+        """Feed one observed per-attempt charge into the moving average."""
+        if charge < 0:
+            raise BenchmarkError(f"observed charge must be >= 0, got {charge}")
+        if self.observations == 0:
+            self.ewma = charge
+        else:
+            self.ewma = (self.ewma * (self.smoothing - 1) + charge) // self.smoothing
+        self.observations += 1
+
+    def backoff_for(self, attempt: int, rng: random.Random) -> int:
+        """Backoff before retry ``attempt`` (1-based), in charge units."""
+        if self.observations == 0 or self.ewma <= 0:
+            return self.base.backoff_for(attempt, rng)
+        unit = max(1, self.ewma // 2)
+        jitter_span = max(1, unit // 4)
+        return unit * (2 ** (attempt - 1)) + rng.randrange(jitter_span)
+
+    def timeout(self, default: int) -> int:
+        """Straggler-abandon threshold, in charge units."""
+        if self.observations == 0 or self.ewma <= 0:
+            return default
+        return max(1, self.ewma * self.straggler_factor)
+
+    @property
+    def max_retries(self) -> int:
+        return self.base.max_retries
+
+
+def make_retry_policy(
+    name: str, base: RetryPolicy | None = None
+) -> RetryPolicy | AdaptiveRetryPolicy:
+    """Resolve a ``--retry-policy`` name into a policy instance."""
+    base = base if base is not None else RetryPolicy()
+    if name == "fixed":
+        return base
+    if name == "adaptive":
+        return AdaptiveRetryPolicy(base=base)
+    raise BenchmarkError(
+        f"unknown retry policy {name!r}; expected one of {RETRY_POLICIES}"
+    )
+
+
 @dataclass(frozen=True)
 class MixSpec:
     """A named operation mix: ``(op_kind, weight)`` pairs (weights sum to 100)."""
@@ -234,7 +315,7 @@ def plan_client(
 def client_stream(
     manager: SessionManager,
     plans: list[list[PlannedOp]],
-    retry: RetryPolicy | None = None,
+    retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
     backoff_rng: random.Random | None = None,
 ) -> Iterator[ClientOp]:
     """Turn planned transactions into a lazily-evaluated ClientOp stream.
@@ -253,21 +334,31 @@ def client_stream(
     virtual-time + backoff.  Jitter draws come from ``backoff_rng`` in
     stream order, which is deterministic because the generator is
     per-client.
+
+    With an :class:`AdaptiveRetryPolicy`, every transaction attempt feeds
+    its observed engine charge (measured from first operation to commit,
+    at execution time on the scheduler's clock) into the policy's EWMA, so
+    backoff windows track what transactions actually cost on this engine
+    instead of a fixed constant.
     """
     rng = backoff_rng if backoff_rng is not None else random.Random(0)
+    observer = retry.observe if isinstance(retry, AdaptiveRetryPolicy) else None
     for txn in plans:
         attempt = 0
         delay = 0
         while True:
             # The session is created by whichever bound op runs first.
-            cell: dict[str, Session] = {}
+            cell: dict[str, Any] = {}
             outcome: dict[str, bool] = {}
             for op in txn:
                 kind = "write" if op.kind in WRITE_KINDS else "read"
                 yield ClientOp(kind, _bind_run(op, manager, cell), label=op.kind, delay=delay)
                 delay = 0
             yield ClientOp(
-                "commit", _bind_commit(manager, cell, outcome), label="commit", delay=delay
+                "commit",
+                _bind_commit(manager, cell, outcome, observer),
+                label="commit",
+                delay=delay,
             )
             delay = 0
             if not outcome.get("conflict"):
@@ -280,15 +371,18 @@ def client_stream(
             delay = retry.backoff_for(attempt, rng)
 
 
-def _session_of(manager: SessionManager, cell: dict[str, Session]) -> Session:
+def _session_of(manager: SessionManager, cell: dict[str, Any]) -> Session:
     session = cell.get("session")
     if session is None:
         session = cell["session"] = manager.begin()
+        # Mark where this attempt's engine work starts, so an adaptive
+        # policy can observe the attempt's true charge at commit time.
+        cell["start_cost"] = manager.engine.io_cost()
     return session
 
 
 def _bind_run(
-    op: PlannedOp, manager: SessionManager, cell: dict[str, Session]
+    op: PlannedOp, manager: SessionManager, cell: dict[str, Any]
 ) -> Callable[[], Any]:
     def run() -> Any:
         return op.run(_session_of(manager, cell).graph)
@@ -297,7 +391,10 @@ def _bind_run(
 
 
 def _bind_commit(
-    manager: SessionManager, cell: dict[str, Session], outcome: dict[str, bool]
+    manager: SessionManager,
+    cell: dict[str, Any],
+    outcome: dict[str, bool],
+    observer: Callable[[int], None] | None = None,
 ) -> Callable[[], Any]:
     def run() -> Any:
         try:
@@ -313,6 +410,9 @@ def _bind_commit(
             # transaction visible in the driver's accounting invariant.
             outcome["failed"] = True
             manager.stats.commit_failures += 1
+        finally:
+            if observer is not None:
+                observer(manager.engine.io_cost() - cell.get("start_cost", 0))
 
     return run
 
@@ -370,6 +470,7 @@ def run_engine_mode(
     retries: int = DEFAULT_RETRIES,
     backoff: int = DEFAULT_BACKOFF,
     shards: int = DEFAULT_SHARDS,
+    retry_policy: str = "fixed",
 ) -> dict[str, Any]:
     """Run one (engine, durability) cell of the benchmark matrix."""
     engine = create_engine(engine_id, durability=durability)
@@ -378,12 +479,20 @@ def run_engine_mode(
     # First transactions() call on the fresh engine: configuration applies
     # and engine.begin_session() stays on the same clock as the benchmark.
     manager = engine.transactions(group_commit_size=group_commit, shards=shards)
-    retry = RetryPolicy(max_retries=retries, backoff_base=backoff) if retries > 0 else None
+    base_retry = (
+        RetryPolicy(max_retries=retries, backoff_base=backoff) if retries > 0 else None
+    )
     streams = [
         client_stream(
             manager,
             plan_client(loaded, mix, client, txns, seed),
-            retry=retry,
+            # Each client gets its own policy instance: an adaptive policy
+            # carries per-client EWMA state that must not be shared.
+            retry=(
+                make_retry_policy(retry_policy, base_retry)
+                if base_retry is not None
+                else None
+            ),
             backoff_rng=random.Random(seed * 2_147_483_629 + client * 104_729 + 13),
         )
         for client in range(clients)
@@ -413,6 +522,7 @@ def run_concurrent_benchmark(
     retries: int = DEFAULT_RETRIES,
     backoff: int = DEFAULT_BACKOFF,
     shards: int = DEFAULT_SHARDS,
+    retry_policy: str = "fixed",
 ) -> dict[str, Any]:
     """Run the full engines × durability matrix and return the report.
 
@@ -423,6 +533,11 @@ def run_concurrent_benchmark(
     if mix_name not in MIXES:
         known = ", ".join(sorted(MIXES))
         raise BenchmarkError(f"unknown mix {mix_name!r}; known mixes: {known}")
+    if retry_policy not in RETRY_POLICIES:
+        known = ", ".join(RETRY_POLICIES)
+        raise BenchmarkError(
+            f"unknown retry policy {retry_policy!r}; known policies: {known}"
+        )
     mix = MIXES[mix_name]
     dataset = get_dataset(dataset_name, scale=scale, seed=dataset_seed)
     started = time.perf_counter()
@@ -443,6 +558,7 @@ def run_concurrent_benchmark(
                 retries=retries,
                 backoff=backoff,
                 shards=shards,
+                retry_policy=retry_policy,
             )
             for durability in durabilities
         }
@@ -465,6 +581,7 @@ def run_concurrent_benchmark(
         "retries": retries,
         "backoff": backoff,
         "shards": shards,
+        "retry_policy": retry_policy,
         "engines": engines,
         "wall_seconds": round(time.perf_counter() - started, 3),
     }

@@ -139,6 +139,13 @@ class BarrierClock:
     charge).  ``elapsed == busy`` with one executor, which is what makes the
     K=1 distributed run charge-identical to direct execution; the ratio
     ``busy / (K * elapsed)`` is the classic parallel efficiency.
+
+    A recovered executor re-enters the computation through
+    :meth:`rejoin_at`, never by silently contributing costs to a later
+    :meth:`advance`: a rejoin targets the barrier currently forming (or a
+    future one), and targeting an already-sealed barrier is an error — the
+    sealed step's critical path was computed without the returning
+    executor, so admitting it retroactively would skew the clock.
     """
 
     #: Virtual time: sum over steps of the slowest executor's charge.
@@ -147,6 +154,10 @@ class BarrierClock:
     busy: int = 0
     #: Number of barrier steps taken.
     steps: int = 0
+    #: Executors re-admitted via :meth:`rejoin_at` (crash-recovery rejoins).
+    rejoins: int = 0
+    #: Highest barrier index a rejoin has targeted (monotonicity witness).
+    last_rejoin_step: int = -1
 
     def advance(self, step_costs: Sequence[int]) -> int:
         """Advance past one barrier step; return the step's critical path."""
@@ -155,6 +166,28 @@ class BarrierClock:
         self.busy += sum(step_costs)
         self.steps += 1
         return critical
+
+    def rejoin_at(self, superstep: int) -> None:
+        """Re-admit a recovered executor at barrier index ``superstep``.
+
+        ``superstep`` counts sealed barriers, i.e. the barrier currently
+        forming has index :attr:`steps`.  Rejoining a barrier that already
+        advanced (``superstep < steps``) is rejected loudly — the old
+        behaviour of accepting a late re-registration silently skewed the
+        barrier by charging the sealed step as if the shard had been there.
+        """
+        if superstep < self.steps:
+            raise GraphBenchError(
+                f"cannot rejoin barrier {superstep}: the clock already advanced "
+                f"past it ({self.steps} barriers sealed)"
+            )
+        if superstep < self.last_rejoin_step:
+            raise GraphBenchError(
+                f"rejoin barriers must be monotonic: {superstep} after "
+                f"{self.last_rejoin_step}"
+            )
+        self.last_rejoin_step = superstep
+        self.rejoins += 1
 
 
 class _ClientState:

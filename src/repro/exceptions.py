@@ -107,3 +107,20 @@ class DatasetError(GraphBenchError):
 
 class BenchmarkError(GraphBenchError):
     """The benchmark harness was configured or used incorrectly."""
+
+
+class ShardUnavailableError(GraphBenchError):
+    """A shard is down past its retry budget and no snapshot can serve it.
+
+    The chaos layer's fail-fast contract: a distributed query either
+    completes exactly, completes with a labelled staleness bound, or raises
+    this typed error — it never hangs waiting for a dead shard.
+    """
+
+    def __init__(self, shard: int, superstep: int, reason: str) -> None:
+        super().__init__(
+            f"shard {shard} unavailable at superstep {superstep}: {reason}"
+        )
+        self.shard = shard
+        self.superstep = superstep
+        self.reason = reason

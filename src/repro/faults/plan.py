@@ -1,0 +1,303 @@
+"""Deterministic fault schedules: *what* breaks, *when*, reproducibly.
+
+A :class:`FaultPlan` is the single source of truth for every fault a chaos
+run experiences.  It answers point questions — "does shard 2 crash at
+superstep 3 of query 7, attempt 1?" — from one of two modes:
+
+* **explicit** — a literal tuple of :class:`FaultEvent` records, each with
+  ``None`` fields acting as wildcards.  Tests use this to script precise
+  scenarios (crash-during-commit, duplicate delivery, torn tails).
+* **seeded** — procedural rolls derived from ``zlib.crc32`` over the full
+  coordinate tuple ``(seed, kind, query, superstep, shard, attempt)``.
+  No :mod:`random` state is threaded anywhere: the same coordinates always
+  roll the same value, on any platform, in any call order.  That is what
+  lets ``BENCH_chaos.json`` be byte-identical in CI.
+
+Faults *correlate*: once a shard has faulted at a site, retry attempts at
+the same site roll against a higher repeat probability (a bad node keeps
+being bad).  Without that, exhausting a retry budget would be vanishingly
+rare and the availability figure would be a flat 100% line.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import BenchmarkError
+
+# -- fault kinds ----------------------------------------------------------
+
+#: A shard executor dies mid-superstep: its attempt's work is lost and its
+#: journal suffers a torn WAL tail (when ``torn``).
+CRASH = "crash"
+#: A shard executor hangs: the coordinator waits out the superstep timeout,
+#: then retries the attempt.
+STALL = "stall"
+#: A message batch's first transmission is dropped (detected + retransmitted
+#: within the same barrier window).
+MSG_LOSS = "msg-loss"
+#: A message batch is delivered twice (receiver dedups by sequence).
+MSG_DUP = "msg-dup"
+#: A superstep's deliveries arrive permuted (receiver reorder buffer sorts
+#: them back by sequence).
+MSG_REORDER = "msg-reorder"
+#: A shard's retained snapshot is lost: degraded reads for that shard fail
+#: fast with :class:`~repro.exceptions.ShardUnavailableError`.
+SNAPSHOT_LOSS = "snapshot-loss"
+
+FAULT_KINDS = (CRASH, STALL, MSG_LOSS, MSG_DUP, MSG_REORDER, SNAPSHOT_LOSS)
+
+#: Per-kind share of the overall fault rate for seeded plans.  The mix
+#: leans towards message faults (cheap, frequent in real fabrics) with
+#: rarer crashes and rarer-still snapshot loss.
+DEFAULT_WEIGHTS: dict[str, float] = {
+    CRASH: 0.12,
+    STALL: 0.10,
+    MSG_LOSS: 0.25,
+    MSG_DUP: 0.15,
+    MSG_REORDER: 0.25,
+    # High enough that the fail-fast path is actually reachable in the
+    # benchmark sweep: a failure needs the *conjunction* of an abandoned
+    # shard and a lost snapshot, so the marginal rate must not be tiny.
+    SNAPSHOT_LOSS: 0.25,
+}
+
+#: Probability that a retry at an already-faulted site faults again,
+#: per unit of fault rate (repeat = ``rate × REPEAT_WEIGHT``, capped).
+REPEAT_WEIGHT = 1.5
+
+#: Ceiling on the repeat probability so retries can always succeed.
+REPEAT_CAP = 0.9
+
+#: Seeded crashes tear the WAL tail with this probability (else the crash
+#: is "clean": the journal survives intact and only the attempt is lost).
+TORN_SHARE = 0.5
+
+_ROLL_SPAN = float(2**32)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.  ``None`` coordinates match anything.
+
+    ``query`` counts queries run by one executor (0-based); ``superstep``
+    is the BSP hop within the query; ``shard`` is the victim shard for
+    shard faults, the *sender* for message faults.  ``attempt`` (crash and
+    stall only) pins the fault to one retry attempt — ``None`` means the
+    fault fires on every attempt, which is how a test forces a shard past
+    its retry budget.
+    """
+
+    kind: str
+    query: int | None = None
+    superstep: int | None = None
+    shard: int | None = None
+    attempt: int | None = None
+    #: For ``crash``: whether the journal's WAL tail is torn.
+    torn: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise BenchmarkError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+
+    def matches(
+        self,
+        kind: str,
+        query: int,
+        superstep: int | None = None,
+        shard: int | None = None,
+        attempt: int | None = None,
+    ) -> bool:
+        if self.kind != kind:
+            return False
+        for mine, theirs in (
+            (self.query, query),
+            (self.superstep, superstep),
+            (self.shard, shard),
+            (self.attempt, attempt),
+        ):
+            if mine is not None and theirs is not None and mine != theirs:
+                return False
+        return True
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "query": self.query,
+            "superstep": self.superstep,
+            "shard": self.shard,
+            "attempt": self.attempt,
+            "torn": self.torn,
+        }
+
+
+class FaultPlan:
+    """A deterministic fault schedule, explicit or seeded (or neither).
+
+    ``FaultPlan()`` is the fault-free plan: every query answers ``False``.
+    """
+
+    def __init__(
+        self,
+        events: tuple[FaultEvent, ...] = (),
+        *,
+        seed: int | None = None,
+        rate: int = 0,
+        weights: dict[str, float] | None = None,
+    ) -> None:
+        if rate < 0 or rate > 100:
+            raise BenchmarkError(f"fault rate must be 0..100 percent, got {rate}")
+        self.events = tuple(events)
+        self.seed = seed
+        self.rate = rate
+        self.weights = dict(DEFAULT_WEIGHTS if weights is None else weights)
+        unknown = set(self.weights) - set(FAULT_KINDS)
+        if unknown:
+            raise BenchmarkError(f"unknown fault kinds in weights: {sorted(unknown)}")
+
+    @classmethod
+    def explicit(cls, *events: FaultEvent) -> "FaultPlan":
+        """A plan that fires exactly the given events (tests script these)."""
+        return cls(tuple(events))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        rate: int,
+        weights: dict[str, float] | None = None,
+    ) -> "FaultPlan":
+        """A procedural plan: ``rate`` percent overall, split per ``weights``."""
+        return cls((), seed=seed, rate=rate, weights=weights)
+
+    # -- deterministic rolls ---------------------------------------------
+
+    def _roll(self, kind: str, *coords: Any) -> float:
+        """Uniform [0, 1) from crc32 over the full coordinate tuple."""
+        key = f"{self.seed}|{kind}|" + "|".join(repr(c) for c in coords)
+        return zlib.crc32(key.encode("utf-8")) / _ROLL_SPAN
+
+    def _probability(self, kind: str, prior_faults: int) -> float:
+        fraction = self.rate / 100.0
+        if prior_faults > 0:
+            # Correlated failure: a site that already faulted keeps faulting
+            # with elevated probability, so retry budgets genuinely exhaust.
+            return min(REPEAT_CAP, fraction * REPEAT_WEIGHT)
+        return fraction * self.weights.get(kind, 0.0)
+
+    def _fires(
+        self,
+        kind: str,
+        query: int,
+        superstep: int | None,
+        shard: int | None,
+        attempt: int | None,
+        prior_faults: int = 0,
+    ) -> bool:
+        for event in self.events:
+            if event.matches(kind, query, superstep, shard, attempt):
+                return True
+        if self.seed is None or self.rate == 0:
+            return False
+        roll = self._roll(kind, query, superstep, shard, attempt)
+        return roll < self._probability(kind, prior_faults)
+
+    # -- point queries the executor asks ---------------------------------
+
+    def crash(
+        self, query: int, superstep: int, shard: int, attempt: int, prior_faults: int = 0
+    ) -> tuple[bool, bool]:
+        """Does this attempt crash, and is the WAL tail torn if so?"""
+        for event in self.events:
+            if event.matches(CRASH, query, superstep, shard, attempt):
+                return True, event.torn
+        if self._fires(CRASH, query, superstep, shard, attempt, prior_faults):
+            torn = self._roll("torn", query, superstep, shard, attempt) < TORN_SHARE
+            return True, torn
+        return False, False
+
+    def stall(
+        self, query: int, superstep: int, shard: int, attempt: int, prior_faults: int = 0
+    ) -> bool:
+        """Does this attempt hang until the superstep timeout?"""
+        return self._fires(STALL, query, superstep, shard, attempt, prior_faults)
+
+    def message_fault(
+        self, query: int, superstep: int, shard: int, sequence: int
+    ) -> str | None:
+        """Fault on one batch: ``"loss"``, ``"dup"``, or ``None``.
+
+        ``shard`` is the sending shard; ``sequence`` the batch's per-query
+        emission sequence.  Loss takes precedence over duplication (a
+        dropped batch cannot also be delivered twice).
+        """
+        if self._fires(MSG_LOSS, query, superstep, shard, sequence):
+            return "loss"
+        if self._fires(MSG_DUP, query, superstep, shard, sequence):
+            return "dup"
+        return None
+
+    def reorder(self, query: int, superstep: int) -> bool:
+        """Is this superstep's delivery order scrambled?"""
+        return self._fires(MSG_REORDER, query, superstep, None, None)
+
+    def permutation(self, query: int, superstep: int, count: int) -> list[int]:
+        """Deterministic non-identity permutation of ``count`` deliveries."""
+        if count < 2:
+            return list(range(count))
+        keyed = sorted(
+            range(count),
+            key=lambda i: (self._roll("perm", query, superstep, i), i),
+        )
+        if keyed == list(range(count)):
+            keyed[0], keyed[-1] = keyed[-1], keyed[0]
+        return keyed
+
+    def snapshot_lost(self, query: int, shard: int, superstep: int | None = None) -> bool:
+        """Is this shard's retained snapshot gone?
+
+        Rolled once per barrier that *uses* the snapshot (degraded reads),
+        so a shard that stays down keeps re-rolling the dice — the longer a
+        query leans on degraded service, the likelier it is to lose it.
+        """
+        return self._fires(SNAPSHOT_LOSS, query, superstep, shard, None)
+
+    # -- payload ----------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-stable description for benchmark payloads."""
+        if self.events:
+            return {
+                "mode": "explicit",
+                "events": [event.describe() for event in self.events],
+            }
+        if self.seed is not None and self.rate > 0:
+            return {
+                "mode": "seeded",
+                "seed": self.seed,
+                "rate_percent": self.rate,
+                "weights": {kind: self.weights[kind] for kind in sorted(self.weights)},
+            }
+        return {"mode": "fault-free"}
+
+
+def canned_three_event_plan() -> FaultPlan:
+    """The differential harness's fixed scenario: one fault per layer.
+
+    Superstep 2 of query 0 (by then the frontier spans shards regardless of
+    where the source lives): every active shard's first attempt crashes
+    with a torn WAL tail (storage layer), every batch sent is dropped and
+    retransmitted (network layer), and the superstep's deliveries arrive
+    reordered (ordering layer).  Every engine × partitioner must replay
+    this plan to a final state and base charge identical to the fault-free
+    run.
+    """
+    return FaultPlan.explicit(
+        FaultEvent(CRASH, query=0, superstep=2, attempt=1, torn=True),
+        FaultEvent(MSG_LOSS, query=0, superstep=2),
+        FaultEvent(MSG_REORDER, query=0, superstep=2),
+    )

@@ -115,9 +115,20 @@ class ShardRuntime:
     #: External id → ``((remote external id, remote shard), ...)`` for every
     #: cut edge incident to the local vertex, in cut-table build order.
     remote: dict[Any, list[tuple[Any, int]]] = field(default_factory=dict)
+    #: The external-id load payload this shard's engine was built from
+    #: (``{"vertices": [...], "edges": [...]}``).  The coordinator keeps it
+    #: as the authoritative copy a crashed shard recovers from (the chaos
+    #: layer's per-shard WAL + checkpoint are seeded with it).
+    payload: dict[str, list[dict[str, Any]]] | None = None
 
     def __post_init__(self) -> None:
         self.reverse = {internal: external for external, internal in self.id_map.items()}
+
+    def rebind(self, engine: GraphDatabase, id_map: dict[Any, Any]) -> None:
+        """Swap in a recovered engine (crash-restart), refreshing id maps."""
+        self.engine = engine
+        self.id_map = id_map
+        self.reverse = {internal: external for external, internal in id_map.items()}
 
 
 @dataclass
@@ -216,17 +227,12 @@ class DistributedExecutor:
                 frontier = frontiers.get(shard.index)
                 if not frontier:
                     continue
-                local_frontier = [shard.id_map[external] for external in frontier]
-                before = shard.engine.io_cost()
+                neighbors, compute = self._expand_local(shard, frontier)
                 discovered: list[Any] = []
-                for _origin, neighbor in shard.engine.neighbors_many(
-                    local_frontier, Direction.BOTH
-                ):
-                    external = shard.reverse[neighbor]
+                for external in neighbors:
                     if external not in distances:
                         distances[external] = hop
                         discovered.append(external)
-                compute = shard.engine.io_cost() - before
                 compute_charge += compute
 
                 batches = self._collect_batches(shard, frontier, hop, sent[shard.index])
@@ -261,6 +267,27 @@ class DistributedExecutor:
             messages=stats.messages,
             message_items=stats.items,
         )
+
+    def _expand_local(
+        self, shard: ShardRuntime, frontier: list[Any]
+    ) -> tuple[list[Any], int]:
+        """Expand one shard's frontier on its live engine.
+
+        Returns the neighbour external ids in discovery order (duplicates
+        included — the caller owns the dedup against ``distances``) and the
+        engine I/O the expansion charged.  Separated from :meth:`_run` so
+        the chaos executor can re-run an expansion after a crash-restart
+        without mutating any coordinator state on the failed attempt.
+        """
+        local_frontier = [shard.id_map[external] for external in frontier]
+        before = shard.engine.io_cost()
+        neighbors = [
+            shard.reverse[neighbor]
+            for _origin, neighbor in shard.engine.neighbors_many(
+                local_frontier, Direction.BOTH
+            )
+        ]
+        return neighbors, shard.engine.io_cost() - before
 
     def _collect_batches(
         self,
@@ -354,7 +381,14 @@ def build_distributed(
         engine = engine_factory()
         id_map = engine.load(vertices, edges)
         engine.reset_metrics()
-        shards.append(ShardRuntime(index=index, engine=engine, id_map=id_map))
+        shards.append(
+            ShardRuntime(
+                index=index,
+                engine=engine,
+                id_map=id_map,
+                payload={"vertices": vertices, "edges": edges},
+            )
+        )
 
     cut_rows = 0
     for index, payload in enumerate(payloads):

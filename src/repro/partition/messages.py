@@ -11,6 +11,17 @@ The defaults make one message round roughly as expensive as a handful of
 page reads — network hops dominate tiny frontiers (why K=8 on a small graph
 can *lose* to K=1) while amortising away on bulk frontiers, which is the
 trade-off the scale-out figure exists to show.
+
+Fault plane (PR 6)
+------------------
+
+The chaos layer can lose, duplicate, or reorder batches.  The cost model
+therefore also prices the *recovery* of a lost batch: a retransmission pays
+the batch cost again plus a fixed :attr:`~NetworkCostModel.retransmit_penalty`
+(the NACK/timeout detection round).  Each batch carries a per-query
+``sequence`` number — the receiver's reorder buffer restores canonical
+delivery order from it and drops duplicate deliveries idempotently, which
+is what keeps faulted runs byte-identical to fault-free ones.
 """
 
 from __future__ import annotations
@@ -24,6 +35,10 @@ DEFAULT_LATENCY_PER_MESSAGE = 32
 #: Marginal charge per frontier item carried in a batch (serialisation).
 DEFAULT_COST_PER_ITEM = 2
 
+#: Extra charge a retransmission pays on top of the repeated batch cost
+#: (loss detection: the NACK/timeout round that triggered the resend).
+DEFAULT_RETRANSMIT_PENALTY = 16
+
 
 @dataclass(frozen=True)
 class NetworkCostModel:
@@ -31,28 +46,45 @@ class NetworkCostModel:
 
     latency_per_message: int = DEFAULT_LATENCY_PER_MESSAGE
     cost_per_item: int = DEFAULT_COST_PER_ITEM
+    retransmit_penalty: int = DEFAULT_RETRANSMIT_PENALTY
 
     def __post_init__(self) -> None:
         # Guarded here so every entry point (CLI, smoke, library) rejects
         # negative charges before they can poison a benchmark payload.
-        if self.latency_per_message < 0 or self.cost_per_item < 0:
+        if (
+            self.latency_per_message < 0
+            or self.cost_per_item < 0
+            or self.retransmit_penalty < 0
+        ):
             from repro.exceptions import BenchmarkError
 
             raise BenchmarkError(
                 "network cost parameters must be >= 0, got "
                 f"latency_per_message={self.latency_per_message}, "
-                f"cost_per_item={self.cost_per_item}"
+                f"cost_per_item={self.cost_per_item}, "
+                f"retransmit_penalty={self.retransmit_penalty}"
             )
 
     def batch_cost(self, items: int) -> int:
         """Charge for one batched message carrying ``items`` frontier entries."""
         return self.latency_per_message + self.cost_per_item * items
 
+    def retransmit_cost(self, items: int) -> int:
+        """Charge for re-sending a lost batch: detection round + resend.
+
+        The *original* (lost) transmission was already charged when it was
+        attempted; this prices only the recovery — so one loss costs
+        ``batch_cost + retransmit_cost`` in total, against ``batch_cost``
+        fault-free, and the difference is the chaos figure's overhead.
+        """
+        return self.retransmit_penalty + self.batch_cost(items)
+
     def params(self) -> dict[str, int]:
         """JSON-stable parameters for benchmark payloads."""
         return {
             "latency_per_message": self.latency_per_message,
             "cost_per_item": self.cost_per_item,
+            "retransmit_penalty": self.retransmit_penalty,
         }
 
 
@@ -65,6 +97,10 @@ class MessageBatch:
     target_shard: int
     #: ``(external vertex id, distance)`` pairs, in discovery order.
     items: list[tuple[Any, int]]
+    #: Per-query emission sequence number.  Receivers deliver in sequence
+    #: order (the reorder buffer) and drop re-deliveries of a sequence they
+    #: have already applied (duplicate idempotency).  0 outside chaos runs.
+    sequence: int = 0
 
     def __len__(self) -> int:
         return len(self.items)
@@ -79,6 +115,18 @@ class NetworkStats:
     charge: int = 0
     #: Charge per superstep (stragglers and bursts show up here).
     per_step_charge: list[int] = field(default_factory=list)
+    # -- fault-plane counters (all zero on a fault-free run) -------------
+    #: Batches whose first transmission was dropped by the fault plan.
+    lost: int = 0
+    #: Extra deliveries of an already-delivered batch.
+    duplicated: int = 0
+    #: Batches delivered out of emission order (before the reorder buffer).
+    reordered: int = 0
+    #: Charge spent recovering faults: wasted first sends of lost batches,
+    #: retransmissions, and duplicate transmissions.  Kept separate from
+    #: :attr:`charge` so the useful-work charge stays identical to the
+    #: fault-free run (the chaos exactness invariant).
+    fault_charge: int = 0
 
     def record_step(self, batches: list[MessageBatch], model: NetworkCostModel) -> int:
         """Account one superstep's batches; return the step's network charge."""
@@ -91,10 +139,46 @@ class NetworkStats:
         self.per_step_charge.append(step_charge)
         return step_charge
 
+    def record_loss(self, batch: MessageBatch, model: NetworkCostModel) -> int:
+        """Account a dropped first transmission plus its retransmission.
+
+        Returns the *extra* charge the fault cost (wasted first send plus
+        the detection penalty); the successful delivery itself is accounted
+        by :meth:`record_step` exactly as on a fault-free run.
+        """
+        # The delivery record_step already charged counts as the useful
+        # send; the loss adds the wasted transmission plus the detection
+        # penalty — exactly retransmit_cost.
+        extra = model.retransmit_cost(len(batch))
+        self.lost += 1
+        self.fault_charge += extra
+        return extra
+
+    def record_duplicate(self, batch: MessageBatch, model: NetworkCostModel) -> int:
+        """Account an extra (duplicate) transmission of a delivered batch."""
+        extra = model.batch_cost(len(batch))
+        self.duplicated += 1
+        self.fault_charge += extra
+        return extra
+
+    def record_reorder(self, count: int = 1) -> None:
+        """Count batches the fault plan delivered out of order (recovery —
+        the receiver's sequence-number reorder buffer — is charge-free)."""
+        self.reordered += count
+
     def snapshot(self) -> dict[str, int]:
         """JSON-stable counters for the benchmark payload."""
         return {
             "messages": self.messages,
             "message_items": self.items,
             "network_charge": self.charge,
+        }
+
+    def fault_snapshot(self) -> dict[str, int]:
+        """JSON-stable fault-plane counters for the chaos payload."""
+        return {
+            "messages_lost": self.lost,
+            "messages_duplicated": self.duplicated,
+            "messages_reordered": self.reordered,
+            "retransmit_charge": self.fault_charge,
         }

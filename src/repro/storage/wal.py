@@ -7,12 +7,27 @@ engines reproduce this through :class:`WriteAheadLog`: synchronous mode
 charges the page write at append time, asynchronous mode defers the charge
 until :meth:`flush` is called (the harness flushes outside the timed region,
 mirroring what the paper could observe from the client).
+
+Torn tails
+----------
+
+A crash can interrupt the physical write of the last record ("torn write"):
+the record's framing looks plausible but its payload never fully reached
+stable storage.  Every record therefore carries a CRC32 checksum computed
+over its logical content at append time; :meth:`replay` verifies the chain
+and stops at the first mismatch, dropping the torn suffix instead of
+resurrecting half-written records.  :meth:`tear_tail` is the fault
+injector's hook: it simulates the torn write by corrupting the stored
+checksum of the last appended record(s).  :meth:`truncate` (checkpointing)
+honours the same rule — a torn record is *discarded*, never folded into the
+checkpoint as if it had committed.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.storage.metrics import StorageMetrics
@@ -25,6 +40,12 @@ class DurabilityMode(enum.Enum):
     ASYNC = "async"
 
 
+def record_checksum(sequence: int, operation: str, payload: dict[str, Any]) -> int:
+    """CRC32 over a record's logical content (order-stable payload repr)."""
+    body = f"{sequence}:{operation}:{sorted(payload.items(), key=repr)!r}"
+    return zlib.crc32(body.encode())
+
+
 @dataclass
 class LogRecord:
     """A single logical WAL entry."""
@@ -32,6 +53,18 @@ class LogRecord:
     sequence: int
     operation: str
     payload: dict[str, Any]
+    #: CRC32 of the logical content, set at append time.  A mismatch on
+    #: replay means the physical write was torn mid-record.
+    checksum: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.checksum == 0:
+            self.checksum = record_checksum(self.sequence, self.operation, self.payload)
+
+    @property
+    def intact(self) -> bool:
+        """Whether the stored checksum matches the logical content."""
+        return self.checksum == record_checksum(self.sequence, self.operation, self.payload)
 
 
 class WriteAheadLog:
@@ -49,6 +82,8 @@ class WriteAheadLog:
         self._records: list[LogRecord] = []
         self._durable_upto = 0
         self._next_sequence = 1
+        #: Torn records discarded so far (by truncate/crash handling).
+        self.torn_discarded = 0
 
     def __len__(self) -> int:
         """Total number of appended records."""
@@ -90,26 +125,57 @@ class WriteAheadLog:
             self._durable_upto = len(self._records)
         return pending
 
+    def tear_tail(self, records: int = 1) -> int:
+        """Simulate a torn write: corrupt the checksum of the last record(s).
+
+        Models a crash that interrupted the physical write mid-record — the
+        framing survives but the content never fully hit stable storage.
+        Returns how many records were actually torn (bounded by the log's
+        durable length: an unflushed ASYNC record is simply *lost* on crash,
+        it cannot be torn because it was never being written).
+        """
+        torn = min(max(records, 0), self._durable_upto)
+        for record in self._records[self._durable_upto - torn : self._durable_upto]:
+            record.checksum ^= 0xFFFFFFFF
+        return torn
+
+    def _verified_durable(self) -> int:
+        """Length of the checksum-verified durable prefix."""
+        verified = 0
+        for record in self._records[: self._durable_upto]:
+            if not record.intact:
+                break
+            verified += 1
+        return verified
+
     def replay(self) -> list[LogRecord]:
-        """Return every durable record in order (crash-recovery view).
+        """Return the verified durable prefix in order (crash-recovery view).
 
         Unflushed ASYNC records are excluded by construction: they never
-        reached simulated stable storage, so a crash would lose them.
+        reached simulated stable storage, so a crash would lose them.  A
+        checksum mismatch ends the replay — everything from the first torn
+        record on is dropped rather than trusted on framing alone.
         """
-        return list(self._records[: self._durable_upto])
+        return list(self._records[: self._verified_durable()])
 
     def truncate(self) -> int:
-        """Checkpoint: drop durable records, keep undurable pending ones.
+        """Checkpoint: drop verified durable records, keep undurable ones.
 
-        A checkpoint can only cover state that reached stable storage, so
-        records appended in ASYNC mode but not yet flushed survive the
-        truncation (and still flush later).  The checkpoint itself writes
-        one page (the checkpoint marker), which is charged here; sequence
-        numbers keep increasing across truncations so LSNs stay monotonic.
-        Returns the number of records dropped.
+        A checkpoint can only cover state that verifiably reached stable
+        storage: records appended in ASYNC mode but not yet flushed survive
+        the truncation (and still flush later), while torn records — durable
+        framing, corrupt content — are *discarded outright* instead of being
+        resurrected into the checkpoint or left masquerading as pending
+        writes.  The checkpoint itself writes one page (the checkpoint
+        marker), which is charged here; sequence numbers keep increasing
+        across truncations so LSNs stay monotonic.  Returns the number of
+        verified records dropped (torn discards are counted separately in
+        :attr:`torn_discarded`).
         """
-        dropped = self._durable_upto
+        verified = self._verified_durable()
+        torn = self._durable_upto - verified
+        self.torn_discarded += torn
         self._records = self._records[self._durable_upto :]
         self._durable_upto = 0
         self.metrics.charge_page_write(1, 64)
-        return dropped
+        return verified

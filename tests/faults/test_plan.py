@@ -1,0 +1,161 @@
+"""FaultPlan: explicit event matching, seeded determinism, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BenchmarkError
+from repro.faults.plan import (
+    CRASH,
+    MSG_DUP,
+    MSG_LOSS,
+    SNAPSHOT_LOSS,
+    STALL,
+    FaultEvent,
+    FaultPlan,
+    canned_three_event_plan,
+)
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(BenchmarkError, match="unknown fault kind"):
+            FaultEvent("power-sag")
+
+    def test_exact_coordinates_match(self):
+        event = FaultEvent(CRASH, query=1, superstep=2, shard=3, attempt=1)
+        assert event.matches(CRASH, 1, 2, 3, 1)
+        assert not event.matches(CRASH, 1, 2, 3, 2)
+        assert not event.matches(CRASH, 0, 2, 3, 1)
+        assert not event.matches(STALL, 1, 2, 3, 1)
+
+    def test_none_fields_are_wildcards(self):
+        event = FaultEvent(CRASH, query=0)
+        assert event.matches(CRASH, 0, 5, 7, 3)
+        assert not event.matches(CRASH, 1, 5, 7, 3)
+
+    def test_describe_is_json_stable(self):
+        event = FaultEvent(CRASH, query=0, superstep=2, torn=False)
+        assert event.describe() == {
+            "kind": CRASH,
+            "query": 0,
+            "superstep": 2,
+            "shard": None,
+            "attempt": None,
+            "torn": False,
+        }
+
+
+class TestExplicitPlans:
+    def test_explicit_crash_fires_with_torn_flag(self):
+        plan = FaultPlan.explicit(
+            FaultEvent(CRASH, query=0, superstep=1, shard=0, attempt=1, torn=False)
+        )
+        assert plan.crash(0, 1, 0, 1) == (True, False)
+        assert plan.crash(0, 1, 0, 2) == (False, False)
+        assert plan.crash(1, 1, 0, 1) == (False, False)
+
+    def test_attempt_wildcard_fires_every_attempt(self):
+        plan = FaultPlan.explicit(FaultEvent(CRASH, query=0, shard=0))
+        for attempt in (1, 2, 3, 4):
+            assert plan.crash(0, 1, 0, attempt)[0]
+
+    def test_loss_takes_precedence_over_duplication(self):
+        plan = FaultPlan.explicit(
+            FaultEvent(MSG_LOSS, query=0), FaultEvent(MSG_DUP, query=0)
+        )
+        assert plan.message_fault(0, 1, 0, 0) == "loss"
+
+    def test_fault_free_plan_answers_false_everywhere(self):
+        plan = FaultPlan()
+        assert plan.crash(0, 1, 0, 1) == (False, False)
+        assert not plan.stall(0, 1, 0, 1)
+        assert plan.message_fault(0, 1, 0, 0) is None
+        assert not plan.reorder(0, 1)
+        assert not plan.snapshot_lost(0, 0, 1)
+        assert plan.describe() == {"mode": "fault-free"}
+
+
+class TestSeededPlans:
+    def test_rate_bounds_validated(self):
+        with pytest.raises(BenchmarkError, match="0..100"):
+            FaultPlan.seeded(7, 101)
+        with pytest.raises(BenchmarkError, match="0..100"):
+            FaultPlan(rate=-1)
+
+    def test_unknown_weight_kind_rejected(self):
+        with pytest.raises(BenchmarkError, match="unknown fault kinds"):
+            FaultPlan.seeded(7, 10, weights={"gremlins": 1.0})
+
+    def test_same_coordinates_always_roll_the_same(self):
+        plan_a = FaultPlan.seeded(42, 50)
+        plan_b = FaultPlan.seeded(42, 50)
+        coords = [(q, s, sh, a) for q in range(4) for s in range(3) for sh in range(2) for a in (1, 2)]
+        assert [plan_a.crash(*c) for c in coords] == [plan_b.crash(*c) for c in coords]
+        assert [plan_a.stall(*c) for c in coords] == [plan_b.stall(*c) for c in coords]
+
+    def test_different_seeds_differ_somewhere(self):
+        plan_a = FaultPlan.seeded(1, 60)
+        plan_b = FaultPlan.seeded(2, 60)
+        coords = [(q, s, sh, 1) for q in range(30) for s in range(4) for sh in range(4)]
+        assert [plan_a.crash(*c)[0] for c in coords] != [plan_b.crash(*c)[0] for c in coords]
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan.seeded(42, 0)
+        assert not any(plan.crash(q, 1, 0, 1)[0] for q in range(50))
+
+    def test_prior_faults_raise_the_repeat_probability(self):
+        plan = FaultPlan.seeded(42, 30)
+        assert plan._probability(CRASH, prior_faults=1) > plan._probability(
+            CRASH, prior_faults=0
+        )
+
+    def test_snapshot_loss_rerolls_per_barrier(self):
+        plan = FaultPlan.seeded(20181204, 60)
+        answers = {
+            plan.snapshot_lost(q, sh, superstep=s)
+            for q in range(8)
+            for sh in range(4)
+            for s in range(4)
+        }
+        assert answers == {True, False}
+
+    def test_describe_includes_seed_rate_and_weights(self):
+        payload = FaultPlan.seeded(7, 25).describe()
+        assert payload["mode"] == "seeded"
+        assert payload["seed"] == 7
+        assert payload["rate_percent"] == 25
+        assert SNAPSHOT_LOSS in payload["weights"]
+
+
+class TestPermutation:
+    def test_permutation_is_valid_and_not_identity(self):
+        plan = FaultPlan.seeded(9, 50)
+        for superstep in range(1, 6):
+            for count in range(2, 7):
+                order = plan.permutation(0, superstep, count)
+                assert sorted(order) == list(range(count))
+                assert order != list(range(count))
+
+    def test_small_counts_stay_identity(self):
+        plan = FaultPlan.seeded(9, 50)
+        assert plan.permutation(0, 1, 0) == []
+        assert plan.permutation(0, 1, 1) == [0]
+
+    def test_permutation_is_deterministic(self):
+        plan = FaultPlan.seeded(9, 50)
+        assert plan.permutation(3, 2, 5) == plan.permutation(3, 2, 5)
+
+
+class TestCannedPlan:
+    def test_one_fault_per_layer_at_superstep_two(self):
+        plan = canned_three_event_plan()
+        crashed, torn = plan.crash(0, 2, 0, 1)
+        assert crashed and torn
+        assert plan.crash(0, 2, 1, 1)[0]  # shard wildcard
+        assert not plan.crash(0, 1, 0, 1)[0]
+        assert not plan.crash(0, 2, 0, 2)[0]  # retry attempt succeeds
+        assert plan.message_fault(0, 2, 0, 0) == "loss"
+        assert plan.reorder(0, 2)
+        assert not plan.reorder(0, 1)
+        assert plan.describe()["mode"] == "explicit"

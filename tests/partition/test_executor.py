@@ -14,7 +14,7 @@ from repro.bench.workload import load_dataset_into
 from repro.concurrency.scheduler import BarrierClock
 from repro.datasets import get_dataset
 from repro.engines import ALL_ENGINES, create_engine
-from repro.exceptions import BenchmarkError
+from repro.exceptions import BenchmarkError, GraphBenchError
 from repro.partition import (
     PARTITIONERS,
     NetworkCostModel,
@@ -176,10 +176,24 @@ class TestNetworkCostModel:
             NetworkCostModel(cost_per_item=-1)
 
     def test_batch_cost_formula(self):
-        model = NetworkCostModel(latency_per_message=10, cost_per_item=3)
+        model = NetworkCostModel(
+            latency_per_message=10, cost_per_item=3, retransmit_penalty=5
+        )
         assert model.batch_cost(0) == 10
         assert model.batch_cost(7) == 31
-        assert model.params() == {"latency_per_message": 10, "cost_per_item": 3}
+        assert model.params() == {
+            "latency_per_message": 10,
+            "cost_per_item": 3,
+            "retransmit_penalty": 5,
+        }
+
+    def test_retransmit_prices_detection_plus_resend(self):
+        model = NetworkCostModel(
+            latency_per_message=10, cost_per_item=3, retransmit_penalty=5
+        )
+        assert model.retransmit_cost(7) == 5 + 31
+        with pytest.raises(BenchmarkError, match="must be >= 0"):
+            NetworkCostModel(retransmit_penalty=-1)
 
 
 class TestExecutorErrors:
@@ -218,3 +232,26 @@ class TestBarrierClock:
         for cost in (7, 11, 2):
             clock.advance([cost])
         assert clock.elapsed == clock.busy == 20
+
+    def test_rejoin_targets_the_forming_or_a_future_barrier(self):
+        clock = BarrierClock()
+        clock.advance([3, 5])
+        clock.rejoin_at(1)  # the barrier currently forming
+        clock.rejoin_at(3)  # a future barrier is also fine
+        assert clock.rejoins == 2
+        assert clock.last_rejoin_step == 3
+
+    def test_rejoining_a_sealed_barrier_is_rejected(self):
+        # The old implicit behaviour let a shard re-register after every
+        # other executor advanced, silently skewing the sealed step.
+        clock = BarrierClock()
+        clock.advance([3, 5])
+        clock.advance([2, 2])
+        with pytest.raises(GraphBenchError, match="already advanced"):
+            clock.rejoin_at(1)
+
+    def test_rejoin_barriers_are_monotonic(self):
+        clock = BarrierClock()
+        clock.rejoin_at(4)
+        with pytest.raises(GraphBenchError, match="monotonic"):
+            clock.rejoin_at(2)
