@@ -34,6 +34,14 @@ availability, fault overhead must not grow past the allowed fraction, and
 ``--require-identical`` demands the byte-exact payload — fault schedules
 are seeded crc32 rolls and every charge is logical.
 
+``--kind readscale`` gates ``BENCH_readscale.json``: every (engine, R,
+bound, cache) cell's read throughput must stay within the allowed
+fraction of the committed baseline, cache-off cells must book zero
+invalidation charge, the coherence-storm invalidation overhead must scale
+with replica count at every cache size, and ``--require-identical``
+demands the byte-exact payload — replicas are pinned MVCC snapshots and
+every charge is logical.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf_smoke --output BENCH_current.json
@@ -252,6 +260,77 @@ def check_chaos_regressions(
     return failures
 
 
+def check_readscale_regressions(
+    baseline: dict,
+    current: dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[str]:
+    """Return one failure per read-scale cell whose throughput or coherence slipped.
+
+    Read-scale cells are fully deterministic (seeded tapes, pinned MVCC
+    snapshots, logical charges), so slippage means the replication or
+    caching path changed.  Per (engine, R, bound, cache) cell the read
+    throughput may not drop below the baseline's by more than the allowed
+    fraction; structurally, cache-off cells must book zero invalidation
+    charge and the storm invalidation overhead must grow with the replica
+    count at every (bound, cache>0) point — the coherence fan-out the
+    figure exists to show.
+    """
+    failures: list[str] = []
+
+    def key(cell: dict) -> tuple:
+        return (cell["replicas"], cell["staleness_bound"], cell["cache_capacity"])
+
+    for engine_name, baseline_sweep in sorted(baseline.get("engines", {}).items()):
+        current_sweep = current.get("engines", {}).get(engine_name)
+        if current_sweep is None:
+            failures.append(f"{engine_name}: missing from the current report")
+            continue
+        current_cells = {key(cell): cell for cell in current_sweep.get("cells", [])}
+        storm_inval: dict[tuple, dict[int, int]] = {}
+        for base_cell in baseline_sweep.get("cells", []):
+            name = (
+                f"{engine_name}/R={base_cell['replicas']}"
+                f"/bound={base_cell['staleness_bound']}"
+                f"/cache={base_cell['cache_capacity']}"
+            )
+            current_cell = current_cells.get(key(base_cell))
+            if current_cell is None:
+                failures.append(f"{name}: missing from the current report")
+                continue
+            base_tp = base_cell["throughput_per_kcharge"]
+            current_tp = current_cell["throughput_per_kcharge"]
+            floor = base_tp * (1.0 - max_regression)
+            if current_tp < floor:
+                failures.append(
+                    f"{name}: throughput {current_tp:.2f} reads/kcharge vs "
+                    f"baseline {base_tp:.2f} "
+                    f"(-{(1.0 - current_tp / base_tp) * 100:.0f}%, "
+                    f"limit -{max_regression * 100:.0f}%)"
+                )
+            if (
+                current_cell["cache_capacity"] == 0
+                and current_cell["overhead"]["invalidation_charge"] != 0
+            ):
+                failures.append(
+                    f"{name}: cache-off cell booked invalidation charge "
+                    f"{current_cell['overhead']['invalidation_charge']} (expected 0)"
+                )
+            if current_cell["cache_capacity"] > 0:
+                storm_inval.setdefault(
+                    (current_cell["staleness_bound"], current_cell["cache_capacity"]), {}
+                )[current_cell["replicas"]] = current_cell["storm"]["invalidation_charge"]
+        for (bound, cache), by_replicas in sorted(storm_inval.items()):
+            ordered = [by_replicas[r] for r in sorted(by_replicas)]
+            if any(b < a for a, b in zip(ordered, ordered[1:])):
+                failures.append(
+                    f"{engine_name}/bound={bound}/cache={cache}: storm "
+                    f"invalidation charge {ordered} does not grow with the "
+                    "replica count (coherence fan-out lost)"
+                )
+    return failures
+
+
 def check_saturation_regressions(
     baseline: dict,
     current: dict,
@@ -282,7 +361,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--kind",
         default="traversal",
-        choices=["traversal", "concurrency", "saturation", "partition", "chaos"],
+        choices=["traversal", "concurrency", "saturation", "partition", "chaos", "readscale"],
         help="which report family to gate",
     )
     parser.add_argument(
@@ -317,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
             "saturation": "BENCH_saturation.json",
             "partition": "BENCH_partition.json",
             "chaos": "BENCH_chaos.json",
+            "readscale": "BENCH_readscale.json",
         }.get(args.kind, "BENCH_traversal.json")
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
@@ -358,6 +438,20 @@ def main(argv: list[str] | None = None) -> int:
             f"chaos regression gate passed: availability within "
             f"-{args.max_regression * 100:.0f}% and overhead within "
             f"+{args.max_regression * 100:.0f}% for every cell"
+            + (", payload identical to the baseline" if args.require_identical else "")
+        )
+    elif args.kind == "readscale":
+        failures = check_readscale_regressions(baseline, current, args.max_regression)
+        if args.require_identical:
+            failures.extend(
+                check_payload_identity(
+                    baseline, current, "python -m benchmarks.readscale_smoke"
+                )
+            )
+        passed = (
+            f"readscale regression gate passed: throughput within "
+            f"-{args.max_regression * 100:.0f}% for every engine × R × bound × "
+            "cache, coherence invariants hold"
             + (", payload identical to the baseline" if args.require_identical else "")
         )
     elif args.kind == "saturation":

@@ -1,0 +1,87 @@
+"""Read-scale smoke: the replica × staleness × cache matrix behind the CI gate.
+
+Runs the deterministic read-scale benchmark (:mod:`repro.replication.bench`)
+over the default matrix — two engines × R ∈ {0, 2, 4} replicas × staleness
+bounds {64, 16384} × cache capacities {0, 64} — and writes the JSON payload
+consumed by the regression gate.  Replicas are lagging MVCC snapshot pins
+over the primary's version store, caches are deterministic charged LRUs,
+the workload tape is seeded, and an in-bench coherence oracle asserts that
+no read ever serves a value newer than the staleness bound or older than
+the advertised snapshot, so the payload is byte-identical across machines
+and CI gates it exactly.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.readscale_smoke \
+        [--engines ID...] [--replicas R...] [--bounds B...] [--caches C...] \
+        [--output BENCH_readscale.json] [--report PATH]
+
+Gate a fresh run against the committed report with
+``python -m benchmarks.check_regression --kind readscale``.
+
+The defaults mirror ``graphbench readscale`` and the committed
+``BENCH_readscale.json`` baseline; regenerate that baseline with the
+defaults after any intentional change to the replication cost model, the
+cache/invalidation protocol, or the underlying MVCC/partition layers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engines import resolve_engine_id
+from repro.replication import (
+    DEFAULT_CACHE_CAPACITIES,
+    DEFAULT_READSCALE_JSON,
+    DEFAULT_REPLICA_COUNTS,
+    DEFAULT_STALENESS_BOUNDS,
+    format_readscale_report,
+    run_readscale_benchmark,
+    write_readscale_report,
+)
+from repro.replication.bench import DEFAULT_BENCH_ENGINES, DEFAULT_PARTITIONER, DEFAULT_SHARDS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engines", nargs="+", default=list(DEFAULT_BENCH_ENGINES))
+    parser.add_argument(
+        "--replicas", type=int, nargs="+", default=list(DEFAULT_REPLICA_COUNTS)
+    )
+    parser.add_argument(
+        "--bounds", type=int, nargs="+", default=list(DEFAULT_STALENESS_BOUNDS)
+    )
+    parser.add_argument(
+        "--caches", type=int, nargs="+", default=list(DEFAULT_CACHE_CAPACITIES)
+    )
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    parser.add_argument("--partitioner", default=DEFAULT_PARTITIONER)
+    parser.add_argument("--dataset", default="yeast")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=20181204)
+    parser.add_argument("--output", default=DEFAULT_READSCALE_JSON)
+    parser.add_argument("--report", default=None)
+    args = parser.parse_args(argv)
+
+    report = run_readscale_benchmark(
+        [resolve_engine_id(name) for name in args.engines],
+        replica_counts=args.replicas,
+        staleness_bounds=args.bounds,
+        cache_capacities=args.caches,
+        dataset_name=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        shards=args.shards,
+        partitioner=args.partitioner,
+    )
+    print(format_readscale_report(report))
+    for path in write_readscale_report(
+        report, json_path=args.output, text_path=args.report
+    ):
+        print(f"\nwrote {path.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

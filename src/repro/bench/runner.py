@@ -14,6 +14,8 @@ the paper's Sparksee failures on the degree-filter queries.
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import time
 from dataclasses import dataclass
 from typing import Any, Mapping
@@ -30,6 +32,24 @@ from repro.queries.base import Query
 
 #: Re-exported for convenience; the enum lives with the result records.
 QueryExecution = ExecutionResult
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Suppress cyclic GC inside timed regions, as :mod:`timeit` does.
+
+    The figure tests assert relative orderings of microsecond-scale
+    single-shot timings; a generational collection landing inside one
+    measurement (its pause grows with everything else the process has
+    loaded) is enough to flip them.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 @dataclass
@@ -54,20 +74,21 @@ class QueryRunner:
         status = ExecutionStatus.OK
         detail = ""
         result_size = 0
-        started = time.perf_counter()
-        try:
-            value = query(engine, bound)
-            result_size = _result_size(value)
-        except MemoryBudgetExceededError as error:
-            status = ExecutionStatus.OUT_OF_MEMORY
-            detail = str(error)
-        except UnsupportedOperationError as error:
-            status = ExecutionStatus.UNSUPPORTED
-            detail = str(error)
-        except GraphBenchError as error:
-            status = ExecutionStatus.ERROR
-            detail = str(error)
-        elapsed = time.perf_counter() - started
+        with _gc_paused():
+            started = time.perf_counter()
+            try:
+                value = query(engine, bound)
+                result_size = _result_size(value)
+            except MemoryBudgetExceededError as error:
+                status = ExecutionStatus.OUT_OF_MEMORY
+                detail = str(error)
+            except UnsupportedOperationError as error:
+                status = ExecutionStatus.UNSUPPORTED
+                detail = str(error)
+            except GraphBenchError as error:
+                status = ExecutionStatus.ERROR
+                detail = str(error)
+            elapsed = time.perf_counter() - started
         if status is ExecutionStatus.OK and elapsed > self.config.timeout:
             status = ExecutionStatus.TIMEOUT
             detail = f"elapsed {elapsed:.3f}s > timeout {self.config.timeout:.3f}s"
@@ -104,30 +125,31 @@ class QueryRunner:
         detail = ""
         total_elapsed = 0.0
         executed = 0
-        for params in params_list:
-            bound = loaded.bind_params(dict(params))
-            started = time.perf_counter()
-            try:
-                query(engine, bound)
-            except MemoryBudgetExceededError as error:
-                status = ExecutionStatus.OUT_OF_MEMORY
-                detail = str(error)
-                break
-            except UnsupportedOperationError as error:
-                status = ExecutionStatus.UNSUPPORTED
-                detail = str(error)
-                break
-            except GraphBenchError as error:
-                status = ExecutionStatus.ERROR
-                detail = str(error)
-                break
-            finally:
-                total_elapsed += time.perf_counter() - started
-            executed += 1
-            if total_elapsed > self.config.timeout:
-                status = ExecutionStatus.TIMEOUT
-                detail = f"batch exceeded timeout after {executed} executions"
-                break
+        with _gc_paused():
+            for params in params_list:
+                bound = loaded.bind_params(dict(params))
+                started = time.perf_counter()
+                try:
+                    query(engine, bound)
+                except MemoryBudgetExceededError as error:
+                    status = ExecutionStatus.OUT_OF_MEMORY
+                    detail = str(error)
+                    break
+                except UnsupportedOperationError as error:
+                    status = ExecutionStatus.UNSUPPORTED
+                    detail = str(error)
+                    break
+                except GraphBenchError as error:
+                    status = ExecutionStatus.ERROR
+                    detail = str(error)
+                    break
+                finally:
+                    total_elapsed += time.perf_counter() - started
+                executed += 1
+                if total_elapsed > self.config.timeout:
+                    status = ExecutionStatus.TIMEOUT
+                    detail = f"batch exceeded timeout after {executed} executions"
+                    break
         logical_io = engine.io_cost() if self.config.collect_io else 0
         return ExecutionResult(
             engine=f"{engine.name}-{engine.version}",

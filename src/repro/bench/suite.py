@@ -151,6 +151,8 @@ class BenchmarkSuite:
             mode="single",
             status=status,
             elapsed=loaded.load_seconds,
+            # The engine is fresh, so its whole charge meter is the load.
+            logical_io=loaded.engine.io_cost() if self.bench_config.collect_io else 0,
             result_size=loaded.dataset.vertex_count + loaded.dataset.edge_count,
         )
 

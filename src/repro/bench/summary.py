@@ -57,7 +57,13 @@ class SummaryCell:
 
 
 def _group_mean(results: ResultSet, engine: str, query_ids: tuple[str, ...]) -> tuple[float | None, int]:
-    """Mean elapsed over the group (None when nothing succeeded) and failure count."""
+    """Mean logical charge over the group (None when nothing succeeded) and failures.
+
+    Grades compare engines on the logical-charge cost model rather than
+    wall seconds: charges carry the same performance orderings the paper
+    reports but are byte-identical run to run, so the summary grid is
+    reproducible across machines.
+    """
     total = 0.0
     count = 0
     failures = 0
@@ -65,7 +71,7 @@ def _group_mean(results: ResultSet, engine: str, query_ids: tuple[str, ...]) -> 
         if result.engine != engine or result.query_id not in query_ids or result.mode != "single":
             continue
         if result.ok:
-            total += result.elapsed
+            total += result.logical_io
             count += 1
         elif result.failed:
             failures += 1

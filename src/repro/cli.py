@@ -20,7 +20,11 @@ Sub-commands mirror the workflow of the paper's test suite:
 * ``graphbench chaos`` — inject seeded faults (shard crashes, stalls,
   message loss/dup/reorder, torn WAL tails, snapshot loss) into the
   distributed executor and measure availability, staleness, and fault
-  overhead per fault rate and retry policy (Figure 11).
+  overhead per fault rate and retry policy (Figure 11);
+* ``graphbench readscale`` — replicate each shard's primary behind R
+  lagging MVCC read replicas with charged hot-vertex / ghost-adjacency
+  caches and measure read throughput vs replica count × staleness bound
+  × cache size, including a cache-coherence storm (Figure 12).
 """
 
 from __future__ import annotations
@@ -100,6 +104,25 @@ from repro.partition import (
 from repro.partition.bench import DEFAULT_BFS_SOURCES, DEFAULT_DEPTH
 from repro.partition.messages import DEFAULT_COST_PER_ITEM, DEFAULT_LATENCY_PER_MESSAGE
 from repro.queries.registry import query_ids
+from repro.replication import (
+    DEFAULT_CACHE_CAPACITIES,
+    DEFAULT_READSCALE_JSON,
+    DEFAULT_READSCALE_REPORT,
+    DEFAULT_REPLICA_COUNTS,
+    DEFAULT_STALENESS_BOUNDS,
+    format_readscale_report,
+    run_readscale_benchmark,
+    write_readscale_report,
+)
+from repro.replication.bench import (
+    DEFAULT_BENCH_ENGINES as DEFAULT_READSCALE_ENGINES,
+    DEFAULT_HOT_SET,
+    DEFAULT_PARTITIONER as DEFAULT_READSCALE_PARTITIONER,
+    DEFAULT_SHARDS as DEFAULT_READSCALE_SHARDS,
+    DEFAULT_STEADY_OPS,
+    DEFAULT_STORM_ROUNDS,
+)
+from repro.replication.replica import DEFAULT_APPLY_INTERVAL
 
 
 def _engine_argument(parser: argparse.ArgumentParser) -> None:
@@ -431,6 +454,94 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CHAOS_REPORT,
         help="write the rendered figure here ('' to skip)",
     )
+
+    readscale_parser = subparsers.add_parser(
+        "readscale",
+        help="scale reads over lagging MVCC replicas with charged caches "
+        "and measure throughput vs replicas × staleness × cache (Figure 12)",
+    )
+    # Defaults deliberately mirror benchmarks/readscale_smoke.py: a plain
+    # `graphbench readscale` regenerates the committed BENCH_readscale.json
+    # byte-identically rather than clobbering the CI baseline.
+    readscale_parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=list(DEFAULT_READSCALE_ENGINES),
+        help="engines to replicate; identifiers or unambiguous prefixes",
+    )
+    readscale_parser.add_argument(
+        "--replicas",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_REPLICA_COUNTS),
+        help="replica counts R to sweep (0 is the unreplicated baseline)",
+    )
+    readscale_parser.add_argument(
+        "--bounds",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_STALENESS_BOUNDS),
+        help="staleness bounds in charge units; reads beyond the bound "
+        "fall back to the primary",
+    )
+    readscale_parser.add_argument(
+        "--caches",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_CACHE_CAPACITIES),
+        help="hot-vertex/ghost cache capacities to sweep (0 disables)",
+    )
+    readscale_parser.add_argument("--dataset", default="yeast", choices=list(available_datasets()))
+    readscale_parser.add_argument("--scale", type=float, default=0.25)
+    readscale_parser.add_argument("--seed", type=int, default=20181204)
+    readscale_parser.add_argument(
+        "--shards",
+        type=int,
+        default=DEFAULT_READSCALE_SHARDS,
+        help="partition shard count K (each shard gets its own replica set)",
+    )
+    readscale_parser.add_argument(
+        "--partitioner",
+        default=DEFAULT_READSCALE_PARTITIONER,
+        choices=sorted(PARTITIONERS),
+        help="partitioning strategy for every cell",
+    )
+    readscale_parser.add_argument(
+        "--apply-interval",
+        type=int,
+        default=DEFAULT_APPLY_INTERVAL,
+        help="virtual-time gap between replica log applies (scaled by "
+        "replica rank, so replicas lag by different amounts)",
+    )
+    readscale_parser.add_argument(
+        "--steady-ops",
+        type=int,
+        default=DEFAULT_STEADY_OPS,
+        help="operations on the steady mixed tape before the storm",
+    )
+    readscale_parser.add_argument(
+        "--storm-rounds",
+        type=int,
+        default=DEFAULT_STORM_ROUNDS,
+        help="cache-coherence storm rounds (every hot vertex rewritten "
+        "under read pressure)",
+    )
+    readscale_parser.add_argument(
+        "--hot-set",
+        type=int,
+        default=DEFAULT_HOT_SET,
+        help="hub-biased hot-set size shared by tape and storm",
+    )
+    readscale_parser.add_argument(
+        "--output",
+        default=DEFAULT_READSCALE_JSON,
+        help="write the JSON payload here ('' to skip)",
+    )
+    readscale_parser.add_argument(
+        "--report",
+        default=DEFAULT_READSCALE_REPORT,
+        help="write the rendered figure here ('' to skip)",
+    )
     return parser
 
 
@@ -662,6 +773,51 @@ def _command_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_readscale(args: argparse.Namespace) -> int:
+    if args.shards < 1 or args.apply_interval < 1:
+        print(
+            "graphbench readscale: --shards and --apply-interval must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.steady_ops < 1 or args.storm_rounds < 0 or args.hot_set < 1:
+        print(
+            "graphbench readscale: --steady-ops and --hot-set must be >= 1; "
+            "--storm-rounds must be >= 0",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        engine_ids = [resolve_engine_id(name) for name in args.engines]
+        report = run_readscale_benchmark(
+            engine_ids,
+            replica_counts=args.replicas,
+            staleness_bounds=args.bounds,
+            cache_capacities=args.caches,
+            dataset_name=args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            shards=args.shards,
+            partitioner=args.partitioner,
+            apply_interval=args.apply_interval,
+            steady_ops=args.steady_ops,
+            storm_rounds=args.storm_rounds,
+            hot_set_size=args.hot_set,
+        )
+    except BenchmarkError as error:
+        print(f"graphbench readscale: {error}", file=sys.stderr)
+        return 2
+    print(format_readscale_report(report))
+    written = write_readscale_report(
+        report,
+        json_path=args.output or None,
+        text_path=args.report or None,
+    )
+    for path in written:
+        print(f"wrote {path.resolve()}")
+    return 0
+
+
 def _command_space(args: argparse.Namespace) -> int:
     datasets = [get_dataset(name, scale=args.scale, seed=args.seed) for name in args.datasets]
     measurements = measure_space_matrix(list(args.engines), datasets)
@@ -691,6 +847,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_scaleout(args)
     if args.command == "chaos":
         return _command_chaos(args)
+    if args.command == "readscale":
+        return _command_readscale(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

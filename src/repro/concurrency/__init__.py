@@ -38,14 +38,22 @@ from repro.concurrency.scheduler import (
     ClientOp,
     OpTrace,
     ScheduleResult,
+    StalenessClock,
     VirtualTimeScheduler,
     percentile,
 )
-from repro.concurrency.sessions import CommitResult, ConcurrencyStats, Session, SessionManager
+from repro.concurrency.sessions import (
+    CommitResult,
+    ConcurrencyStats,
+    Session,
+    SessionManager,
+    SnapshotPin,
+)
 from repro.concurrency.versioning import (
     DEFAULT_SHARDS,
     GCStats,
     ProvisionalId,
+    SnapshotView,
     VersionShard,
     VersionStore,
     VersionedGraph,
@@ -68,6 +76,9 @@ __all__ = [
     "ScheduleResult",
     "Session",
     "SessionManager",
+    "SnapshotPin",
+    "SnapshotView",
+    "StalenessClock",
     "VersionShard",
     "VersionStore",
     "VersionedGraph",

@@ -127,6 +127,32 @@ def percentile(values: Sequence[int], percent: int) -> int:
 
 
 @dataclass
+class StalenessClock:
+    """Serial-equivalent virtual time for the replicated read-scale tier.
+
+    One clock per deployment, advanced by every charge any server pays —
+    the same "charge units are time" convention as the scheduler above, but
+    shared across primaries and replicas so that *staleness* (how far a
+    replica's applied snapshot trails the newest commit, in virtual time)
+    is well-defined and deterministic.  Replication log records carry the
+    clock reading at commit; a replica's staleness is the age of the oldest
+    record it has not yet applied.
+    """
+
+    now: int = 0
+    #: Total charge ticked in (equals ``now``; kept for self-description).
+    ticks: int = 0
+
+    def tick(self, charge: int) -> int:
+        """Advance virtual time by a charge; returns the new reading."""
+        if charge < 0:
+            raise GraphBenchError(f"virtual time cannot run backwards ({charge})")
+        self.now += charge
+        self.ticks += 1
+        return self.now
+
+
+@dataclass
 class BarrierClock:
     """One virtual clock drained by K parallel executors in barrier steps.
 

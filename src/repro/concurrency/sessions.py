@@ -50,6 +50,7 @@ from repro.concurrency.versioning import (
     DEFAULT_SHARDS,
     EdgeState,
     ProvisionalId,
+    SnapshotView,
     VersionStore,
     VersionedGraph,
     VertexState,
@@ -68,6 +69,19 @@ class CommitResult:
     #: Provisional id -> engine id for objects created by the transaction.
     id_map: dict[ProvisionalId, Any] = field(default_factory=dict)
     read_only: bool = False
+    #: Engine charge spent capturing before-images for the undo chains.
+    #: Zero on an uncontended, unpinned commit — which is exactly the
+    #: charge-parity contract; under replication it is the measurable
+    #: price of keeping lagging snapshots servable, and the replication
+    #: tier books it in its overhead ledger, never in base charges.
+    capture_charge: int = 0
+    #: Every cache key this commit dirtied, in engine-id terms: the keys
+    #: written or cascaded plus ``vertex_key`` entries for each endpoint
+    #: of a created or removed edge (adjacency payloads cached under the
+    #: endpoint must drop too).  Sorted by ``repr`` for determinism.
+    #: Populated only when before-images were captured — without pins or
+    #: concurrent sessions nobody can hold a cache to invalidate.
+    invalidation_keys: tuple[tuple[str, Any], ...] = ()
 
 
 @dataclass
@@ -155,6 +169,67 @@ class Session:
         return f"<Session {self.id} snapshot={self.snapshot_ts} {self.state}>"
 
 
+class SnapshotPin:
+    """A replica's standing claim on a historical snapshot.
+
+    A pin behaves like a session that never writes and never closes: it
+    holds the garbage-collection low-water mark at its timestamp so that
+    the undo chains a lagging reader needs stay resurrectable, and it
+    forces commits to capture before-images (somebody downstream *will*
+    read the past).  Unlike a session's snapshot, a pin **moves**: the
+    replication tier advances it monotonically as the replica applies log
+    records, releasing retained versions the moment no replica can still
+    observe them.
+    """
+
+    __slots__ = ("manager", "id", "snapshot_ts", "released")
+
+    def __init__(self, manager: "SessionManager", pin_id: int, snapshot_ts: int) -> None:
+        self.manager = manager
+        self.id = pin_id
+        self.snapshot_ts = snapshot_ts
+        self.released = False
+
+    def move(self, snapshot_ts: int) -> None:
+        """Advance the pin (monotonic); triggers GC at the new low-water mark."""
+        self.manager._move_pin(self, snapshot_ts)
+
+    def release(self) -> None:
+        """Drop the pin; retained versions behind it become collectable."""
+        self.manager._release_pin(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "released" if self.released else "held"
+        return f"<SnapshotPin {self.id} @{self.snapshot_ts} {state}>"
+
+
+class _PinnedSession:
+    """The session-shaped stub a :class:`SnapshotPin`'s read view runs on.
+
+    ``VersionedGraph`` only needs a snapshot timestamp, an open/closed
+    flag, and an (always empty) write set; tracking the pin's moving
+    ``snapshot_ts`` by reference is what makes one view follow a replica
+    through every applied batch without being rebuilt.
+    """
+
+    def __init__(self, pin: SnapshotPin) -> None:
+        self.pin = pin
+        self.id = f"pin-{pin.id}"
+        self.write_set = WriteSet(-pin.id)
+
+    @property
+    def snapshot_ts(self) -> int:
+        return self.pin.snapshot_ts
+
+    @property
+    def is_open(self) -> bool:
+        return not self.pin.released
+
+    @property
+    def state(self) -> str:
+        return "pin-released" if self.pin.released else "open"
+
+
 class SessionManager:
     """Factory and commit coordinator for sessions over one engine."""
 
@@ -173,6 +248,8 @@ class SessionManager:
         self._active: dict[int, Session] = {}
         self._next_session_id = 1
         self._unflushed_commits = 0
+        self._pins: dict[int, SnapshotPin] = {}
+        self._next_pin_id = 1
 
     # -- session lifecycle --------------------------------------------------
 
@@ -189,15 +266,71 @@ class SessionManager:
         return len(self._active)
 
     def low_water_mark(self) -> int:
-        """The oldest snapshot any active session holds (clock when idle).
+        """The oldest snapshot any active session *or pin* holds.
 
         Every version with a timestamp at or below this mark is invisible
         to all current sessions and to any session that can still be
         opened (new snapshots start at the clock), so it is garbage.
+        Replica pins participate exactly like sessions: the slowest
+        replica bounds what the store may reclaim.
         """
-        if self._active:
-            return min(session.snapshot_ts for session in self._active.values())
+        marks = [session.snapshot_ts for session in self._active.values()]
+        marks.extend(pin.snapshot_ts for pin in self._pins.values())
+        if marks:
+            return min(marks)
         return self.store.clock
+
+    # -- snapshot pins (the replica tier's feed) ----------------------------
+
+    def pin(self, snapshot_ts: int | None = None) -> SnapshotPin:
+        """Pin a snapshot (default: the current clock) against GC.
+
+        While any pin is held, every mutating commit captures before-images
+        — the replication tier's lagging readers are exactly the "older
+        active snapshot" the capture rule exists for.  The capture work is
+        charged to the engine and surfaced via
+        :attr:`CommitResult.capture_charge` so callers can ledger it as
+        replication overhead rather than base cost.
+        """
+        if snapshot_ts is None:
+            snapshot_ts = self.store.clock
+        if not 0 <= snapshot_ts <= self.store.clock:
+            raise GraphBenchError(
+                f"cannot pin snapshot {snapshot_ts}: clock is {self.store.clock}"
+            )
+        pin = SnapshotPin(self, self._next_pin_id, snapshot_ts)
+        self._next_pin_id += 1
+        self._pins[pin.id] = pin
+        return pin
+
+    @property
+    def active_pins(self) -> int:
+        return len(self._pins)
+
+    def _move_pin(self, pin: SnapshotPin, snapshot_ts: int) -> None:
+        if pin.released or pin.id not in self._pins:
+            raise SessionStateError(f"pin {pin.id} is already released")
+        if snapshot_ts < pin.snapshot_ts:
+            raise GraphBenchError(
+                f"pins move forward only: {snapshot_ts} < {pin.snapshot_ts}"
+            )
+        if snapshot_ts > self.store.clock:
+            raise GraphBenchError(
+                f"cannot pin snapshot {snapshot_ts}: clock is {self.store.clock}"
+            )
+        pin.snapshot_ts = snapshot_ts
+        self.store.collect_garbage(self.low_water_mark())
+
+    def _release_pin(self, pin: SnapshotPin) -> None:
+        if pin.released or pin.id not in self._pins:
+            raise SessionStateError(f"pin {pin.id} is already released")
+        pin.released = True
+        del self._pins[pin.id]
+        self.store.collect_garbage(self.low_water_mark())
+
+    def snapshot_view(self, pin: SnapshotPin) -> "SnapshotView":
+        """A read-only graph view that tracks ``pin``'s moving snapshot."""
+        return SnapshotView(self.engine, self.store, _PinnedSession(pin))
 
     def _finish(self, session: Session, state: str) -> None:
         """Close a session and let the store reclaim newly-dead versions.
@@ -239,13 +372,20 @@ class SessionManager:
                 raise WriteConflictError(session.id, key, committed, session.snapshot_ts)
 
         commit_ts = self.store.clock + 1
-        capture = any(other_id != session.id for other_id in self._active)
+        # A held pin is a promise that some replica will read this commit's
+        # past, so it forces capture exactly as a concurrent session does.
+        capture = bool(self._pins) or any(
+            other_id != session.id for other_id in self._active
+        )
         removed_edge_states: dict[Any, EdgeState] = {}
         cascade_keys: set[tuple[str, Any]] = set()
+        capture_charge = 0
         if capture:
+            capture_start = self.engine.io_cost()
             cascade_keys = self._capture_before_images(
                 session, commit_ts, removed_edge_states
             )
+            capture_charge = self.engine.io_cost() - capture_start
 
         # 3. Apply the operation log in call order.  Buffering rejects
         # writes on objects the session (or any overlay commit it can see)
@@ -272,11 +412,23 @@ class SessionManager:
         # uncontended).
         self._publish(session, commit_ts, id_map, removed_edge_states, cascade_keys)
 
+        invalidation_keys: tuple[tuple[str, Any], ...] = ()
+        if capture:
+            invalidation_keys = self._invalidation_keys(
+                ws, id_map, removed_edge_states, cascade_keys
+            )
+
         self._finish(session, "committed")
         self.stats.commits += 1
         if self.engine_wal_mode is DurabilityMode.ASYNC:
             self._unflushed_commits += 1
-        return CommitResult(commit_ts, applied, id_map=id_map)
+        return CommitResult(
+            commit_ts,
+            applied,
+            id_map=id_map,
+            capture_charge=capture_charge,
+            invalidation_keys=invalidation_keys,
+        )
 
     # -- group commit -------------------------------------------------------
 
@@ -357,6 +509,47 @@ class SessionManager:
                 cascade_keys.add(key)
                 capture(key)
         return cascade_keys
+
+    def _invalidation_keys(
+        self,
+        ws: WriteSet,
+        id_map: dict[ProvisionalId, Any],
+        removed_edge_states: dict[Any, EdgeState],
+        cascade_keys: set[tuple[str, Any]],
+    ) -> tuple[tuple[str, Any], ...]:
+        """Cache keys this commit dirtied, resolved to engine ids.
+
+        Beyond the written and cascaded keys themselves, the *endpoints* of
+        every created or removed edge are included: an adjacency payload
+        cached under an endpoint goes stale the moment an incident edge
+        appears or disappears, even though the endpoint object itself was
+        never written (and so never conflicts).
+        """
+
+        def resolve(obj_id: Any) -> Any:
+            return id_map.get(obj_id, obj_id)
+
+        keys: set[tuple[str, Any]] = set()
+        for kind, obj_id in ws.write_keys | cascade_keys:
+            resolved = resolve(obj_id)
+            if isinstance(resolved, ProvisionalId):
+                continue  # dropped before commit; nothing downstream saw it
+            keys.add((kind, resolved))
+        for pid, engine_id in id_map.items():
+            keys.add(
+                vertex_key(engine_id) if pid.kind == "vertex" else edge_key(engine_id)
+            )
+        for pid, state in ws.created_edges.items():
+            if id_map.get(pid) is None:
+                continue
+            for endpoint in (state.source, state.target):
+                resolved = resolve(endpoint)
+                if not isinstance(resolved, ProvisionalId):
+                    keys.add(vertex_key(resolved))
+        for state in removed_edge_states.values():
+            keys.add(vertex_key(state.source))
+            keys.add(vertex_key(state.target))
+        return tuple(sorted(keys, key=repr))
 
     def _apply(self, session: Session, id_map: dict[ProvisionalId, Any]) -> int:
         """Replay the op log against the engine, mapping provisional ids."""

@@ -1290,3 +1290,60 @@ class VersionedGraph(GraphDatabase):
 
     def close(self) -> None:  # pragma: no cover - sessions close via commit/abort
         pass
+
+
+class SnapshotView(VersionedGraph):
+    """A strictly read-only :class:`VersionedGraph` over a snapshot pin.
+
+    Replicas serve reads through this view.  Two properties matter:
+
+    * the backing session stub tracks a moving
+      :class:`~repro.concurrency.sessions.SnapshotPin`, so one view follows
+      a replica through every applied log batch without being rebuilt; and
+    * when the pin is fully caught up (``store.clock == snapshot`` and the
+      write set is by construction empty), every read takes the ``_fast``
+      delegation path — byte-identical answers *and* charges to a direct
+      engine read, which is the replication differential harness's
+      strongest assertion.
+
+    Mutations are rejected before buffering anything: a replica that
+    accepted writes would silently fork the primary's history.
+    """
+
+    def _read_only(self, operation: str) -> None:
+        raise SessionStateError(
+            f"snapshot views are read-only: {operation} must run on the primary"
+        )
+
+    def add_vertex(self, properties: dict[str, Any] | None = None, label: str | None = None) -> Any:
+        self._read_only("add_vertex")
+
+    def remove_vertex(self, vertex_id: Any) -> None:
+        self._read_only("remove_vertex")
+
+    def set_vertex_property(self, vertex_id: Any, key: str, value: Any) -> None:
+        self._read_only("set_vertex_property")
+
+    def remove_vertex_property(self, vertex_id: Any, key: str) -> None:
+        self._read_only("remove_vertex_property")
+
+    def add_edge(
+        self,
+        source_id: Any,
+        target_id: Any,
+        label: str,
+        properties: dict[str, Any] | None = None,
+    ) -> Any:
+        self._read_only("add_edge")
+
+    def remove_edge(self, edge_id: Any) -> None:
+        self._read_only("remove_edge")
+
+    def set_edge_property(self, edge_id: Any, key: str, value: Any) -> None:
+        self._read_only("set_edge_property")
+
+    def remove_edge_property(self, edge_id: Any, key: str) -> None:
+        self._read_only("remove_edge_property")
+
+    def create_vertex_index(self, key: str) -> None:
+        self._read_only("create_vertex_index")

@@ -31,6 +31,7 @@ from repro.partition.executor import (
 )
 from repro.partition.messages import MessageBatch, NetworkCostModel, NetworkStats
 from repro.partition.partitioners import (
+    DEFAULT_DRIFT_THRESHOLD,
     DEFAULT_PARTITIONERS,
     PARTITIONERS,
     GreedyEdgeCutPartitioner,
@@ -52,6 +53,7 @@ from repro.partition.report import (
 __all__ = [
     "BuildReport",
     "DEFAULT_BENCH_ENGINES",
+    "DEFAULT_DRIFT_THRESHOLD",
     "DEFAULT_PARTITIONERS",
     "DEFAULT_PARTITION_JSON",
     "DEFAULT_PARTITION_REPORT",

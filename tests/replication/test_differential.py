@@ -1,0 +1,165 @@
+"""The replication differential harness: replicated == primary-only, everywhere.
+
+Two invariants, pinned on all nine engines:
+
+* **Deployment level** — a canned write-then-read workload driven through a
+  replicated, cached deployment lands on byte-identical answers *and*
+  byte-identical base charges as the same workload on a primary-only,
+  cache-off deployment.  Replication may add overhead (capture, log,
+  apply, invalidation) but may never change what a read returns or what
+  the underlying engine work costs.
+
+* **Read level** — a replica-served read is byte-identical, in answer and
+  charge, to a primary read at the same snapshot timestamp: caught-up
+  replicas via the full-delegation fast path, lagging replicas via an
+  independent pin at the replica's advertised timestamp.
+
+* **Cache level** — a cache-hit read returns the identical answer with
+  charge 0 and ledgers exactly the cold read's charge as saved I/O.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import load_dataset_into
+from repro.engines import ALL_ENGINES, create_engine
+from repro.partition import partition_dataset
+from repro.replication.replica import _fetch_record
+from repro.replication.routing import build_readscale
+
+SHARDS = 2
+
+
+def _build(identifier, dataset, **kwargs):
+    engine = create_engine(identifier)
+    loaded = load_dataset_into(engine, dataset)
+    engine.reset_metrics()
+    plan = partition_dataset(dataset, SHARDS, "hash")
+    deployment, _report = build_readscale(
+        engine,
+        loaded.vertex_map,
+        plan,
+        lambda: create_engine(identifier),
+        **kwargs,
+    )
+    return engine, deployment
+
+
+def _drive_canned(deployment, dataset):
+    """Writes, a catch-up barrier, then reads over every vertex."""
+    ids = [vertex["id"] for vertex in dataset.vertices]
+    for stamp, vid in enumerate(ids[:6]):
+        deployment.set_vertex_property(vid, "stamp", stamp)
+    deployment.add_intra_edge(*_intra_pair(deployment, ids), "canned")
+    deployment.catch_up()
+    records = {vid: deployment.read_record(vid).value for vid in ids}
+    adjacency = {vid: deployment.adjacency(vid).value for vid in ids}
+    ledger = deployment.ledger()["clusters"]
+    return {
+        "records": records,
+        "adjacency": adjacency,
+        "base_write_charge": ledger["base_write_charge"],
+        "base_read_charge": ledger["base_read_charge"],
+    }
+
+
+def _intra_pair(deployment, ids):
+    """First co-located pair in id order (exists on the tiny fixture)."""
+    for source in ids:
+        home = deployment.owner[source]
+        for target in ids:
+            if target != source and deployment.owner[target] == home:
+                return source, target
+    raise AssertionError("fixture has no co-located vertex pair")
+
+
+@pytest.mark.parametrize("identifier", ALL_ENGINES)
+def test_replicated_run_matches_primary_only(identifier, small_dataset):
+    engine_a, primary_only = _build(identifier, small_dataset)
+    baseline = _drive_canned(primary_only, small_dataset)
+    primary_only.close()
+    engine_a.close()
+
+    engine_b, replicated = _build(
+        identifier, small_dataset, replicas=2, cache_capacity=0, apply_interval=4
+    )
+    lagged = _drive_canned(replicated, small_dataset)
+    overhead = replicated.ledger()["clusters"]
+    replicated.close()
+    engine_b.close()
+
+    assert lagged["records"] == baseline["records"]
+    assert lagged["adjacency"] == baseline["adjacency"]
+    assert lagged["base_write_charge"] == baseline["base_write_charge"]
+    assert lagged["base_read_charge"] == baseline["base_read_charge"]
+    # The replication machinery actually ran and was paid for separately.
+    assert overhead["capture_charge"] > 0
+    assert overhead["log_append_charge"] > 0
+    assert overhead["apply_charge"] > 0
+
+
+@pytest.mark.parametrize("identifier", ALL_ENGINES)
+def test_replica_read_equals_primary_read_at_same_snapshot(
+    identifier, small_dataset
+):
+    engine, deployment = _build(
+        identifier, small_dataset, replicas=1, apply_interval=100_000
+    )
+    ids = [vertex["id"] for vertex in small_dataset.vertices]
+    target = ids[0]
+    for stamp in range(3):
+        deployment.set_vertex_property(target, "stamp", stamp)
+
+    shard = deployment.shards[deployment.owner[target]]
+    replica = shard.cluster.replicas[0]
+    assert replica.staleness(deployment.clock.now) > 0  # genuinely lagging
+
+    internal = shard.runtime.id_map[target]
+    outcome = shard.cluster.read_record(internal)
+    assert outcome.served_by == "replica"
+
+    # An independent pin at the replica's advertised snapshot must read the
+    # identical bytes for the identical charge.
+    manager = shard.cluster.manager
+    pin = manager.pin(outcome.snapshot_ts)
+    view = manager.snapshot_view(pin)
+    before = manager.engine.io_cost()
+    value = _fetch_record(view, internal)
+    charge = manager.engine.io_cost() - before
+    pin.release()
+
+    assert value == outcome.value
+    assert charge == outcome.charge
+
+    # After catch-up the replica serves current state on the fast path:
+    # byte-identical answer and charge to a primary-served read.
+    deployment.catch_up()
+    caught_up = shard.cluster.read_record(internal)
+    primary = shard.cluster.read_record(internal, bound=-1)
+    assert caught_up.served_by == "replica"
+    assert primary.served_by == "primary"
+    assert caught_up.value == primary.value
+    assert caught_up.charge == primary.charge
+    assert dict(caught_up.value[1])["stamp"] == 2
+
+    deployment.close()
+    engine.close()
+
+
+@pytest.mark.parametrize("identifier", ALL_ENGINES)
+def test_cache_hit_is_cold_read_minus_saved_io(identifier, small_dataset):
+    engine, deployment = _build(identifier, small_dataset, cache_capacity=16)
+    target = small_dataset.vertices[0]["id"]
+
+    cold = deployment.read_record(target)
+    hit = deployment.read_record(target)
+
+    assert not cold.cache_hit
+    assert hit.cache_hit
+    assert hit.value == cold.value
+    assert hit.charge == 0
+    assert hit.saved_charge == cold.charge
+
+    deployment.close()
+    engine.close()

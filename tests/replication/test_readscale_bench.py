@@ -1,0 +1,203 @@
+"""The read-scale benchmark: validation, determinism, invariants, gate, report."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.concurrency.report import comparable_payload
+from repro.exceptions import BenchmarkError
+from repro.replication.bench import run_readscale_benchmark
+from repro.replication.report import format_readscale_report, write_readscale_report
+
+ENGINE = "nativelinked-1.9"
+SMALL = dict(
+    engine_ids=(ENGINE,),
+    replica_counts=(0, 2),
+    staleness_bounds=(48, 100_000),
+    cache_capacities=(0, 32),
+    steady_ops=60,
+    storm_rounds=1,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """One small but storm-bearing matrix, shared across the module."""
+    return run_readscale_benchmark(**SMALL)
+
+
+class TestValidation:
+    def test_negative_replicas_rejected(self):
+        with pytest.raises(BenchmarkError, match=">= 0"):
+            run_readscale_benchmark(replica_counts=(-1, 2))
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(BenchmarkError, match=">= 0"):
+            run_readscale_benchmark(staleness_bounds=(-5,))
+
+
+class TestPayload:
+    def test_matrix_is_complete(self, small_report):
+        cells = small_report["engines"][ENGINE]["cells"]
+        assert len(cells) == 2 * 2 * 2  # R x bound x cache
+        assert {cell["replicas"] for cell in cells} == {0, 2}
+        assert small_report["benchmark"] == "replication-readscale"
+
+    def test_deterministic_across_runs(self, small_report):
+        again = run_readscale_benchmark(**SMALL)
+        assert comparable_payload(again) == comparable_payload(small_report)
+
+    def test_cache_off_cells_book_no_invalidation(self, small_report):
+        for cell in small_report["engines"][ENGINE]["cells"]:
+            if cell["cache_capacity"] == 0:
+                assert cell["overhead"]["invalidation_charge"] == 0
+                assert cell["hot_cache"]["hits"] == 0
+
+    def test_storm_invalidation_grows_with_replica_count(self, small_report):
+        """The acceptance invariant: coherence fan-out scales with R."""
+        cells = small_report["engines"][ENGINE]["cells"]
+        for bound in SMALL["staleness_bounds"]:
+            for cache in SMALL["cache_capacities"]:
+                if cache == 0:
+                    continue
+                by_replicas = {
+                    cell["replicas"]: cell["storm"]["invalidation_charge"]
+                    for cell in cells
+                    if cell["staleness_bound"] == bound
+                    and cell["cache_capacity"] == cache
+                }
+                ordered = [by_replicas[r] for r in sorted(by_replicas)]
+                assert ordered[0] > 0
+                assert ordered == sorted(ordered)
+
+    def test_tight_bound_forces_fallbacks_loose_bound_none(self, small_report):
+        cells = small_report["engines"][ENGINE]["cells"]
+        for cell in cells:
+            if cell["replicas"] == 0:
+                assert cell["replica_share"] == 0.0
+                assert cell["fallbacks"] == 0
+            elif cell["staleness_bound"] == 100_000:
+                assert cell["fallbacks"] == 0
+                assert cell["replica_share"] == 1.0
+        tight = [
+            cell
+            for cell in cells
+            if cell["replicas"] == 2 and cell["staleness_bound"] == 48
+        ]
+        assert any(cell["fallbacks"] > 0 for cell in tight)
+        for cell in tight:
+            assert cell["staleness_max"] <= 48
+
+    def test_replicas_spread_the_load(self, small_report):
+        cells = {
+            (cell["replicas"], cell["cache_capacity"]): cell
+            for cell in small_report["engines"][ENGINE]["cells"]
+            if cell["staleness_bound"] == 100_000
+        }
+        # Same reads, more servers: the busiest server carries less.
+        assert (
+            cells[(2, 0)]["makespan_charge"] < cells[(0, 0)]["makespan_charge"]
+        )
+        assert (
+            cells[(2, 0)]["throughput_per_kcharge"]
+            > cells[(0, 0)]["throughput_per_kcharge"]
+        )
+        # Caching helps again on top of replication.
+        assert (
+            cells[(2, 32)]["throughput_per_kcharge"]
+            > cells[(2, 0)]["throughput_per_kcharge"]
+        )
+
+    def test_overheads_are_separated_from_base(self, small_report):
+        for cell in small_report["engines"][ENGINE]["cells"]:
+            overhead = cell["overhead"]
+            if cell["replicas"] > 0:
+                assert overhead["capture_charge"] > 0
+                assert overhead["log_append_charge"] > 0
+                assert overhead["apply_charge"] > 0
+            if cell["replicas"] == 0 and cell["cache_capacity"] == 0:
+                # Fully transparent baseline: no replication machinery at all.
+                assert overhead["capture_charge"] == 0
+                assert overhead["log_append_charge"] == 0
+                assert overhead["apply_charge"] == 0
+                assert overhead["invalidation_charge"] == 0
+
+
+class TestReport:
+    def test_report_renders_every_cell(self, small_report):
+        rendered = format_readscale_report(small_report)
+        assert "Figure 12" in rendered
+        assert ENGINE in rendered
+        assert "*" in rendered  # best-cell marker
+        assert rendered.count("\n") > 10
+
+    def test_write_report_round_trips(self, small_report, tmp_path):
+        json_path = tmp_path / "BENCH_readscale.json"
+        text_path = tmp_path / "fig12.txt"
+        written = write_readscale_report(small_report, json_path, text_path)
+        assert sorted(path.name for path in written) == [
+            "BENCH_readscale.json",
+            "fig12.txt",
+        ]
+        import json
+
+        loaded = json.loads(json_path.read_text())
+        assert comparable_payload(loaded) == comparable_payload(small_report)
+
+
+def _load_check_regression():
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+    spec = importlib.util.spec_from_file_location("check_regression_readscale", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGate:
+    def test_identical_payload_passes(self, small_report):
+        gate = _load_check_regression()
+        assert gate.check_readscale_regressions(small_report, small_report) == []
+
+    def test_throughput_floor(self, small_report):
+        import copy
+
+        gate = _load_check_regression()
+        slower = copy.deepcopy(small_report)
+        cell = slower["engines"][ENGINE]["cells"][0]
+        cell["throughput_per_kcharge"] *= 0.5
+        failures = gate.check_readscale_regressions(small_report, slower)
+        assert len(failures) == 1
+        assert "throughput" in failures[0]
+
+    def test_cache_off_invalidation_is_a_failure(self, small_report):
+        import copy
+
+        gate = _load_check_regression()
+        broken = copy.deepcopy(small_report)
+        for cell in broken["engines"][ENGINE]["cells"]:
+            if cell["cache_capacity"] == 0:
+                cell["overhead"]["invalidation_charge"] = 12
+                break
+        failures = gate.check_readscale_regressions(small_report, broken)
+        assert any("cache-off" in failure for failure in failures)
+
+    def test_lost_coherence_scaling_is_a_failure(self, small_report):
+        import copy
+
+        gate = _load_check_regression()
+        broken = copy.deepcopy(small_report)
+        for cell in broken["engines"][ENGINE]["cells"]:
+            if cell["replicas"] == 2 and cell["cache_capacity"] > 0:
+                cell["storm"]["invalidation_charge"] = 0
+        failures = gate.check_readscale_regressions(small_report, broken)
+        assert any("does not grow" in failure for failure in failures)
+
+    def test_missing_engine_fails(self, small_report):
+        gate = _load_check_regression()
+        failures = gate.check_readscale_regressions(small_report, {"engines": {}})
+        assert failures == [f"{ENGINE}: missing from the current report"]

@@ -1,0 +1,250 @@
+"""Unit tests for snapshot pins, read replicas, and the replicated cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import load_dataset_into
+from repro.concurrency.scheduler import StalenessClock
+from repro.concurrency.sessions import SessionManager
+from repro.engines import create_engine
+from repro.exceptions import BenchmarkError, GraphBenchError, SessionStateError
+from repro.replication.cache import ChargedCache
+from repro.replication.replica import ReadReplica, ReplicatedCluster
+
+ENGINE = "nativelinked-1.9"
+
+
+@pytest.fixture
+def manager(small_dataset):
+    engine = create_engine(ENGINE)
+    loaded = load_dataset_into(engine, small_dataset)
+    engine.reset_metrics()
+    mgr = SessionManager(engine)
+    mgr.vertex_map = loaded.vertex_map  # handy for tests
+    yield mgr
+    engine.close()
+
+
+def _cluster(manager, **kwargs):
+    return ReplicatedCluster("test", manager, StalenessClock(), **kwargs)
+
+
+class TestSnapshotPin:
+    def test_pin_defaults_to_the_clock(self, manager):
+        pin = manager.pin()
+        assert pin.snapshot_ts == manager.store.clock
+        assert not pin.released
+
+    def test_pin_rejects_future_and_negative_timestamps(self, manager):
+        with pytest.raises(GraphBenchError):
+            manager.pin(manager.store.clock + 1)
+        with pytest.raises(GraphBenchError):
+            manager.pin(-1)
+
+    def test_pin_cannot_move_backward(self, manager):
+        session = manager.begin()
+        session.graph.set_vertex_property(
+            manager.vertex_map["n0"], "touched", True
+        )
+        session.commit()
+        pin = manager.pin()
+        with pytest.raises(GraphBenchError):
+            pin.move(pin.snapshot_ts - 1)
+
+    def test_released_pin_is_dead(self, manager):
+        pin = manager.pin()
+        pin.release()
+        assert pin.released
+        with pytest.raises(SessionStateError):
+            pin.move(pin.snapshot_ts)
+        with pytest.raises(SessionStateError):
+            pin.release()
+
+    def test_pin_holds_the_low_water_mark(self, manager):
+        pin = manager.pin()
+        pinned_ts = pin.snapshot_ts
+        session = manager.begin()
+        session.graph.set_vertex_property(manager.vertex_map["n1"], "x", 1)
+        session.commit()
+        assert manager.low_water_mark() == pinned_ts
+        pin.release()
+        assert manager.low_water_mark() > pinned_ts
+
+
+class TestCapture:
+    def test_unpinned_solo_commit_captures_nothing(self, manager):
+        """Without pins or concurrency, replication machinery costs zero."""
+        session = manager.begin()
+        session.graph.set_vertex_property(manager.vertex_map["n0"], "x", 1)
+        commit = session.commit()
+        assert commit.capture_charge == 0
+        assert commit.invalidation_keys == ()
+
+    def test_pinned_commit_captures_and_reports_keys(self, manager):
+        manager.pin()
+        internal = manager.vertex_map["n0"]
+        session = manager.begin()
+        session.graph.set_vertex_property(internal, "x", 1)
+        commit = session.commit()
+        assert commit.capture_charge > 0
+        assert ("vertex", internal) in commit.invalidation_keys
+
+    def test_edge_churn_expands_to_endpoint_keys(self, manager):
+        manager.pin()
+        src = manager.vertex_map["n0"]
+        dst = manager.vertex_map["n1"]
+        session = manager.begin()
+        session.graph.add_edge(src, dst, "extra")
+        commit = session.commit()
+        assert ("vertex", src) in commit.invalidation_keys
+        assert ("vertex", dst) in commit.invalidation_keys
+
+
+class TestSnapshotView:
+    def test_view_is_read_only(self, manager):
+        view = manager.snapshot_view(manager.pin())
+        with pytest.raises(SessionStateError, match="read-only"):
+            view.add_vertex("person")
+        with pytest.raises(SessionStateError, match="read-only"):
+            view.set_vertex_property(manager.vertex_map["n0"], "x", 1)
+        with pytest.raises(SessionStateError, match="read-only"):
+            view.remove_vertex(manager.vertex_map["n0"])
+
+    def test_caught_up_view_matches_direct_reads(self, manager):
+        """Full-delegation fast path: same answer, same charge."""
+        internal = manager.vertex_map["n0"]
+        view = manager.snapshot_view(manager.pin())
+
+        before = manager.engine.io_cost()
+        direct = manager.engine.vertex(internal).properties
+        direct_charge = manager.engine.io_cost() - before
+
+        before = manager.engine.io_cost()
+        viewed = view.vertex(internal).properties
+        view_charge = manager.engine.io_cost() - before
+
+        assert viewed == direct
+        assert view_charge == direct_charge
+
+    def test_lagging_view_serves_the_pinned_past(self, manager):
+        internal = manager.vertex_map["n0"]
+        pin = manager.pin()
+        view = manager.snapshot_view(pin)
+        session = manager.begin()
+        session.graph.set_vertex_property(internal, "stamp", 99)
+        session.commit()
+        assert view.vertex(internal).properties.get("stamp") is None
+        assert manager.engine.vertex(internal).properties["stamp"] == 99
+
+
+class TestReplicatedCluster:
+    def test_negative_replica_count_rejected(self, manager):
+        with pytest.raises(BenchmarkError):
+            _cluster(manager, replicas=-1)
+
+    def test_zero_apply_interval_rejected(self, manager):
+        cluster = _cluster(manager)
+        with pytest.raises(BenchmarkError):
+            ReadReplica(
+                0, manager, cluster.log, StalenessClock(), 0,
+                ChargedCache("test-hot", 0),
+            )
+
+    def test_write_receipt_splits_base_from_overhead(self, manager):
+        cluster = _cluster(manager, replicas=1)
+        internal = manager.vertex_map["n0"]
+        before = manager.engine.io_cost()
+        receipt = cluster.execute_write(
+            lambda graph: graph.set_vertex_property(internal, "x", 1)
+        )
+        total = manager.engine.io_cost() - before
+        assert receipt.base_charge + receipt.capture_charge == total
+        assert receipt.capture_charge > 0
+        assert receipt.log_charge > 0
+        assert not receipt.read_only
+        cluster.close()
+
+    def test_lagging_replica_then_caught_up(self, manager):
+        cluster = _cluster(manager, replicas=1, apply_interval=10_000)
+        internal = manager.vertex_map["n0"]
+        cluster.execute_write(
+            lambda graph: graph.set_vertex_property(internal, "stamp", 1)
+        )
+        replica = cluster.replicas[0]
+        assert replica.staleness(cluster.clock.now) > 0
+        # A lagging replica still serves, because the bound is loose...
+        outcome = cluster.read_record(internal)
+        assert outcome.served_by == "replica"
+        assert dict(outcome.value[1]).get("stamp") is None
+        # ...and catch_up drains the log and moves the pin.
+        assert cluster.catch_up() > 0
+        assert replica.staleness(cluster.clock.now) == 0
+        outcome = cluster.read_record(internal)
+        assert dict(outcome.value[1])["stamp"] == 1
+        cluster.close()
+
+    def test_tight_bound_falls_back_to_primary(self, manager):
+        cluster = _cluster(
+            manager, replicas=1, apply_interval=10_000, staleness_bound=10_000
+        )
+        internal = manager.vertex_map["n0"]
+        cluster.execute_write(
+            lambda graph: graph.set_vertex_property(internal, "stamp", 1)
+        )
+        outcome = cluster.read_record(internal, bound=0)
+        assert outcome.served_by == "primary"
+        assert outcome.staleness == 0
+        assert cluster.fallbacks == 1
+        assert dict(outcome.value[1])["stamp"] == 1
+        cluster.close()
+
+    def test_caught_up_replica_read_charges_match_primary(self, manager):
+        """The differential contract in miniature, without caches."""
+        cluster = _cluster(manager, replicas=1, apply_interval=1)
+        internal = manager.vertex_map["n2"]
+        cluster.execute_write(
+            lambda graph: graph.set_vertex_property(internal, "stamp", 7)
+        )
+        cluster.catch_up()
+        replica_read = cluster.read_record(internal)  # round 1 -> replica
+        primary_read = cluster.read_record(internal, bound=-1)  # forced fallback
+        assert replica_read.served_by == "replica"
+        assert primary_read.served_by == "primary"
+        assert replica_read.value == primary_read.value
+        assert replica_read.charge == primary_read.charge
+        cluster.close()
+
+    def test_coherence_pin_keeps_replica_less_cache_coherent(self, manager):
+        cluster = _cluster(manager, replicas=0, cache_capacity=8)
+        internal = manager.vertex_map["n0"]
+        cold = cluster.read_record(internal)
+        hit = cluster.read_record(internal)
+        assert not cold.cache_hit and hit.cache_hit
+        receipt = cluster.execute_write(
+            lambda graph: graph.set_vertex_property(internal, "stamp", 5)
+        )
+        assert receipt.invalidation_keys  # capture fired despite no replicas
+        assert receipt.invalidation_charge > 0  # the hot entry was dropped
+        fresh = cluster.read_record(internal)
+        assert not fresh.cache_hit
+        assert dict(fresh.value[1])["stamp"] == 5
+        cluster.close()
+
+    def test_uncached_unreplicated_cluster_is_charge_transparent(self, manager):
+        """R=0, cache=0: no pins, no capture, no log -- direct execution."""
+        cluster = _cluster(manager, replicas=0, cache_capacity=0)
+        assert cluster._coherence_pin is None
+        assert manager.active_pins == 0
+        internal = manager.vertex_map["n0"]
+        receipt = cluster.execute_write(
+            lambda graph: graph.set_vertex_property(internal, "x", 1)
+        )
+        assert receipt.capture_charge == 0
+        cluster.close()
+
+    def test_close_releases_every_pin(self, manager):
+        cluster = _cluster(manager, replicas=2, cache_capacity=4)
+        assert manager.active_pins == 2
+        cluster.close()
+        assert manager.active_pins == 0
