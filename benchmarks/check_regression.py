@@ -42,6 +42,15 @@ with replica count at every cache size, and ``--require-identical``
 demands the byte-exact payload — replicas are pinned MVCC snapshots and
 every charge is logical.
 
+``--kind txn`` gates ``BENCH_txn.json``: every engine's K=1 parity cell
+must be identical (the distributed session layer adds nothing until
+writes span shards), the write-skew ledger must show SI permitting and
+SSI preventing (with charged serialization aborts), SI cells must book
+zero serialization aborts, every cell's abort rate must stay under a
+fixed ceiling, the abort rate at the largest K must not fall below K=1,
+and ``--require-identical`` demands the byte-exact payload — arrivals,
+footprints, and commit windows are all seeded virtual time.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf_smoke --output BENCH_current.json
@@ -331,6 +340,91 @@ def check_readscale_regressions(
     return failures
 
 
+#: Highest tolerable abort rate for any txn cell — the wave is tuned for
+#: contention you can see, not a thrashing system; a cell past this ceiling
+#: means the commit-window/conflict model changed character.
+DEFAULT_TXN_ABORT_CEILING = 0.25
+
+
+def check_txn_regressions(
+    baseline: dict,
+    current: dict,
+    abort_ceiling: float = DEFAULT_TXN_ABORT_CEILING,
+) -> list[str]:
+    """Return one failure per broken distributed-transaction invariant.
+
+    The txn payload is fully deterministic, so the gate checks semantics
+    rather than thresholds-with-slack: K=1 parity must hold (the
+    distributed session layer is free until writes actually span shards),
+    SSI must prevent the write-skew ledger's anomalies while SI permits
+    them, SI cells must never book serialization aborts, every cell's
+    abort rate must stay under the ceiling, and the abort rate at the
+    largest K must not drop below K=1 (the cut-ratio pressure fig13
+    exists to show).
+    """
+    failures: list[str] = []
+
+    for engine_name, cell in sorted(current.get("parity", {}).items()):
+        if not cell.get("identical"):
+            failures.append(
+                f"{engine_name}: K=1 parity DIVERGED — distributed "
+                f"{cell.get('distributed')} vs direct {cell.get('direct')}"
+            )
+
+    for engine_name, modes in sorted(current.get("write_skew", {}).items()):
+        si = modes.get("si", {})
+        ssi = modes.get("ssi", {})
+        if si.get("anomalies", 0) <= 0:
+            failures.append(
+                f"{engine_name}: SI write-skew ledger shows no anomalies — "
+                "the skew workload no longer exercises the gap SSI closes"
+            )
+        if ssi.get("anomalies", 0) != 0:
+            failures.append(
+                f"{engine_name}: SSI permitted {ssi['anomalies']} write-skew "
+                "anomalies (expected 0)"
+            )
+        if ssi.get("ssi_aborts", 0) <= 0:
+            failures.append(
+                f"{engine_name}: SSI prevented skew without booking any "
+                "serialization aborts — prevention must be charged"
+            )
+
+    for engine_name, strategies in sorted(current.get("engines", {}).items()):
+        for strategy, sweep in sorted(strategies.items()):
+            by_iso: dict[str, dict[int, float]] = {}
+            for run in sweep.get("runs", []):
+                name = (
+                    f"{engine_name}/{strategy}/K={run['shards']}"
+                    f"/{run['isolation']}"
+                )
+                if run["abort_rate"] > abort_ceiling:
+                    failures.append(
+                        f"{name}: abort rate {run['abort_rate']:.3f} above "
+                        f"the {abort_ceiling:.2f} ceiling"
+                    )
+                if run["isolation"] == "si" and run["ssi_aborts"] != 0:
+                    failures.append(
+                        f"{name}: SI cell booked {run['ssi_aborts']} "
+                        "serialization aborts (SI never validates reads)"
+                    )
+                by_iso.setdefault(run["isolation"], {})[run["shards"]] = run[
+                    "abort_rate"
+                ]
+            for isolation, by_shards in sorted(by_iso.items()):
+                if len(by_shards) < 2:
+                    continue
+                low, high = min(by_shards), max(by_shards)
+                if by_shards[high] < by_shards[low]:
+                    failures.append(
+                        f"{engine_name}/{strategy}/{isolation}: abort rate "
+                        f"at K={high} ({by_shards[high]:.3f}) fell below "
+                        f"K={low} ({by_shards[low]:.3f}) — cut-ratio "
+                        "pressure lost"
+                    )
+    return failures
+
+
 def check_saturation_regressions(
     baseline: dict,
     current: dict,
@@ -361,7 +455,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--kind",
         default="traversal",
-        choices=["traversal", "concurrency", "saturation", "partition", "chaos", "readscale"],
+        choices=[
+            "traversal",
+            "concurrency",
+            "saturation",
+            "partition",
+            "chaos",
+            "readscale",
+            "txn",
+        ],
         help="which report family to gate",
     )
     parser.add_argument(
@@ -397,6 +499,7 @@ def main(argv: list[str] | None = None) -> int:
             "partition": "BENCH_partition.json",
             "chaos": "BENCH_chaos.json",
             "readscale": "BENCH_readscale.json",
+            "txn": "BENCH_txn.json",
         }.get(args.kind, "BENCH_traversal.json")
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
@@ -452,6 +555,20 @@ def main(argv: list[str] | None = None) -> int:
             f"readscale regression gate passed: throughput within "
             f"-{args.max_regression * 100:.0f}% for every engine × R × bound × "
             "cache, coherence invariants hold"
+            + (", payload identical to the baseline" if args.require_identical else "")
+        )
+    elif args.kind == "txn":
+        failures = check_txn_regressions(baseline, current)
+        if args.require_identical:
+            failures.extend(
+                check_payload_identity(
+                    baseline, current, "python -m benchmarks.txn_smoke"
+                )
+            )
+        passed = (
+            "txn regression gate passed: K=1 parity identical, SSI prevents "
+            "write skew (SI permits it), abort rates under the "
+            f"{DEFAULT_TXN_ABORT_CEILING:.2f} ceiling and rising with cut"
             + (", payload identical to the baseline" if args.require_identical else "")
         )
     elif args.kind == "saturation":

@@ -1,0 +1,91 @@
+"""Distributed-transaction smoke: the 2PC/SSI matrix behind the CI gate.
+
+Runs the deterministic distributed-transaction benchmark
+(:mod:`repro.txn.bench`) over the default matrix — two engines × {hash,
+greedy} partitioners × K ∈ {1, 2, 4} shards × {SI, SSI} isolation — and
+writes the JSON payload consumed by the regression gate.  Each cell
+replays the same seeded wave of hub-biased transactions through a charged
+two-phase commit (per-shard key/value-separated WAL, journaled coordinator
+decisions, the partition layer's network cost model), plus a write-skew
+ledger (SI permits, SSI prevents) and a K=1 parity differential against
+plain local sessions, so the payload is byte-identical across machines and
+CI gates it exactly.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.txn_smoke \
+        [--engines ID...] [--partitioners P...] [--shards K...] \
+        [--output BENCH_txn.json] [--report PATH]
+
+Gate a fresh run against the committed report with
+``python -m benchmarks.check_regression --kind txn``.
+
+The defaults mirror ``graphbench txn`` and the committed ``BENCH_txn.json``
+baseline; regenerate that baseline with the defaults after any intentional
+change to the 2PC protocol, the SSI validator, the WAL, or the underlying
+partition/network layers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engines import resolve_engine_id
+from repro.txn import (
+    DEFAULT_TXN_ENGINES,
+    DEFAULT_TXN_JSON,
+    DEFAULT_TXN_SHARD_COUNTS,
+    DEFAULT_TXN_STRATEGIES,
+    format_txn_report,
+    run_txn_benchmark,
+    write_txn_report,
+)
+from repro.txn.bench import (
+    DEFAULT_ARRIVAL_GAP,
+    DEFAULT_BASE_DURATION,
+    DEFAULT_FOOTPRINT,
+    DEFAULT_TXN_COUNT,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engines", nargs="+", default=list(DEFAULT_TXN_ENGINES))
+    parser.add_argument(
+        "--partitioners", nargs="+", default=list(DEFAULT_TXN_STRATEGIES)
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=list(DEFAULT_TXN_SHARD_COUNTS)
+    )
+    parser.add_argument("--dataset", default="yeast")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=20181204)
+    parser.add_argument("--transactions", type=int, default=DEFAULT_TXN_COUNT)
+    parser.add_argument("--footprint", type=int, default=DEFAULT_FOOTPRINT)
+    parser.add_argument("--arrival-gap", type=int, default=DEFAULT_ARRIVAL_GAP)
+    parser.add_argument("--base-duration", type=int, default=DEFAULT_BASE_DURATION)
+    parser.add_argument("--output", default=DEFAULT_TXN_JSON)
+    parser.add_argument("--report", default=None)
+    args = parser.parse_args(argv)
+
+    report = run_txn_benchmark(
+        [resolve_engine_id(name) for name in args.engines],
+        partitioner_names=args.partitioners,
+        shard_counts=args.shards,
+        dataset_name=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        transactions=args.transactions,
+        footprint=args.footprint,
+        arrival_gap=args.arrival_gap,
+        base_duration=args.base_duration,
+    )
+    print(format_txn_report(report))
+    for path in write_txn_report(report, json_path=args.output, text_path=args.report):
+        print(f"\nwrote {path.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -123,6 +123,22 @@ from repro.replication.bench import (
     DEFAULT_STORM_ROUNDS,
 )
 from repro.replication.replica import DEFAULT_APPLY_INTERVAL
+from repro.txn import (
+    DEFAULT_TXN_ENGINES,
+    DEFAULT_TXN_JSON,
+    DEFAULT_TXN_REPORT,
+    DEFAULT_TXN_SHARD_COUNTS,
+    DEFAULT_TXN_STRATEGIES,
+    format_txn_report,
+    run_txn_benchmark,
+    write_txn_report,
+)
+from repro.txn.bench import (
+    DEFAULT_ARRIVAL_GAP,
+    DEFAULT_BASE_DURATION,
+    DEFAULT_FOOTPRINT,
+    DEFAULT_TXN_COUNT,
+)
 
 
 def _engine_argument(parser: argparse.ArgumentParser) -> None:
@@ -542,6 +558,75 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_READSCALE_REPORT,
         help="write the rendered figure here ('' to skip)",
     )
+
+    txn_parser = subparsers.add_parser(
+        "txn",
+        help="run charged distributed transactions (per-shard WAL + 2PC) "
+        "and measure commit latency + abort rate vs cut ratio under SI "
+        "and SSI (Figure 13)",
+    )
+    # Defaults deliberately mirror benchmarks/txn_smoke.py: a plain
+    # `graphbench txn` regenerates the committed BENCH_txn.json
+    # byte-identically rather than clobbering the CI baseline.
+    txn_parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=list(DEFAULT_TXN_ENGINES),
+        help="engines to shard; identifiers or unambiguous prefixes",
+    )
+    txn_parser.add_argument(
+        "--partitioners",
+        nargs="+",
+        default=list(DEFAULT_TXN_STRATEGIES),
+        choices=sorted(PARTITIONERS),
+        help="partitioning strategies to sweep (each changes the cut ratio)",
+    )
+    txn_parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_TXN_SHARD_COUNTS),
+        help="shard counts K to sweep (K=1 is the one-phase parity baseline)",
+    )
+    txn_parser.add_argument("--dataset", default="yeast", choices=list(available_datasets()))
+    txn_parser.add_argument("--scale", type=float, default=0.25)
+    txn_parser.add_argument("--seed", type=int, default=20181204)
+    txn_parser.add_argument(
+        "--transactions",
+        type=int,
+        default=DEFAULT_TXN_COUNT,
+        help="transactions per wave (each cell replays the same wave)",
+    )
+    txn_parser.add_argument(
+        "--footprint",
+        type=int,
+        default=DEFAULT_FOOTPRINT,
+        help="hub-biased vertices each transaction reads (all but the "
+        "last are also written)",
+    )
+    txn_parser.add_argument(
+        "--arrival-gap",
+        type=int,
+        default=DEFAULT_ARRIVAL_GAP,
+        help="virtual-time gap between transaction arrivals",
+    )
+    txn_parser.add_argument(
+        "--base-duration",
+        type=int,
+        default=DEFAULT_BASE_DURATION,
+        help="baseline commit-window width before per-remote-shard "
+        "round-trip widening",
+    )
+    txn_parser.add_argument(
+        "--output",
+        default=DEFAULT_TXN_JSON,
+        help="write the JSON payload here ('' to skip)",
+    )
+    txn_parser.add_argument(
+        "--report",
+        default=DEFAULT_TXN_REPORT,
+        help="write the rendered figure here ('' to skip)",
+    )
     return parser
 
 
@@ -818,6 +903,48 @@ def _command_readscale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_txn(args: argparse.Namespace) -> int:
+    if args.transactions < 1 or args.footprint < 1:
+        print(
+            "graphbench txn: --transactions and --footprint must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.arrival_gap < 1 or args.base_duration < 0:
+        print(
+            "graphbench txn: --arrival-gap must be >= 1; --base-duration "
+            "must be >= 0",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        engine_ids = [resolve_engine_id(name) for name in args.engines]
+        report = run_txn_benchmark(
+            engine_ids,
+            partitioner_names=args.partitioners,
+            shard_counts=args.shards,
+            dataset_name=args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            transactions=args.transactions,
+            footprint=args.footprint,
+            arrival_gap=args.arrival_gap,
+            base_duration=args.base_duration,
+        )
+    except BenchmarkError as error:
+        print(f"graphbench txn: {error}", file=sys.stderr)
+        return 2
+    print(format_txn_report(report))
+    written = write_txn_report(
+        report,
+        json_path=args.output or None,
+        text_path=args.report or None,
+    )
+    for path in written:
+        print(f"wrote {path.resolve()}")
+    return 0
+
+
 def _command_space(args: argparse.Namespace) -> int:
     datasets = [get_dataset(name, scale=args.scale, seed=args.seed) for name in args.datasets]
     measurements = measure_space_matrix(list(args.engines), datasets)
@@ -849,6 +976,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_chaos(args)
     if args.command == "readscale":
         return _command_readscale(args)
+    if args.command == "txn":
+        return _command_txn(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

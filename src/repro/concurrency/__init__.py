@@ -43,6 +43,7 @@ from repro.concurrency.scheduler import (
     percentile,
 )
 from repro.concurrency.sessions import (
+    ISOLATION_LEVELS,
     CommitResult,
     ConcurrencyStats,
     Session,
@@ -68,6 +69,7 @@ __all__ = [
     "DEFAULT_SHARDS",
     "DURABILITY_MODES",
     "GCStats",
+    "ISOLATION_LEVELS",
     "MIXES",
     "MixSpec",
     "OpTrace",

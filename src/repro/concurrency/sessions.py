@@ -40,6 +40,7 @@ from typing import Any
 
 from repro.exceptions import (
     GraphBenchError,
+    SerializationFailureError,
     SessionStateError,
     TransactionError,
     WriteConflictError,
@@ -58,6 +59,17 @@ from repro.concurrency.versioning import (
     edge_key,
     vertex_key,
 )
+
+
+#: Isolation levels a session can be opened at.  ``"si"`` is snapshot
+#: isolation with first-committer-wins (the historical default); ``"ssi"``
+#: layers serializable validation on top: the session tracks its reads
+#: (object keys, adjacency, scan predicates) and the commit aborts with
+#: :class:`~repro.exceptions.SerializationFailureError` when a concurrent
+#: transaction committed a write intersecting that read set — the
+#: conservative single-rw-edge form of SSI's dangerous-structure rule,
+#: which flips write skew from permitted to prevented.
+ISOLATION_LEVELS = ("si", "ssi")
 
 
 @dataclass
@@ -100,6 +112,12 @@ class ConcurrencyStats:
     retries: int = 0
     #: Transactions dropped after exhausting their retry budget.
     giveups: int = 0
+    #: SSI serialization-failure aborts (rw-antidependency detected at
+    #: commit).  Counted apart from ``conflict_aborts`` so the two abort
+    #: reasons stay distinguishable; deliberately not part of
+    #: :meth:`snapshot` — the SI benchmark payloads predate SSI and must
+    #: stay byte-identical, and the txn benchmark reports its own ledger.
+    ssi_aborts: int = 0
     #: Commits that failed at apply time for a non-conflict reason (e.g. a
     #: blind write on an id whose tombstone GC already reclaimed).  Not
     #: retryable — replaying would fail identically — and counted so that
@@ -135,12 +153,27 @@ class ConcurrencyStats:
 class Session:
     """One client transaction: a snapshot, a write set, and a graph view."""
 
-    def __init__(self, manager: "SessionManager", session_id: int, snapshot_ts: int) -> None:
+    def __init__(
+        self,
+        manager: "SessionManager",
+        session_id: int,
+        snapshot_ts: int,
+        isolation: str = "si",
+    ) -> None:
+        if isolation not in ISOLATION_LEVELS:
+            raise TransactionError(
+                f"unknown isolation level {isolation!r}; choose from {ISOLATION_LEVELS}"
+            )
         self.manager = manager
         self.id = session_id
         self.snapshot_ts = snapshot_ts
+        self.isolation = isolation
         self.state = "open"
+        #: Set by :meth:`SessionManager.prepare` (2PC phase 1); plain
+        #: commits pass through the same prepared state internally.
+        self.prepared = False
         self.write_set = WriteSet(session_id)
+        self.write_set.track_reads = isolation == "ssi"
         self.graph = VersionedGraph(manager.engine, manager.store, self)
 
     @property
@@ -150,6 +183,14 @@ class Session:
     def commit(self) -> CommitResult:
         """Publish this session's writes; raises on write-write conflict."""
         return self.manager.commit(self)
+
+    def prepare(self) -> bool:
+        """2PC phase 1: validate without publishing (see SessionManager.prepare)."""
+        return self.manager.prepare(self)
+
+    def commit_prepared(self) -> CommitResult:
+        """2PC phase 2: publish a previously prepared session."""
+        return self.manager.commit_prepared(self)
 
     def abort(self) -> None:
         """Discard this session's writes."""
@@ -253,9 +294,9 @@ class SessionManager:
 
     # -- session lifecycle --------------------------------------------------
 
-    def begin(self) -> Session:
+    def begin(self, isolation: str = "si") -> Session:
         """Open a session whose snapshot is the current commit clock."""
-        session = Session(self, self._next_session_id, self.store.clock)
+        session = Session(self, self._next_session_id, self.store.clock, isolation=isolation)
         self._next_session_id += 1
         self._active[session.id] = session
         self.stats.begun += 1
@@ -352,8 +393,62 @@ class SessionManager:
     # -- commit -------------------------------------------------------------
 
     def commit(self, session: Session) -> CommitResult:
+        """Validate and publish in one call (prepare + commit-prepared).
+
+        The split exists for two-phase commit: a distributed coordinator
+        calls :meth:`prepare` on every participant first and only then
+        :meth:`commit_prepared`.  A plain local commit runs the same two
+        steps back to back, so the charge sequence — and therefore the
+        charge-parity contract — is exactly what it was before the split.
+        """
+        self.prepare(session)
+        return self.commit_prepared(session)
+
+    def prepare(self, session: Session) -> bool:
+        """2PC phase 1: validate the session; it stays open but *prepared*.
+
+        Runs first-committer-wins validation (free RAM bookkeeping) and,
+        for SSI sessions, read-set and predicate validation (the predicate
+        probes charge engine reads — SSI's measurable abort cost).  On
+        success the session is marked prepared and the manager promises
+        that :meth:`commit_prepared` will succeed as long as no other
+        commit intervenes — which the (single-threaded) 2PC coordinator
+        guarantees by serialising its decision phase.
+        """
         if not session.is_open:
             raise SessionStateError(f"session {session.id} is already {session.state}")
+        ws = session.write_set
+        if not ws.ops:
+            # A locally read-only SSI session still validates its reads: in
+            # a distributed transaction this session may be the *read* half
+            # of a cross-shard write skew (the writes live on another
+            # shard), and its stale read is exactly the rw-antidependency
+            # that must abort the whole transaction.
+            if session.isolation == "ssi":
+                self._validate_ssi(session)
+            session.prepared = True
+            return True
+
+        # 1. Validate: first committer wins.  Each key consults exactly one
+        # version-store shard (charge-free RAM bookkeeping: a stable hash
+        # plus one shard-local dict lookup).  Runs before SSI validation so
+        # a write-write conflict always surfaces as WriteConflictError, not
+        # as a serialization failure — the two abort reasons are counted
+        # (and tested) separately.
+        self._validate_first_committer(session)
+        if session.isolation == "ssi":
+            self._validate_ssi(session)
+        session.prepared = True
+        return True
+
+    def commit_prepared(self, session: Session) -> CommitResult:
+        """2PC phase 2: apply and publish a session prepared by :meth:`prepare`."""
+        if not session.is_open:
+            raise SessionStateError(f"session {session.id} is already {session.state}")
+        if not session.prepared:
+            raise SessionStateError(
+                f"session {session.id} has not been prepared; call prepare() first"
+            )
         ws = session.write_set
         if not ws.ops:
             self._finish(session, "committed")
@@ -361,15 +456,14 @@ class SessionManager:
             self.stats.read_only_commits += 1
             return CommitResult(session.snapshot_ts, 0, read_only=True)
 
-        # 1. Validate: first committer wins.  Each key consults exactly one
-        # version-store shard (charge-free RAM bookkeeping: a stable hash
-        # plus one shard-local dict lookup).
-        for key in ws.write_keys:
-            committed = self.store.committed_ts(key)
-            if committed > session.snapshot_ts:
-                self._finish(session, "aborted")
-                self.stats.conflict_aborts += 1
-                raise WriteConflictError(session.id, key, committed, session.snapshot_ts)
+        # Defensive re-validation (free, RAM-only): the prepare promise
+        # holds because the coordinator serialises the decision phase, but
+        # a caller driving prepare/commit_prepared by hand could let
+        # another commit slip in between — catch that instead of
+        # publishing a lost update.  Never re-runs SSI validation: its
+        # predicate probes charge engine reads and prepare already paid
+        # them once.
+        self._validate_first_committer(session)
 
         commit_ts = self.store.clock + 1
         # A held pin is a promise that some replica will read this commit's
@@ -464,6 +558,119 @@ class SessionManager:
         return flushed
 
     # -- commit internals ---------------------------------------------------
+
+    def _validate_first_committer(self, session: Session) -> None:
+        """Abort with :class:`WriteConflictError` on a lost first-committer race."""
+        for key in session.write_set.write_keys:
+            committed = self.store.committed_ts(key)
+            if committed > session.snapshot_ts:
+                self._finish(session, "aborted")
+                self.stats.conflict_aborts += 1
+                raise WriteConflictError(session.id, key, committed, session.snapshot_ts)
+
+    def _ssi_abort(
+        self, session: Session, reason: str, conflict: Any, committed_at: int
+    ) -> None:
+        self._finish(session, "aborted")
+        self.stats.ssi_aborts += 1
+        raise SerializationFailureError(
+            session.id, reason, conflict, committed_at, session.snapshot_ts
+        )
+
+    def _validate_ssi(self, session: Session) -> None:
+        """Abort when a concurrent commit wrote something this session read.
+
+        The conservative single-rw-edge rule: every dangerous structure in
+        SSI's theory contains an rw-antidependency from a committed writer
+        into this transaction's read set, so aborting on *any* such edge
+        admits no write skew (at the price of some false-positive aborts —
+        the trade the txn benchmark measures).  Object and adjacency checks
+        are free RAM lookups against the version store; the predicate check
+        (phantoms) probes the engine and charges reads.
+        """
+        ws = session.write_set
+        store = self.store
+        # Keys also written by this session are skipped: first-committer-
+        # wins already validated them, and the abort reason must stay
+        # WriteConflictError for a write-write race.
+        for key in sorted(ws.read_keys, key=repr):
+            if key in ws.write_keys:
+                continue
+            committed = store.committed_ts(key)
+            if committed > session.snapshot_ts:
+                self._ssi_abort(session, "read object", key, committed)
+        for vertex_id in sorted(ws.read_adjacency, key=repr):
+            changed = store.adj_changed_ts(vertex_id)
+            if changed > session.snapshot_ts:
+                self._ssi_abort(session, "read adjacency of vertex", vertex_id, changed)
+        self._validate_predicates(session)
+
+    def _validate_predicates(self, session: Session) -> None:
+        """Phantom protection: re-probe scanned predicates against new writes.
+
+        A concurrent commit can make an object *newly* match a predicate
+        this session scanned (insert, or an update flipping the property);
+        the scan never saw the object, so object-level read validation
+        cannot catch it.  Objects that *stopped* matching (or were removed)
+        were yielded by the scan and therefore sit in ``read_keys`` — the
+        object check covers those.  Candidates are every key of the right
+        kind committed after the snapshot, sorted by ``repr`` before any
+        engine probe so the charge sequence is deterministic; each probe
+        charges the engine like any client read.
+        """
+        ws = session.write_set
+        preds = ws.read_predicates
+        if not preds:
+            return
+        engine = self.engine
+        store = self.store
+        snapshot = session.snapshot_ts
+        vertex_preds = sorted(p for p in preds if p[0] == "vertex")
+        edge_preds = sorted(p for p in preds if p[0] == "edge")
+        label_preds = sorted(p for p in preds if p[0] == "edge-label")
+
+        def candidates(kind: str) -> list[tuple[str, Any]]:
+            recent = {
+                key
+                for key, ts in store.iter_committed(kind)
+                if ts > snapshot and key not in ws.write_keys
+            }
+            return sorted(recent, key=repr)
+
+        if vertex_preds:
+            for key in candidates("vertex"):
+                vid = key[1]
+                if not engine.vertex_exists(vid):
+                    continue
+                for _kind, prop, rvalue in vertex_preds:
+                    if repr(engine.vertex_property(vid, prop)) == rvalue:
+                        self._ssi_abort(
+                            session,
+                            f"scanned predicate vertex.{prop} now matches",
+                            key,
+                            store.committed_ts(key),
+                        )
+        if edge_preds or label_preds:
+            for key in candidates("edge"):
+                eid = key[1]
+                if not engine.edge_exists(eid):
+                    continue
+                for _kind, prop, rvalue in edge_preds:
+                    if repr(engine.edge_property(eid, prop)) == rvalue:
+                        self._ssi_abort(
+                            session,
+                            f"scanned predicate edge.{prop} now matches",
+                            key,
+                            store.committed_ts(key),
+                        )
+                for _kind, _prop, rlabel in label_preds:
+                    if repr(engine.edge_label(eid)) == rlabel:
+                        self._ssi_abort(
+                            session,
+                            "scanned edge label now matches",
+                            key,
+                            store.committed_ts(key),
+                        )
 
     def _capture_before_images(
         self,

@@ -434,6 +434,19 @@ class VersionStore:
                 if key[0] == kind:
                     yield key, ts
 
+    def iter_committed(self, kind: str) -> Iterator[tuple[tuple[str, Any], int]]:
+        """Every ``(key, committed_ts)`` of ``kind``, shard-by-shard.
+
+        SSI predicate validation scans this to find objects written after a
+        session's snapshot that might newly match a scanned predicate.
+        Callers sort before charging any engine read, so shard order never
+        leaks into charge sequences.
+        """
+        for shard in self.shards:
+            for key, ts in shard.committed_at.items():
+                if key[0] == kind:
+                    yield key, ts
+
     # -- garbage collection -------------------------------------------------
 
     def collect_garbage(self, low_water_mark: int) -> int:
@@ -520,6 +533,31 @@ class WriteSet:
         self.out_added: dict[Any, list[ProvisionalId]] = {}
         self.in_added: dict[Any, list[ProvisionalId]] = {}
         self._sequence = 0
+        #: SSI read tracking, populated by :class:`VersionedGraph` only when
+        #: the owning session opted into serializable mode (``track_reads``
+        #: stays False for plain-SI sessions and pins, so SI read paths are
+        #: bookkeeping-identical to before SSI existed).
+        self.track_reads = False
+        #: Object keys this session read (point lookups).
+        self.read_keys: set[tuple[str, Any]] = set()
+        #: Vertex ids whose adjacency this session observed.
+        self.read_adjacency: set[Any] = set()
+        #: Property predicates scanned: ``(kind, property, repr(value))``.
+        self.read_predicates: set[tuple[str, str, str]] = set()
+
+    # -- SSI read tracking (free RAM bookkeeping; no simulated I/O) ---------
+
+    def note_read(self, key: tuple[str, Any]) -> None:
+        if self.track_reads and not isinstance(key[1], ProvisionalId):
+            self.read_keys.add(key)
+
+    def note_adjacency(self, vertex_id: Any) -> None:
+        if self.track_reads and not isinstance(vertex_id, ProvisionalId):
+            self.read_adjacency.add(vertex_id)
+
+    def note_predicate(self, kind: str, prop: str, value: Any) -> None:
+        if self.track_reads:
+            self.read_predicates.add((kind, prop, repr(value)))
 
     @property
     def dirty(self) -> bool:
@@ -615,6 +653,7 @@ class VersionedGraph(GraphDatabase):
     def vertex(self, vertex_id: Any) -> Vertex:
         snapshot = self._snapshot
         ws = self._ws
+        ws.note_read(vertex_key(vertex_id))
         if vertex_id in ws.created_vertices:
             draft = ws.created_vertices[vertex_id]
             return Vertex(vertex_id, draft.label, dict(draft.properties))
@@ -640,6 +679,7 @@ class VersionedGraph(GraphDatabase):
     def vertex_exists(self, vertex_id: Any) -> bool:
         snapshot = self._snapshot
         ws = self._ws
+        ws.note_read(vertex_key(vertex_id))
         if vertex_id in ws.created_vertices:
             return True
         if vertex_id in ws.removed_vertices:
@@ -735,6 +775,7 @@ class VersionedGraph(GraphDatabase):
     def vertex_property(self, vertex_id: Any, key: str) -> Any:
         snapshot = self._snapshot
         ws = self._ws
+        ws.note_read(vertex_key(vertex_id))
         if vertex_id in ws.created_vertices:
             return ws.created_vertices[vertex_id].properties.get(key)
         if vertex_id in ws.removed_vertices:
@@ -753,6 +794,7 @@ class VersionedGraph(GraphDatabase):
     def vertex_label(self, vertex_id: Any) -> str | None:
         snapshot = self._snapshot
         ws = self._ws
+        ws.note_read(vertex_key(vertex_id))
         if vertex_id in ws.created_vertices:
             return ws.created_vertices[vertex_id].label
         if vertex_id in ws.removed_vertices:
@@ -832,6 +874,7 @@ class VersionedGraph(GraphDatabase):
 
     def edge(self, edge_id: Any) -> Edge:
         snapshot = self._snapshot
+        self._ws.note_read(edge_key(edge_id))
         state = self._edge_state(edge_id, snapshot)
         if state is None:
             raise ElementNotFoundError("edge", edge_id)
@@ -848,6 +891,7 @@ class VersionedGraph(GraphDatabase):
     def edge_exists(self, edge_id: Any) -> bool:
         snapshot = self._snapshot
         ws = self._ws
+        ws.note_read(edge_key(edge_id))
         if edge_id in ws.created_edges:
             return True
         if edge_id in ws.removed_edges:
@@ -927,6 +971,7 @@ class VersionedGraph(GraphDatabase):
     def edge_property(self, edge_id: Any, key: str) -> Any:
         snapshot = self._snapshot
         ws = self._ws
+        ws.note_read(edge_key(edge_id))
         overlay = ws.edge_props.get(edge_id)
         if edge_id in ws.created_edges:
             return ws.created_edges[edge_id].properties.get(key)
@@ -945,6 +990,7 @@ class VersionedGraph(GraphDatabase):
     def edge_endpoints(self, edge_id: Any) -> tuple[Any, Any]:
         snapshot = self._snapshot
         ws = self._ws
+        ws.note_read(edge_key(edge_id))
         if edge_id in ws.created_edges:
             state = ws.created_edges[edge_id]
             return state.source, state.target
@@ -961,6 +1007,7 @@ class VersionedGraph(GraphDatabase):
     def edge_label(self, edge_id: Any) -> str:
         snapshot = self._snapshot
         ws = self._ws
+        ws.note_read(edge_key(edge_id))
         if edge_id in ws.created_edges:
             return ws.created_edges[edge_id].label
         if edge_id in ws.removed_edges:
@@ -1037,6 +1084,7 @@ class VersionedGraph(GraphDatabase):
     ) -> Iterator[Any]:
         snapshot = self._snapshot
         ws = self._ws
+        ws.note_adjacency(vertex_id)
         if vertex_id in ws.created_vertices:
             yield from self._overlay_incident(vertex_id, direction, label, snapshot)
             return
@@ -1066,6 +1114,7 @@ class VersionedGraph(GraphDatabase):
         self, vertex_id: Any, direction: Direction, label: str | None = None
     ) -> Iterator[Any]:
         snapshot = self._snapshot
+        self._ws.note_adjacency(vertex_id)
         if self._vertex_clean(vertex_id, snapshot):
             # Overlay-clean vertex: the engine's own (possibly bulk-charged)
             # neighbour expansion is exactly what a direct caller sees.
@@ -1099,6 +1148,7 @@ class VersionedGraph(GraphDatabase):
         semantics only on the overlay-clean path.
         """
         snapshot = self._snapshot
+        self._ws.note_adjacency(vertex_id)
         if self._vertex_clean(vertex_id, snapshot):
             return self._engine.degree(vertex_id, direction)
         return sum(1 for _edge in self._incident_edges(vertex_id, direction, None))
@@ -1107,6 +1157,7 @@ class VersionedGraph(GraphDatabase):
         self, vertex_id: Any, k: int, direction: Direction = Direction.BOTH
     ) -> bool:
         snapshot = self._snapshot
+        self._ws.note_adjacency(vertex_id)
         if self._vertex_clean(vertex_id, snapshot):
             return self._engine.degree_at_least(vertex_id, k, direction)
         if k <= 0:
@@ -1129,6 +1180,10 @@ class VersionedGraph(GraphDatabase):
         label: str | None = None,
     ) -> Iterator[tuple[Any, Any]]:
         if self._fast():
+            if self._ws.track_reads:
+                vertex_ids = list(vertex_ids)
+                for vertex_id in vertex_ids:
+                    self._ws.note_adjacency(vertex_id)
             yield from self._engine.neighbors_many(vertex_ids, direction, label)
             return
         for vertex_id in vertex_ids:
@@ -1142,6 +1197,10 @@ class VersionedGraph(GraphDatabase):
         label: str | None = None,
     ) -> Iterator[tuple[Any, Any]]:
         if self._fast():
+            if self._ws.track_reads:
+                vertex_ids = list(vertex_ids)
+                for vertex_id in vertex_ids:
+                    self._ws.note_adjacency(vertex_id)
             yield from self._engine.edges_for_many(vertex_ids, direction, label)
             return
         for vertex_id in vertex_ids:
@@ -1162,8 +1221,11 @@ class VersionedGraph(GraphDatabase):
 
     def vertices_by_property(self, key: str, value: Any) -> Iterator[Any]:
         snapshot = self._snapshot
+        self._ws.note_predicate("vertex", key, value)
         if self._fast():
-            yield from self._engine.vertices_by_property(key, value)
+            for vertex_id in self._engine.vertices_by_property(key, value):
+                self._ws.note_read(vertex_key(vertex_id))
+                yield vertex_id
             return
         ws = self._ws
         suspects: dict[Any, None] = {}  # ordered, deduplicated
@@ -1178,10 +1240,12 @@ class VersionedGraph(GraphDatabase):
                 continue
             if self._store.hidden_from(vertex_key(vertex_id), snapshot):
                 continue
+            ws.note_read(vertex_key(vertex_id))
             yield vertex_id
         for vertex_id in suspects:
             exists, visible = self._visible_vertex_value(vertex_id, key)
             if exists and visible == value:
+                ws.note_read(vertex_key(vertex_id))
                 yield vertex_id
         for pid, draft in ws.created_vertices.items():
             if draft.properties.get(key) == value:
@@ -1189,8 +1253,11 @@ class VersionedGraph(GraphDatabase):
 
     def edges_by_property(self, key: str, value: Any) -> Iterator[Any]:
         snapshot = self._snapshot
+        self._ws.note_predicate("edge", key, value)
         if self._fast():
-            yield from self._engine.edges_by_property(key, value)
+            for edge_id in self._engine.edges_by_property(key, value):
+                self._ws.note_read(edge_key(edge_id))
+                yield edge_id
             return
         ws = self._ws
         suspects: dict[Any, None] = {}
@@ -1205,6 +1272,7 @@ class VersionedGraph(GraphDatabase):
                 continue
             if self._store.hidden_from(edge_key(edge_id), snapshot):
                 continue
+            ws.note_read(edge_key(edge_id))
             yield edge_id
         for edge_id in suspects:
             try:
@@ -1212,6 +1280,7 @@ class VersionedGraph(GraphDatabase):
             except ElementNotFoundError:
                 continue
             if visible == value:
+                ws.note_read(edge_key(edge_id))
                 yield edge_id
         for pid, draft in ws.created_edges.items():
             if draft.properties.get(key) == value:
@@ -1219,8 +1288,11 @@ class VersionedGraph(GraphDatabase):
 
     def edges_by_label(self, label: str) -> Iterator[Any]:
         snapshot = self._snapshot
+        self._ws.note_predicate("edge-label", "label", label)
         if self._fast():
-            yield from self._engine.edges_by_label(label)
+            for edge_id in self._engine.edges_by_label(label):
+                self._ws.note_read(edge_key(edge_id))
+                yield edge_id
             return
         ws = self._ws
         for edge_id in self._engine.edges_by_label(label):

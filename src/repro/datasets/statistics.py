@@ -155,7 +155,9 @@ def estimate_diameter(
     if len(largest) <= 1:
         return 0
     rng = random.Random(seed)
-    members = list(largest)
+    # Sets iterate in per-process salted order; sort so the sampled start
+    # vertices (and the estimate) are stable across processes.
+    members = sorted(largest, key=repr)
     best = 0
     for _ in range(max(1, samples)):
         start = rng.choice(members)

@@ -97,8 +97,73 @@ class WriteConflictError(TransactionError):
         self.snapshot = snapshot
 
 
+class SerializationFailureError(TransactionError):
+    """An SSI session aborted on a read/write (rw) antidependency.
+
+    Snapshot isolation's first-committer-wins rule only inspects *write*
+    keys, which is why write skew slips through it.  In SSI mode the
+    session also tracks what it read — object keys, adjacency, and
+    property predicates — and aborts at commit when a concurrent
+    transaction committed a write that intersects that read set (a
+    conservative single-edge form of rw-antidependency detection: every
+    dangerous structure contains such an edge, so none survive).  Distinct
+    from :class:`WriteConflictError` so callers and benchmarks can count
+    the two abort reasons separately.
+    """
+
+    def __init__(self, session_id: int, reason: str, conflict: object, committed_at: int, snapshot: int) -> None:
+        super().__init__(
+            f"session {session_id} aborted (serialization failure): {reason} "
+            f"{conflict!r} was written at timestamp {committed_at}, after "
+            f"this session's snapshot {snapshot}"
+        )
+        self.session_id = session_id
+        self.reason = reason
+        self.conflict = conflict
+        self.committed_at = committed_at
+        self.snapshot = snapshot
+
+
 class SessionStateError(TransactionError):
     """A session was used after it was committed or aborted."""
+
+
+class ParticipantUnavailableError(TransactionError):
+    """A two-phase commit aborted because a participant shard crashed.
+
+    Raised by the distributed commit coordinator when a participant dies
+    before voting: the coordinator charges the timeout probe, journals an
+    ABORT decision, and rolls the surviving participants back — the
+    transaction fails, the system does not hang.
+    """
+
+    def __init__(self, txn_id: int, shard: int, phase: str) -> None:
+        super().__init__(
+            f"transaction {txn_id} aborted: participant shard {shard} "
+            f"crashed during {phase}"
+        )
+        self.txn_id = txn_id
+        self.shard = shard
+        self.phase = phase
+
+
+class TransactionInDoubtError(TransactionError):
+    """The 2PC coordinator crashed mid-protocol; resolution needs recovery.
+
+    The transaction's outcome is *defined* — it is whatever the verified
+    durable prefix of the coordinator's decision journal says (presumed
+    abort when no intact decision record survives) — but only
+    crash-restart recovery can act on it.  Callers catch this, run the
+    manager's ``recover()``, and observe the deterministic resolution.
+    """
+
+    def __init__(self, txn_id: int, point: str) -> None:
+        super().__init__(
+            f"transaction {txn_id} is in doubt: coordinator crashed at {point}; "
+            "run recover() to resolve it from the decision journal"
+        )
+        self.txn_id = txn_id
+        self.point = point
 
 
 class DatasetError(GraphBenchError):

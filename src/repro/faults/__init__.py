@@ -47,6 +47,15 @@ from repro.faults.plan import (
     canned_three_event_plan,
 )
 from repro.faults.recovery import ShardJournal, ShardSnapshot
+from repro.faults.txn_faults import (
+    COORDINATOR_CRASH,
+    PARTICIPANT_CRASH_AFTER_VOTE,
+    PARTICIPANT_CRASH_BEFORE_VOTE,
+    TORN_DECISION,
+    TXN_FAULT_KINDS,
+    TxnFaultEvent,
+    TxnFaultPlan,
+)
 from repro.faults.bench import (
     DEFAULT_CHAOS_ENGINES,
     DEFAULT_FAULT_RATES,
@@ -63,6 +72,7 @@ from repro.faults.report import (
 
 __all__ = [
     "CHAOS_MIXES",
+    "COORDINATOR_CRASH",
     "CRASH",
     "ChaosExecutor",
     "ChaosResult",
@@ -78,11 +88,17 @@ __all__ = [
     "MSG_DUP",
     "MSG_LOSS",
     "MSG_REORDER",
+    "PARTICIPANT_CRASH_AFTER_VOTE",
+    "PARTICIPANT_CRASH_BEFORE_VOTE",
     "SNAPSHOT_LOSS",
     "STALE",
     "STALL",
+    "TORN_DECISION",
+    "TXN_FAULT_KINDS",
     "ShardJournal",
     "ShardSnapshot",
+    "TxnFaultEvent",
+    "TxnFaultPlan",
     "build_chaos",
     "canned_three_event_plan",
     "format_chaos_report",

@@ -1,0 +1,103 @@
+"""Scripted crash points for the two-phase commit protocol.
+
+The chaos plane's :class:`~repro.faults.plan.FaultPlan` speaks BSP
+coordinates (query, superstep, shard, attempt); the distributed *commit*
+protocol has its own, smaller fault surface — four crash points whose
+recovery semantics the fault-matrix tests pin one by one:
+
+* ``coordinator-crash`` — the coordinator dies after collecting every
+  vote but **before** its decision record is journaled.  Presumed abort:
+  recovery finds no intact decision and rolls every prepared participant
+  back.
+* ``participant-crash-before-vote`` — a participant dies before voting.
+  The coordinator charges its timeout probe, decides ABORT, and the
+  transaction fails with
+  :class:`~repro.exceptions.ParticipantUnavailableError` — it never hangs.
+* ``participant-crash-after-vote`` — a participant votes YES then dies.
+  The coordinator may still decide COMMIT (the vote was a durable
+  promise); recovery replays the participant's journaled operations
+  against its rebuilt engine so the global commit is not partial.
+* ``torn-decision`` — the coordinator's decision record suffers a torn
+  write.  Because the decision is journaled *before* any COMMIT message
+  is sent, a torn record means nothing was ever sent — recovery's
+  presumed-abort reading is consistent at every participant.
+
+Plans are explicit only: 2PC faults exist to script exact recovery
+scenarios, not to be swept at a rate (the chaos benchmark already sweeps
+rates for the query plane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import BenchmarkError
+
+COORDINATOR_CRASH = "coordinator-crash"
+PARTICIPANT_CRASH_BEFORE_VOTE = "participant-crash-before-vote"
+PARTICIPANT_CRASH_AFTER_VOTE = "participant-crash-after-vote"
+TORN_DECISION = "torn-decision"
+
+TXN_FAULT_KINDS = (
+    COORDINATOR_CRASH,
+    PARTICIPANT_CRASH_BEFORE_VOTE,
+    PARTICIPANT_CRASH_AFTER_VOTE,
+    TORN_DECISION,
+)
+
+
+@dataclass(frozen=True)
+class TxnFaultEvent:
+    """One scheduled commit-protocol fault.  ``None`` fields match anything.
+
+    ``txn`` is the coordinator's 0-based count of *distributed* (multi-
+    writer) commits — single-writer fast-path commits never enter the
+    protocol, so they cannot fault here.  ``shard`` names the victim
+    participant for the participant kinds and is ignored for the
+    coordinator kinds.
+    """
+
+    kind: str
+    txn: int | None = None
+    shard: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TXN_FAULT_KINDS:
+            raise BenchmarkError(
+                f"unknown txn fault kind {self.kind!r}; expected one of {TXN_FAULT_KINDS}"
+            )
+
+    def matches(self, kind: str, txn: int, shard: int | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        if self.txn is not None and self.txn != txn:
+            return False
+        if self.shard is not None and shard is not None and self.shard != shard:
+            return False
+        return True
+
+    def describe(self) -> dict[str, Any]:
+        return {"kind": self.kind, "txn": self.txn, "shard": self.shard}
+
+
+class TxnFaultPlan:
+    """An explicit schedule of 2PC crash points (default: fault-free)."""
+
+    def __init__(self, events: tuple[TxnFaultEvent, ...] = ()) -> None:
+        self.events = tuple(events)
+
+    @classmethod
+    def explicit(cls, *events: TxnFaultEvent) -> "TxnFaultPlan":
+        return cls(tuple(events))
+
+    def fires(self, kind: str, txn: int, shard: int | None = None) -> bool:
+        return any(event.matches(kind, txn, shard) for event in self.events)
+
+    def describe(self) -> dict[str, Any]:
+        if self.events:
+            return {
+                "mode": "explicit",
+                "events": [event.describe() for event in self.events],
+            }
+        return {"mode": "fault-free"}

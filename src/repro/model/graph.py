@@ -533,9 +533,14 @@ class GraphDatabase(abc.ABC):
             )
         return manager
 
-    def begin_session(self) -> "Session":
-        """Open a transactional session (snapshot-isolated view + write set)."""
-        return self.transactions().begin()
+    def begin_session(self, isolation: str = "si") -> "Session":
+        """Open a transactional session (snapshot-isolated view + write set).
+
+        ``isolation`` selects ``"si"`` (snapshot isolation, the default)
+        or ``"ssi"`` (serializable: read tracking plus commit-time
+        rw-antidependency validation).
+        """
+        return self.transactions().begin(isolation=isolation)
 
     # ------------------------------------------------------------------
     # Misc

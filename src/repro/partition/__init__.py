@@ -22,12 +22,15 @@ from repro.partition.bench import (
 )
 from repro.partition.executor import (
     BuildReport,
+    BulkQueryResult,
     DistributedExecutor,
     DistributedResult,
     ShardRuntime,
     build_distributed,
     direct_bfs,
+    direct_degree_at_least,
     direct_shortest_path,
+    direct_values,
 )
 from repro.partition.messages import MessageBatch, NetworkCostModel, NetworkStats
 from repro.partition.partitioners import (
@@ -52,6 +55,7 @@ from repro.partition.report import (
 
 __all__ = [
     "BuildReport",
+    "BulkQueryResult",
     "DEFAULT_BENCH_ENGINES",
     "DEFAULT_DRIFT_THRESHOLD",
     "DEFAULT_PARTITIONERS",
@@ -72,7 +76,9 @@ __all__ = [
     "ShardRuntime",
     "build_distributed",
     "direct_bfs",
+    "direct_degree_at_least",
     "direct_shortest_path",
+    "direct_values",
     "format_scaleout_report",
     "partition_dataset",
     "plan_queries",

@@ -18,7 +18,13 @@ from repro.storage.property_store import PropertyStore
 from repro.storage.document_store import DocumentCollection, DocumentStore
 from repro.storage.triple_store import TripleStore, Triple
 from repro.storage.columnar import ColumnFamilyStore, RowKeyIndex
-from repro.storage.wal import WriteAheadLog, DurabilityMode
+from repro.storage.wal import (
+    DEFAULT_VALUE_THRESHOLD,
+    DurabilityMode,
+    ValueLog,
+    ValuePointer,
+    WriteAheadLog,
+)
 from repro.storage.relational import (
     Column,
     RelationalDatabase,
@@ -46,6 +52,9 @@ __all__ = [
     "RowKeyIndex",
     "WriteAheadLog",
     "DurabilityMode",
+    "DEFAULT_VALUE_THRESHOLD",
+    "ValueLog",
+    "ValuePointer",
     "Column",
     "RelationalDatabase",
     "Table",

@@ -21,6 +21,23 @@ injector's hook: it simulates the torn write by corrupting the stored
 checksum of the last appended record(s).  :meth:`truncate` (checkpointing)
 honours the same rule — a torn record is *discarded*, never folded into the
 checkpoint as if it had committed.
+
+Key/value separation
+--------------------
+
+Large property payloads inflate every WAL record they ride in — the
+commit path pays for bytes that recovery rarely needs to re-read.  BVLSM
+(arXiv:2506.04678) separates them at WAL time: the log keeps a fixed-size
+*pointer*, the value itself goes to an append-only **value log** charged on
+its own metrics.  A :class:`WriteAheadLog` constructed with a
+:class:`ValueLog` applies the same split transparently in :meth:`append`:
+any payload item whose stable ``repr`` exceeds ``value_threshold`` bytes is
+swapped for a :class:`ValuePointer` before the record is framed and
+checksummed.  :meth:`resolve_payload` dereferences the pointers on the
+recovery path (a charged value-log read that verifies the value's own
+CRC32).  A log without a value log behaves exactly as before — the
+separation is opt-in per log, so engine WALs keep their historical charge
+sequences.
 """
 
 from __future__ import annotations
@@ -30,6 +47,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.exceptions import StorageError
 from repro.storage.metrics import StorageMetrics
 
 
@@ -44,6 +62,95 @@ def record_checksum(sequence: int, operation: str, payload: dict[str, Any]) -> i
     """CRC32 over a record's logical content (order-stable payload repr)."""
     body = f"{sequence}:{operation}:{sorted(payload.items(), key=repr)!r}"
     return zlib.crc32(body.encode())
+
+
+def value_checksum(value: Any) -> int:
+    """CRC32 over a value's stable ``repr`` (the value log's torn-write guard)."""
+    return zlib.crc32(repr(value).encode())
+
+
+#: Payload values whose ``repr`` exceeds this many bytes are separated into
+#: the value log (when one is attached).  Small values stay inline: a
+#: pointer would not be smaller, and recovery would pay a pointless
+#: dereference for them.
+DEFAULT_VALUE_THRESHOLD = 64
+
+#: Simulated page size for value-log charging: one page per started
+#: 4 KiB of value bytes, so a huge blob costs proportionally more than
+#: the flat 64-byte WAL record frame.
+VALUE_PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class ValuePointer:
+    """A WAL-resident reference to a value stored in the value log."""
+
+    slot: int
+    size: int
+    #: CRC32 of the referenced value, carried in the *pointer* so a torn
+    #: value-log write is detected even though the WAL record itself (which
+    #: only framed the pointer) verifies clean.
+    checksum: int
+
+    def __repr__(self) -> str:
+        return f"ValuePointer(slot={self.slot}, size={self.size}, checksum={self.checksum})"
+
+
+class ValueLog:
+    """An append-only charged store for WAL-separated large values.
+
+    Writes charge ``1 + size // 4096`` pages on the log's own metrics;
+    reads charge the same (recovery pays to dereference only the pointers
+    it actually follows, which is the whole point of the separation).
+    """
+
+    def __init__(self, name: str = "vlog", metrics: StorageMetrics | None = None) -> None:
+        self.name = name
+        self.metrics = metrics if metrics is not None else StorageMetrics(owner=name)
+        self._values: list[Any] = []
+        self._checksums: list[int] = []
+        self.appended_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self.appended_bytes
+
+    @staticmethod
+    def _pages(size: int) -> int:
+        return 1 + size // VALUE_PAGE_BYTES
+
+    def put(self, value: Any) -> ValuePointer:
+        """Append ``value``; returns the pointer the WAL record keeps."""
+        size = len(repr(value))
+        self.metrics.charge_page_write(self._pages(size), size)
+        slot = len(self._values)
+        self._values.append(value)
+        self._checksums.append(value_checksum(value))
+        self.appended_bytes += size
+        return ValuePointer(slot=slot, size=size, checksum=value_checksum(value))
+
+    def get(self, pointer: ValuePointer) -> Any:
+        """Dereference ``pointer`` (charged); raises on a torn value write."""
+        if not 0 <= pointer.slot < len(self._values):
+            raise StorageError(
+                f"value log {self.name!r} has no slot {pointer.slot}"
+            )
+        self.metrics.charge_page_read(self._pages(pointer.size), pointer.size)
+        value = self._values[pointer.slot]
+        if self._checksums[pointer.slot] != pointer.checksum:
+            raise StorageError(
+                f"value log {self.name!r} slot {pointer.slot} is torn: "
+                "stored checksum does not match the pointer"
+            )
+        return value
+
+    def tear_slot(self, slot: int) -> None:
+        """Fault hook: corrupt one stored value (a torn value-log write)."""
+        if 0 <= slot < len(self._checksums):
+            self._checksums[slot] ^= 0xFFFFFFFF
 
 
 @dataclass
@@ -75,15 +182,26 @@ class WriteAheadLog:
         name: str = "wal",
         mode: DurabilityMode = DurabilityMode.SYNC,
         metrics: StorageMetrics | None = None,
+        value_log: ValueLog | None = None,
+        value_threshold: int = DEFAULT_VALUE_THRESHOLD,
     ) -> None:
         self.name = name
         self.mode = mode
         self.metrics = metrics if metrics is not None else StorageMetrics(owner=name)
+        #: When set, :meth:`append` separates any payload value whose stable
+        #: ``repr`` exceeds ``value_threshold`` bytes into this value log,
+        #: keeping only a :class:`ValuePointer` in the record.
+        self.value_log = value_log
+        self.value_threshold = value_threshold
         self._records: list[LogRecord] = []
         self._durable_upto = 0
         self._next_sequence = 1
         #: Torn records discarded so far (by truncate/crash handling).
         self.torn_discarded = 0
+        #: Payload values separated into the value log so far.
+        self.separated_values = 0
+        #: Bytes those separated values would have added to WAL records.
+        self.separated_bytes = 0
 
     def __len__(self) -> int:
         """Total number of appended records."""
@@ -107,9 +225,42 @@ class WriteAheadLog:
     def size_in_bytes(self) -> int:
         return sum(64 + len(str(record.payload)) for record in self._records)
 
+    def _separate(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Swap oversized payload values for value-log pointers (KV split)."""
+        if self.value_log is None:
+            return payload
+        separated: dict[str, Any] = {}
+        for key, value in payload.items():
+            if isinstance(value, ValuePointer):
+                separated[key] = value
+                continue
+            size = len(repr(value))
+            if size > self.value_threshold:
+                separated[key] = self.value_log.put(value)
+                self.separated_values += 1
+                self.separated_bytes += size
+            else:
+                separated[key] = value
+        return separated
+
+    def resolve_payload(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Dereference value-log pointers in ``payload`` (the recovery read).
+
+        Each pointer costs a charged value-log read and verifies the
+        value's own checksum — a torn value-log write surfaces here as
+        :class:`~repro.exceptions.StorageError` instead of resurrecting a
+        half-written blob.
+        """
+        if self.value_log is None:
+            return dict(payload)
+        resolved: dict[str, Any] = {}
+        for key, value in payload.items():
+            resolved[key] = self.value_log.get(value) if isinstance(value, ValuePointer) else value
+        return resolved
+
     def append(self, operation: str, payload: dict[str, Any] | None = None) -> LogRecord:
         """Append a record; in SYNC mode the write is charged immediately."""
-        record = LogRecord(self._next_sequence, operation, dict(payload or {}))
+        record = LogRecord(self._next_sequence, operation, self._separate(dict(payload or {})))
         self._next_sequence += 1
         self._records.append(record)
         if self.mode is DurabilityMode.SYNC:

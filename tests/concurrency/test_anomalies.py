@@ -8,11 +8,16 @@ from the documented semantics in ``docs/ARCHITECTURE.md``:
   the same record overlap; first committer wins, the second aborts with
   :class:`~repro.exceptions.WriteConflictError` and must re-read before
   retrying, so no update is silently overwritten.
-* **write skew** — *permitted*.  Two transactions each read a predicate
-  the other writes; their write sets are disjoint, so snapshot isolation
-  commits both even though no serial order produces that outcome.  This is
-  the textbook SI anomaly (serializability would need SSI/predicate
-  locks, which the paper's systems do not implement either).
+* **write skew** — *permitted under SI, prevented under SSI*.  Two
+  transactions each read a predicate the other writes; their write sets
+  are disjoint, so snapshot isolation commits both even though no serial
+  order produces that outcome.  This is the textbook SI anomaly.  Opting
+  a session into ``isolation="ssi"`` turns on read tracking and
+  rw-antidependency validation at commit: the second committer aborts
+  with :class:`~repro.exceptions.SerializationFailureError` — a *different*
+  abort reason from first-committer-wins, counted separately
+  (``stats.ssi_aborts`` vs ``stats.conflict_aborts``), because the retry
+  guidance differs (re-read vs plain re-run).
 """
 
 from __future__ import annotations
@@ -20,12 +25,18 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.workload import load_dataset_into
-from repro.engines import DEFAULT_ENGINES, create_engine
-from repro.exceptions import WriteConflictError
+from repro.engines import ALL_ENGINES, DEFAULT_ENGINES, create_engine
+from repro.exceptions import SerializationFailureError, WriteConflictError
 
 
 @pytest.fixture(params=DEFAULT_ENGINES)
 def loaded(request, small_dataset):
+    return load_dataset_into(create_engine(request.param), small_dataset)
+
+
+@pytest.fixture(params=ALL_ENGINES)
+def any_loaded(request, small_dataset):
+    """Every registered engine (both versions) — SSI is engine-agnostic."""
     return load_dataset_into(create_engine(request.param), small_dataset)
 
 
@@ -101,3 +112,95 @@ class TestWriteSkew:
         # The anomaly: both flags cleared, no serial order explains it.
         assert engine.vertex_property(a, "on_call") is False
         assert engine.vertex_property(b, "on_call") is False
+
+
+def _skew_pair(engine, a, b):
+    """Set up the on-call pair and run both skewed transactions.
+
+    Returns ``(left, right)`` with ``left`` already committed and
+    ``right`` ready to commit — the caller decides the isolation level at
+    ``begin_session`` time and asserts the outcome.
+    """
+    setup = engine.begin_session()
+    setup.graph.set_vertex_property(a, "on_call", True)
+    setup.graph.set_vertex_property(b, "on_call", True)
+    setup.commit()
+
+
+class TestWriteSkewSSI:
+    """The same skew scenario, per isolation level, on every engine."""
+
+    def test_write_skew_prevented_under_ssi(self, any_loaded):
+        """SSI detects the crossed rw-antidependencies and aborts."""
+        engine = any_loaded.engine
+        a, b = any_loaded.vertex_map["n1"], any_loaded.vertex_map["n2"]
+        _skew_pair(engine, a, b)
+
+        left = engine.begin_session(isolation="ssi")
+        right = engine.begin_session(isolation="ssi")
+        assert left.graph.vertex_property(b, "on_call") is True
+        left.graph.set_vertex_property(a, "on_call", False)
+        assert right.graph.vertex_property(a, "on_call") is True
+        right.graph.set_vertex_property(b, "on_call", False)
+        left.commit()
+        with pytest.raises(SerializationFailureError):
+            right.commit()
+
+        manager = engine.transactions()
+        assert manager.stats.ssi_aborts == 1
+        # The serialization failure is NOT a first-committer-wins abort.
+        assert manager.stats.conflict_aborts == 0
+        # The invariant survives: at most one flag was cleared.
+        assert engine.vertex_property(b, "on_call") is True
+
+    def test_write_skew_still_permitted_under_si(self, any_loaded):
+        """Plain SI sessions keep the documented anomaly, on every engine."""
+        engine = any_loaded.engine
+        a, b = any_loaded.vertex_map["n1"], any_loaded.vertex_map["n2"]
+        _skew_pair(engine, a, b)
+
+        left = engine.begin_session()
+        right = engine.begin_session()
+        assert left.graph.vertex_property(b, "on_call") is True
+        left.graph.set_vertex_property(a, "on_call", False)
+        assert right.graph.vertex_property(a, "on_call") is True
+        right.graph.set_vertex_property(b, "on_call", False)
+        left.commit()
+        right.commit()
+
+        manager = engine.transactions()
+        assert manager.stats.ssi_aborts == 0
+        assert manager.stats.conflict_aborts == 0
+        assert engine.vertex_property(a, "on_call") is False
+        assert engine.vertex_property(b, "on_call") is False
+
+    def test_fcw_abort_reason_unchanged_under_ssi(self, any_loaded):
+        """A genuine write-write race still reports WriteConflictError.
+
+        SSI layers *on top of* first-committer-wins; the two abort reasons
+        stay distinct because their retry guidance differs, and the
+        counters must not bleed into each other.
+        """
+        engine = any_loaded.engine
+        vid = any_loaded.vertex_map["n3"]
+        first = engine.begin_session(isolation="ssi")
+        second = engine.begin_session(isolation="ssi")
+        first.graph.set_vertex_property(vid, "rank", 100)
+        second.graph.set_vertex_property(vid, "rank", 200)
+        first.commit()
+        with pytest.raises(WriteConflictError):
+            second.commit()
+
+        manager = engine.transactions()
+        assert manager.stats.conflict_aborts == 1
+        assert manager.stats.ssi_aborts == 0
+
+    def test_read_only_ssi_session_commits_free_of_anomaly_cost(self, loaded):
+        """A read-only SSI session with no conflicting overlap commits."""
+        engine = loaded.engine
+        vid = loaded.vertex_map["n1"]
+        session = engine.begin_session(isolation="ssi")
+        assert session.graph.vertex_property(vid, "rank") == 1
+        result = session.commit()
+        assert result.read_only is True
+        assert result.applied_ops == 0

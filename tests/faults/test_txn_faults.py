@@ -1,0 +1,67 @@
+"""TxnFaultPlan: the explicit crash-point schedule for 2PC scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BenchmarkError
+from repro.faults.txn_faults import (
+    COORDINATOR_CRASH,
+    PARTICIPANT_CRASH_AFTER_VOTE,
+    TXN_FAULT_KINDS,
+    TxnFaultEvent,
+    TxnFaultPlan,
+)
+
+
+class TestEvent:
+    def test_unknown_kind_is_refused(self):
+        with pytest.raises(BenchmarkError):
+            TxnFaultEvent("participant-naps")
+
+    @pytest.mark.parametrize("kind", TXN_FAULT_KINDS)
+    def test_every_registered_kind_constructs(self, kind):
+        assert TxnFaultEvent(kind).kind == kind
+
+    def test_none_fields_match_anything(self):
+        event = TxnFaultEvent(COORDINATOR_CRASH)
+        assert event.matches(COORDINATOR_CRASH, txn=0)
+        assert event.matches(COORDINATOR_CRASH, txn=7, shard=3)
+        assert not event.matches(PARTICIPANT_CRASH_AFTER_VOTE, txn=0)
+
+    def test_pinned_txn_and_shard_must_agree(self):
+        event = TxnFaultEvent(PARTICIPANT_CRASH_AFTER_VOTE, txn=2, shard=1)
+        assert event.matches(PARTICIPANT_CRASH_AFTER_VOTE, txn=2, shard=1)
+        assert not event.matches(PARTICIPANT_CRASH_AFTER_VOTE, txn=3, shard=1)
+        assert not event.matches(PARTICIPANT_CRASH_AFTER_VOTE, txn=2, shard=0)
+        # A probe that doesn't name a shard can't contradict the pin.
+        assert event.matches(PARTICIPANT_CRASH_AFTER_VOTE, txn=2, shard=None)
+
+    def test_describe_round_trips_the_coordinates(self):
+        event = TxnFaultEvent(COORDINATOR_CRASH, txn=4)
+        assert event.describe() == {"kind": COORDINATOR_CRASH, "txn": 4, "shard": None}
+
+
+class TestPlan:
+    def test_default_plan_is_fault_free(self):
+        plan = TxnFaultPlan()
+        assert not plan.fires(COORDINATOR_CRASH, txn=0)
+        assert plan.describe() == {"mode": "fault-free"}
+
+    def test_explicit_plan_fires_only_its_events(self):
+        plan = TxnFaultPlan.explicit(
+            TxnFaultEvent(COORDINATOR_CRASH, txn=0),
+            TxnFaultEvent(PARTICIPANT_CRASH_AFTER_VOTE, txn=1, shard=0),
+        )
+        assert plan.fires(COORDINATOR_CRASH, txn=0)
+        assert not plan.fires(COORDINATOR_CRASH, txn=1)
+        assert plan.fires(PARTICIPANT_CRASH_AFTER_VOTE, txn=1, shard=0)
+        assert not plan.fires(PARTICIPANT_CRASH_AFTER_VOTE, txn=1, shard=1)
+
+    def test_describe_lists_explicit_events(self):
+        plan = TxnFaultPlan.explicit(TxnFaultEvent(COORDINATOR_CRASH))
+        description = plan.describe()
+        assert description["mode"] == "explicit"
+        assert description["events"] == [
+            {"kind": COORDINATOR_CRASH, "txn": None, "shard": None}
+        ]

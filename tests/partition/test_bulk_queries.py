@@ -1,0 +1,142 @@
+"""Distributed bulk reads: values() and degree_at_least() over shards.
+
+Single-superstep scatter/probe/gather: the home shard (owner of the first
+id) ships id batches to the owning shards, every shard probes its local
+engine, answers gather back as charged response batches.  Pinned here:
+
+* answers equal the direct per-id probes on the unpartitioned engine, at
+  every K — for degree, the shard-local remainder plus free cut-table
+  counts must reconstruct the global degree exactly;
+* K=1 (or an all-home id list) moves zero messages and charges exactly
+  the direct probes — the bulk path inherits the charge-parity contract;
+* ids spanning shards pay request + response batches, accounted through
+  the same network cost model as traversal supersteps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import load_dataset_into
+from repro.engines import DEFAULT_ENGINES, create_engine
+from repro.exceptions import BenchmarkError
+from repro.partition import (
+    build_distributed,
+    direct_degree_at_least,
+    direct_values,
+    partition_dataset,
+)
+
+
+@pytest.fixture(params=DEFAULT_ENGINES)
+def identifier(request):
+    return request.param
+
+
+def _distributed(identifier, small_dataset, shards):
+    engine = create_engine(identifier)
+    loaded = load_dataset_into(engine, small_dataset)
+    plan = partition_dataset(small_dataset, shards, "hash")
+    engine.reset_metrics()
+    executor, _build = build_distributed(
+        engine,
+        loaded.vertex_map,
+        plan,
+        lambda: create_engine(identifier),
+    )
+    return executor, loaded, engine
+
+
+@pytest.mark.parametrize("shards", [1, 3])
+class TestAnswersMatchDirect:
+    def test_values_match_the_direct_probe(self, identifier, small_dataset, shards):
+        executor, loaded, engine = _distributed(identifier, small_dataset, shards)
+        ids = sorted(loaded.vertex_map, key=repr)
+        result = executor.values(ids, "rank")
+        direct = direct_values(engine, [loaded.vertex_map[i] for i in ids], "rank")
+        assert [result.answers[i] for i in ids] == [
+            direct[loaded.vertex_map[i]] for i in ids
+        ]
+
+    def test_degree_threshold_matches_the_direct_probe(
+        self, identifier, small_dataset, shards
+    ):
+        executor, loaded, engine = _distributed(identifier, small_dataset, shards)
+        ids = sorted(loaded.vertex_map, key=repr)
+        for k in (1, 2, 5):
+            result = executor.degree_at_least(ids, k)
+            direct = direct_degree_at_least(
+                engine, [loaded.vertex_map[i] for i in ids], k
+            )
+            assert [result.answers[i] for i in ids] == [
+                direct[loaded.vertex_map[i]] for i in ids
+            ], f"k={k}"
+
+
+class TestChargeAccounting:
+    def test_k1_bulk_read_has_charge_parity(self, identifier, small_dataset):
+        executor, loaded, engine = _distributed(identifier, small_dataset, 1)
+        ids = sorted(loaded.vertex_map, key=repr)
+        result = executor.values(ids, "rank")
+        assert result.messages == 0
+        assert result.network_charge == 0
+
+        fresh = create_engine(identifier)
+        fresh_loaded = load_dataset_into(fresh, small_dataset)
+        fresh.reset_metrics()
+        direct_values(fresh, [fresh_loaded.vertex_map[i] for i in ids], "rank")
+        assert result.compute_charge == fresh.io_cost()
+        assert result.makespan_charge == result.compute_charge
+
+    def test_cross_shard_ids_pay_request_and_response_batches(
+        self, identifier, small_dataset
+    ):
+        executor, loaded, engine = _distributed(identifier, small_dataset, 3)
+        ids = sorted(loaded.vertex_map, key=repr)
+        result = executor.values(ids, "rank")
+        spanned = {executor.owner[i] for i in ids}
+        assert len(spanned) > 1
+        # One request out and one response back per non-home shard.
+        assert result.messages == 2 * (len(spanned) - 1)
+        assert result.network_charge > 0
+        assert result.home_shard == executor.owner[ids[0]]
+
+    def test_home_only_ids_move_no_messages(self, identifier, small_dataset):
+        executor, loaded, engine = _distributed(identifier, small_dataset, 3)
+        home = executor.owner[sorted(loaded.vertex_map, key=repr)[0]]
+        ids = [i for i in sorted(loaded.vertex_map, key=repr) if executor.owner[i] == home]
+        result = executor.values(ids, "rank")
+        assert result.messages == 0
+        assert result.network_charge == 0
+
+    def test_cut_edges_can_answer_degree_without_touching_the_engine(
+        self, identifier, small_dataset
+    ):
+        """A vertex whose cut edges alone clear the bar probes nothing."""
+        executor, loaded, engine = _distributed(identifier, small_dataset, 3)
+        cut_heavy = [
+            external
+            for shard in executor.shards
+            for external, remotes in shard.remote.items()
+            if len(remotes) >= 1
+        ]
+        if not cut_heavy:
+            pytest.skip("partition produced no cut edges")
+        vid = sorted(cut_heavy, key=repr)[0]
+        shard = executor.shards[executor.owner[vid]]
+        before = shard.engine.io_cost()
+        result = executor.degree_at_least([vid], 1)
+        assert result.answers[vid] is True
+        assert shard.engine.io_cost() == before  # cut table is RAM, free
+
+
+class TestGuards:
+    def test_empty_id_list_is_refused(self, identifier, small_dataset):
+        executor, _loaded, _engine = _distributed(identifier, small_dataset, 2)
+        with pytest.raises(BenchmarkError):
+            executor.values([], "rank")
+
+    def test_unknown_id_is_refused(self, identifier, small_dataset):
+        executor, _loaded, _engine = _distributed(identifier, small_dataset, 2)
+        with pytest.raises(BenchmarkError):
+            executor.degree_at_least(["missing"], 1)
