@@ -42,6 +42,14 @@ with replica count at every cache size, and ``--require-identical``
 demands the byte-exact payload — replicas are pinned MVCC snapshots and
 every charge is logical.
 
+``--kind reachability`` gates ``BENCH_reachability.json``: on tree-like
+shapes (full tree coverage) the interval index must answer the seeded
+query set for no more charge than the BFS oracle, the charged build pass
+must stay under a fixed multiple of the graph size, each cell's charge
+speedup must not fall below the baseline's by more than the allowed
+fraction, and ``--require-identical`` demands the byte-exact payload —
+shapes are seeded and every charge is logical.
+
 ``--kind txn`` gates ``BENCH_txn.json``: every engine's K=1 parity cell
 must be identical (the distributed session layer adds nothing until
 writes span shards), the write-skew ledger must show SI permitting and
@@ -425,6 +433,65 @@ def check_txn_regressions(
     return failures
 
 
+#: The charged build pass may cost at most this many logical charges per
+#: graph element (vertex or edge): one engine-side scan plus the index's own
+#: labelling updates, with headroom — not a second traversal of everything.
+DEFAULT_REACH_BUILD_CEILING = 8.0
+
+
+def check_reachability_regressions(
+    baseline: dict,
+    current: dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    build_ceiling: float = DEFAULT_REACH_BUILD_CEILING,
+) -> list[str]:
+    """Return one failure per broken reachability-index invariant.
+
+    The payload is fully deterministic, so beyond the speedup-vs-baseline
+    check the gate pins structure: tree-covered shapes must answer the
+    query set for no more charge than the BFS oracle (the index's whole
+    reason to exist), and the charged build pass must stay under a fixed
+    per-element ceiling.
+    """
+    failures: list[str] = []
+
+    def key(cell: dict) -> tuple:
+        return (cell["engine"], cell["shape"])
+
+    current_cells = {key(cell): cell for cell in current.get("cells", [])}
+    for base_cell in baseline.get("cells", []):
+        name = f"{base_cell['engine']}/{base_cell['shape']}"
+        cell = current_cells.get(key(base_cell))
+        if cell is None:
+            failures.append(f"{name}: missing from the current report")
+            continue
+        if (
+            cell["index"]["tree_coverage"] == 1.0
+            and cell["indexed"]["total_charge"] > cell["bfs"]["total_charge"]
+        ):
+            failures.append(
+                f"{name}: tree-covered shape but indexed charge "
+                f"{cell['indexed']['total_charge']} exceeds the BFS oracle's "
+                f"{cell['bfs']['total_charge']}"
+            )
+        elements = cell["dataset"]["vertices"] + cell["dataset"]["edges"]
+        ceiling = build_ceiling * elements
+        if cell["index"]["build_charge"] > ceiling:
+            failures.append(
+                f"{name}: build charge {cell['index']['build_charge']} above "
+                f"the ceiling {ceiling:.0f} ({build_ceiling:g} per element "
+                f"x {elements} elements)"
+            )
+        floor = base_cell["charge_speedup"] * (1.0 - max_regression)
+        if cell["charge_speedup"] < floor:
+            failures.append(
+                f"{name}: charge speedup {cell['charge_speedup']:.2f}x vs "
+                f"baseline {base_cell['charge_speedup']:.2f}x "
+                f"(limit -{max_regression * 100:.0f}%)"
+            )
+    return failures
+
+
 def check_saturation_regressions(
     baseline: dict,
     current: dict,
@@ -463,6 +530,7 @@ def main(argv: list[str] | None = None) -> int:
             "chaos",
             "readscale",
             "txn",
+            "reachability",
         ],
         help="which report family to gate",
     )
@@ -500,6 +568,7 @@ def main(argv: list[str] | None = None) -> int:
             "chaos": "BENCH_chaos.json",
             "readscale": "BENCH_readscale.json",
             "txn": "BENCH_txn.json",
+            "reachability": "BENCH_reachability.json",
         }.get(args.kind, "BENCH_traversal.json")
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
@@ -569,6 +638,21 @@ def main(argv: list[str] | None = None) -> int:
             "txn regression gate passed: K=1 parity identical, SSI prevents "
             "write skew (SI permits it), abort rates under the "
             f"{DEFAULT_TXN_ABORT_CEILING:.2f} ceiling and rising with cut"
+            + (", payload identical to the baseline" if args.require_identical else "")
+        )
+    elif args.kind == "reachability":
+        failures = check_reachability_regressions(baseline, current, args.max_regression)
+        if args.require_identical:
+            failures.extend(
+                check_payload_identity(
+                    baseline, current, "python -m benchmarks.reachability_smoke"
+                )
+            )
+        passed = (
+            "reachability regression gate passed: index beats the BFS oracle "
+            "on every tree-covered cell, build under the "
+            f"{DEFAULT_REACH_BUILD_CEILING:g}/element ceiling, speedups within "
+            f"-{args.max_regression * 100:.0f}%"
             + (", payload identical to the baseline" if args.require_identical else "")
         )
     elif args.kind == "saturation":

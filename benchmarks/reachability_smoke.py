@@ -1,0 +1,78 @@
+"""Reachability smoke: the engine × shape index matrix behind the CI gate.
+
+Runs the deterministic reachability benchmark (:mod:`repro.index.bench`)
+over the default matrix — three engines × four structural shapes (tree,
+dag, cyclic, disconnected) — and writes the JSON payload consumed by the
+regression gate.  Each cell replays the same seeded query set through the
+charged BFS oracle and through the interval index built by a charged
+labelling pass; an in-bench differential check aborts the run if the two
+arms ever disagree, so the payload is byte-identical across machines and
+CI gates it exactly.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.reachability_smoke \
+        [--engines ID...] [--shapes SHAPE...] [--vertices N] \
+        [--output BENCH_reachability.json] [--report PATH]
+
+Gate a fresh run against the committed report with
+``python -m benchmarks.check_regression --kind reachability``.
+
+The defaults mirror ``graphbench reachability`` and the committed
+``BENCH_reachability.json`` baseline; regenerate that baseline with the
+defaults after any intentional change to the index's labelling pass, its
+query charging, or the engines' traversal cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engines import resolve_engine_id
+from repro.index.bench import (
+    DEFAULT_REACH_ENGINES,
+    DEFAULT_REACH_PAIRS,
+    DEFAULT_REACH_SHAPES,
+    DEFAULT_REACH_SOURCES,
+    DEFAULT_REACH_VERTICES,
+    run_reachability_benchmark,
+)
+from repro.index.report import (
+    DEFAULT_REACHABILITY_JSON,
+    format_reachability_report,
+    write_reachability_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engines", nargs="+", default=list(DEFAULT_REACH_ENGINES))
+    parser.add_argument("--shapes", nargs="+", default=list(DEFAULT_REACH_SHAPES))
+    parser.add_argument("--vertices", type=int, default=DEFAULT_REACH_VERTICES)
+    parser.add_argument("--pairs", type=int, default=DEFAULT_REACH_PAIRS)
+    parser.add_argument("--sources", type=int, default=DEFAULT_REACH_SOURCES)
+    parser.add_argument("--seed", type=int, default=20181204)
+    parser.add_argument("--output", default=DEFAULT_REACHABILITY_JSON)
+    parser.add_argument("--report", default=None)
+    args = parser.parse_args(argv)
+
+    report = run_reachability_benchmark(
+        [resolve_engine_id(name) for name in args.engines],
+        shapes=args.shapes,
+        vertices=args.vertices,
+        pairs=args.pairs,
+        sources=args.sources,
+        seed=args.seed,
+    )
+    print(format_reachability_report(report))
+    for path in write_reachability_report(
+        # '' skips the text report, matching `graphbench reachability`.
+        report, json_path=args.output, text_path=args.report or None
+    ):
+        print(f"\nwrote {path.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,12 @@ Sub-commands mirror the workflow of the paper's test suite:
 * ``graphbench readscale`` — replicate each shard's primary behind R
   lagging MVCC read replicas with charged hot-vertex / ghost-adjacency
   caches and measure read throughput vs replica count × staleness bound
-  × cache size, including a cache-coherence storm (Figure 12).
+  × cache size, including a cache-coherence storm (Figure 12);
+* ``graphbench txn`` — charged distributed transactions (per-shard WAL +
+  2PC) under SI and SSI (Figure 13);
+* ``graphbench reachability`` — benchmark the interval reachability index
+  against the charged BFS oracle per engine × structural shape
+  (Figure 14).
 """
 
 from __future__ import annotations
@@ -89,6 +94,21 @@ from repro.faults.chaos import (
     DEFAULT_CHECKPOINT_INTERVAL,
     DEFAULT_MAX_RESTARTS,
     DEFAULT_SUPERSTEP_TIMEOUT,
+)
+from repro.index.bench import (
+    DEFAULT_REACH_ENGINES,
+    DEFAULT_REACH_PAIRS,
+    DEFAULT_REACH_SHAPES,
+    DEFAULT_REACH_SOURCES,
+    DEFAULT_REACH_VERTICES,
+    run_reachability_benchmark,
+)
+from repro.index.generators import SHAPES
+from repro.index.report import (
+    DEFAULT_REACHABILITY_JSON,
+    DEFAULT_REACHABILITY_REPORT,
+    format_reachability_report,
+    write_reachability_report,
 )
 from repro.partition import (
     DEFAULT_BENCH_ENGINES,
@@ -559,6 +579,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the rendered figure here ('' to skip)",
     )
 
+    reach_parser = subparsers.add_parser(
+        "reachability",
+        help="benchmark the interval reachability index against the "
+        "charged BFS per engine × structural shape (Figure 14)",
+    )
+    # Defaults deliberately mirror benchmarks/reachability_smoke.py: a plain
+    # `graphbench reachability` regenerates the committed
+    # BENCH_reachability.json byte-identically rather than clobbering the
+    # CI baseline.
+    reach_parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=list(DEFAULT_REACH_ENGINES),
+        help="engines to index; identifiers or unambiguous prefixes",
+    )
+    reach_parser.add_argument(
+        "--shapes",
+        nargs="+",
+        default=list(DEFAULT_REACH_SHAPES),
+        choices=list(SHAPES),
+        help="structural shapes to sweep",
+    )
+    reach_parser.add_argument(
+        "--vertices",
+        type=int,
+        default=DEFAULT_REACH_VERTICES,
+        help="vertices per generated shape",
+    )
+    reach_parser.add_argument(
+        "--pairs",
+        type=int,
+        default=DEFAULT_REACH_PAIRS,
+        help="seeded reachable(src, dst) pairs per cell",
+    )
+    reach_parser.add_argument(
+        "--sources",
+        type=int,
+        default=DEFAULT_REACH_SOURCES,
+        help="seeded descendants(src) sources per cell",
+    )
+    reach_parser.add_argument("--seed", type=int, default=20181204)
+    reach_parser.add_argument(
+        "--output",
+        default=DEFAULT_REACHABILITY_JSON,
+        help="write the JSON payload here ('' to skip)",
+    )
+    reach_parser.add_argument(
+        "--report",
+        default=DEFAULT_REACHABILITY_REPORT,
+        help="write the rendered figure here ('' to skip)",
+    )
+
     txn_parser = subparsers.add_parser(
         "txn",
         help="run charged distributed transactions (per-shard WAL + 2PC) "
@@ -903,6 +975,38 @@ def _command_readscale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_reachability(args: argparse.Namespace) -> int:
+    if args.vertices < 4 or args.pairs < 1 or args.sources < 1:
+        print(
+            "graphbench reachability: --vertices must be >= 4; --pairs and "
+            "--sources must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        engine_ids = [resolve_engine_id(name) for name in args.engines]
+        report = run_reachability_benchmark(
+            engine_ids,
+            shapes=args.shapes,
+            vertices=args.vertices,
+            pairs=args.pairs,
+            sources=args.sources,
+            seed=args.seed,
+        )
+    except BenchmarkError as error:
+        print(f"graphbench reachability: {error}", file=sys.stderr)
+        return 2
+    print(format_reachability_report(report))
+    written = write_reachability_report(
+        report,
+        json_path=args.output or None,
+        text_path=args.report or None,
+    )
+    for path in written:
+        print(f"wrote {path.resolve()}")
+    return 0
+
+
 def _command_txn(args: argparse.Namespace) -> int:
     if args.transactions < 1 or args.footprint < 1:
         print(
@@ -976,6 +1080,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_chaos(args)
     if args.command == "readscale":
         return _command_readscale(args)
+    if args.command == "reachability":
+        return _command_reachability(args)
     if args.command == "txn":
         return _command_txn(args)
     parser.error(f"unknown command {args.command!r}")

@@ -82,6 +82,11 @@ class EngineInfo:
         }
 
 
+#: WAL operations that change the graph's shape (and therefore invalidate
+#: any interval-labelled structural index built over it).
+_STRUCTURAL_OPS = frozenset({"add_vertex", "remove_vertex", "add_edge", "remove_edge"})
+
+
 class BaseEngine(GraphDatabase):
     """Common infrastructure shared by the concrete engines."""
 
@@ -114,13 +119,22 @@ class BaseEngine(GraphDatabase):
         self.wal = WriteAheadLog(f"{self.name}-wal", mode=durability, metrics=self.metrics)
         self._indexed_vertex_properties: set[str] = set()
         self._bulk_loading = False
+        self._structure_version = 0
 
     # ------------------------------------------------------------------
     # Bookkeeping helpers used by subclasses
     # ------------------------------------------------------------------
 
     def _log(self, operation: str, **payload: Any) -> None:
-        """Record a write operation in the WAL (durability cost model)."""
+        """Record a write operation in the WAL (durability cost model).
+
+        Every engine funnels its mutations through here, which makes it the
+        single invalidation hook for the structural indexes: operations
+        that change the graph's *shape* bump the structure version
+        (property writes do not — interval labels only encode structure).
+        """
+        if operation in _STRUCTURAL_OPS:
+            self._structure_version += 1
         self.wal.append(operation, payload)
 
     def _round_trip(self) -> None:

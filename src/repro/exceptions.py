@@ -166,6 +166,27 @@ class TransactionInDoubtError(TransactionError):
         self.point = point
 
 
+class StaleIndexError(GraphBenchError):
+    """A structural index was queried after the graph mutated underneath it.
+
+    Interval labels are only valid for the structure version they were
+    built against; any vertex or edge mutation bumps the engine's
+    structure version and invalidates the index.  The raw index raises
+    this error instead of answering wrong; the ``GraphDatabase`` facade
+    catches staleness up front by rebuilding lazily.
+    """
+
+    def __init__(self, label: object, built_version: int, current_version: int) -> None:
+        super().__init__(
+            f"structural index over label {label!r} is stale: built at "
+            f"structure version {built_version}, graph is at {current_version}; "
+            "rebuild it (or query through GraphDatabase.reachable)"
+        )
+        self.label = label
+        self.built_version = built_version
+        self.current_version = current_version
+
+
 class DatasetError(GraphBenchError):
     """A dataset could not be generated, loaded, or parsed."""
 

@@ -278,7 +278,9 @@ class TraversalMachine:
         terminal, which reads walker paths without a ``path()`` step).
         """
         baseline = _BASELINE_MODE
-        pipeline = optimize(self.graph, steps, count_pushdown=not baseline)
+        pipeline = optimize(
+            self.graph, steps, count_pushdown=not baseline, index_routing=not baseline
+        )
         tracking = baseline or require_paths or requires_path(pipeline)
         batching = not baseline and batching_is_safe(pipeline)
         self.context.path_tracking = tracking

@@ -17,7 +17,12 @@ rewrites and nothing more:
   -> ``edge_count()``, ``E().has('label', l).count()`` -> a label-scan
   count) for step-conflating engines and for engines that answer counts from
   native structures (``conflates_counts``, the bitmap engine's population
-  counts).
+  counts);
+* **structural-index routing** — ``reachable()`` / ``descendants()`` steps
+  are answered through the interval reachability index
+  (:mod:`repro.index`) when — and only when — the graph already holds a
+  fresh index over the step's label.  The rewrite never builds an index as
+  a query side effect.
 
 Engines that, like the paper's Neo4j/Sparksee/BlazeGraph adapters, evaluate
 steps one by one keep the naive pipeline.
@@ -45,19 +50,42 @@ def engine_conflates_counts(graph: GraphDatabase) -> bool:
     return engine_optimizes(graph) or bool(getattr(graph, "conflates_counts", False))
 
 
+def _index_routable(graph: GraphDatabase, label: str | None) -> bool:
+    """True if the graph holds a *fresh* structural index over ``label``.
+
+    The routing predicate never builds an index: queries only benefit after
+    someone explicitly called ``graph.structural_index(label)``, so baseline
+    and unindexed runs keep their full BFS charges.
+    """
+    predicate = getattr(graph, "has_structural_index", None)
+    return predicate is not None and predicate(label)
+
+
 def optimize(
-    graph: GraphDatabase, steps: list[S.Step], count_pushdown: bool = True
+    graph: GraphDatabase,
+    steps: list[S.Step],
+    count_pushdown: bool = True,
+    index_routing: bool = True,
 ) -> list[S.Step]:
     """Return the (possibly rewritten) step pipeline for ``graph``.
 
-    ``count_pushdown=False`` disables only the count rewrite (used by the
-    baseline executor for before/after benchmarking).
+    ``count_pushdown=False`` disables only the count rewrite and
+    ``index_routing=False`` only the structural-index rewrite (both used by
+    the baseline executor for before/after benchmarking).
     """
     conflating = engine_optimizes(graph)
     rewritten: list[S.Step] = []
     position = 0
     while position < len(steps):
         step = steps[position]
+        if index_routing and isinstance(step, S.ReachableStep) and _index_routable(graph, step.label):
+            rewritten.append(S.IndexedReachableStep(target=step.target, label=step.label))
+            position += 1
+            continue
+        if index_routing and isinstance(step, S.DescendantsStep) and _index_routable(graph, step.label):
+            rewritten.append(S.IndexedDescendantsStep(label=step.label))
+            position += 1
+            continue
         following = steps[position + 1] if position + 1 < len(steps) else None
         if (
             isinstance(step, S.VStep)

@@ -673,6 +673,30 @@ class BulkMergeStep(Step):
     name = "bulk"
 
     def apply(self, traversers, ctx):
+        from repro import kernels
+
+        if not kernels.vectorized_enabled():
+            yield from self._apply_scalar(traversers)
+            return
+        # Vectorized variant: gather a chunk (flushed when it holds
+        # ``capacity`` distinct positions, exactly like the dict path),
+        # then merge it with np.unique/bincount when the chunk is uniform
+        # (all int objects, one kind, one loop depth) — the shape every
+        # frontier of the BFS workloads has.  Mixed chunks fall back to the
+        # dict merge; both orders are first-occurrence order.
+        chunk: list["Traverser"] = []
+        seen: set[tuple[Any, str, int]] = set()
+        for traverser in traversers:
+            chunk.append(traverser)
+            seen.add((traverser.obj, traverser.kind, traverser.loops))
+            if len(seen) >= self.capacity:
+                yield from self._merge_chunk(chunk)
+                chunk = []
+                seen = set()
+        if chunk:
+            yield from self._merge_chunk(chunk)
+
+    def _apply_scalar(self, traversers):
         merged: dict[tuple[Any, str, int], "Traverser"] = {}
         for traverser in traversers:
             key = (traverser.obj, traverser.kind, traverser.loops)
@@ -685,6 +709,41 @@ class BulkMergeStep(Step):
             else:
                 merged[key] = held.with_bulk(held.bulk + traverser.bulk)
         yield from merged.values()
+
+    def _merge_chunk(self, chunk: list["Traverser"]):
+        from repro import kernels
+
+        np = kernels.numpy()
+        first = chunk[0]
+        kind = first.kind
+        loops = first.loops
+        objs: list[int] = []
+        uniform = True
+        for traverser in chunk:
+            obj = traverser.obj
+            if type(obj) is not int or traverser.kind != kind or traverser.loops != loops:
+                uniform = False
+                break
+            objs.append(obj)
+        if not uniform:
+            return self._apply_scalar(iter(chunk))
+        try:
+            arr = np.array(objs, dtype=np.int64)
+        except OverflowError:
+            return self._apply_scalar(iter(chunk))
+        unique, first_index, inverse = np.unique(arr, return_index=True, return_inverse=True)
+        if unique.size == arr.size:
+            return iter(chunk)  # no duplicates: pass walkers through untouched
+        bulks = np.bincount(
+            inverse, weights=np.array([t.bulk for t in chunk], dtype=np.float64)
+        )
+        order = np.argsort(first_index, kind="stable")
+        merged: list["Traverser"] = []
+        for position in order.tolist():
+            held = chunk[int(first_index[position])]
+            bulk = int(bulks[position])
+            merged.append(held if bulk == held.bulk else held.with_bulk(bulk))
+        return iter(merged)
 
     def describe(self) -> str:
         return f"bulk({self.capacity})"
@@ -708,6 +767,92 @@ class GroupCountStep(Step):
         from repro.gremlin.traversal import Traverser  # local import to avoid cycle
 
         yield Traverser(obj=counts, kind="value", path=(counts,))
+
+
+@dataclass
+class ReachableStep(Step):
+    """``reachable(target)``: map each vertex to whether it reaches ``target``.
+
+    The naive form runs the charged BFS oracle per walker — the pipeline a
+    paper-style engine executes when no structural index exists.  The
+    optimizer rewrites it to :class:`IndexedReachableStep` when the graph
+    holds a fresh interval index over ``label``.
+    """
+
+    target: Any = None
+    label: str | None = None
+    name = "reachable"
+
+    def apply(self, traversers, ctx):
+        from repro.index.oracle import bfs_reachable  # local import to avoid cycle
+
+        for traverser in traversers:
+            answer = bfs_reachable(ctx.graph, traverser.obj, self.target, self.label)
+            yield traverser.spawn(answer, kind="value")
+
+    def describe(self) -> str:
+        return f"reachable({self.target!r}, label={self.label!r})"
+
+
+@dataclass
+class IndexedReachableStep(Step):
+    """``reachable(target)`` answered through the structural interval index.
+
+    Installed by the optimizer only when the graph already holds a fresh
+    index over ``label`` — the rewrite never builds one as a query side
+    effect, so baseline pipelines keep paying the full BFS.
+    """
+
+    target: Any = None
+    label: str | None = None
+    name = "reachable(indexed)"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            answer = ctx.graph.reachable(traverser.obj, self.target, self.label)
+            yield traverser.spawn(answer, kind="value")
+
+    def describe(self) -> str:
+        return f"reachable({self.target!r}, label={self.label!r}) [interval index]"
+
+
+@dataclass
+class DescendantsStep(Step):
+    """``descendants()``: expand each vertex to everything it reaches.
+
+    Naive form: the charged BFS oracle per walker.  Rewritten to
+    :class:`IndexedDescendantsStep` under the same policy as
+    :class:`ReachableStep`.
+    """
+
+    label: str | None = None
+    name = "descendants"
+
+    def apply(self, traversers, ctx):
+        from repro.index.oracle import bfs_descendants  # local import to avoid cycle
+
+        for traverser in traversers:
+            for vertex in bfs_descendants(ctx.graph, traverser.obj, self.label):
+                yield traverser.spawn(vertex, kind="vertex")
+
+    def describe(self) -> str:
+        return f"descendants(label={self.label!r})"
+
+
+@dataclass
+class IndexedDescendantsStep(Step):
+    """``descendants()`` answered through the structural interval index."""
+
+    label: str | None = None
+    name = "descendants(indexed)"
+
+    def apply(self, traversers, ctx):
+        for traverser in traversers:
+            for vertex in ctx.graph.descendants(traverser.obj, self.label):
+                yield traverser.spawn(vertex, kind="vertex")
+
+    def describe(self) -> str:
+        return f"descendants(label={self.label!r}) [interval index]"
 
 
 def build_loop_section(steps: list[Step], loop_step: LoopStep) -> list[Step]:

@@ -200,6 +200,19 @@ class GraphTraversal:
         """Move from edges to the endpoint not visited last."""
         return self._append(S.EdgeVertexStep(which="other"))
 
+    def reachable(self, target: Any, label: str | None = None) -> "GraphTraversal":
+        """Map each vertex to whether it reaches ``target`` over out-edges.
+
+        Optionally restricted to edges with ``label``.  Runs the charged
+        BFS unless the optimizer routes it to a fresh structural index
+        (see :meth:`~repro.model.graph.GraphDatabase.structural_index`).
+        """
+        return self._append(S.ReachableStep(target=target, label=label))
+
+    def descendants(self, label: str | None = None) -> "GraphTraversal":
+        """Expand each vertex to every vertex it reaches over out-edges."""
+        return self._append(S.DescendantsStep(label=label))
+
     # -- element projections -----------------------------------------------------------
 
     def label(self) -> "GraphTraversal":

@@ -1,0 +1,96 @@
+"""Seeded graph-shape generators for the reachability suite.
+
+Four structural shapes, each exercising a different index regime:
+
+``tree``
+    A single rooted tree over the ``"link"`` label — every component is
+    tree-shaped, tree coverage 1.0, every query O(1).
+``disconnected``
+    A forest of several roots plus isolated vertices — many components,
+    still full tree coverage; cross-component pairs answer ``False`` from
+    component ids alone.
+``dag``
+    Tree plus extra ``"link"`` edges into already-parented vertices
+    (in-degree >= 2) — acyclic but not a forest, so queries fall back to
+    the charged BFS.
+``cyclic``
+    DAG plus back edges closing cycles — the fully general fallback case.
+
+Every shape also threads a few edges of a second label (``"cross"``)
+through the graph, so an index built over ``label="link"`` sees only the
+structural shape above while the unlabelled subgraph is messier — the
+label-induced-subgraph contract in one dataset.
+
+Determinism: everything derives from a shape-salted ``random.Random``; the same
+``(shape, vertices, seed)`` triple always yields an identical
+:class:`~repro.datasets.base.Dataset`, which the differential tests and
+the committed benchmark payload both rely on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import Dataset
+from repro.exceptions import BenchmarkError
+
+#: Edge label the structural shapes are built from (and indexed over).
+STRUCTURE_LABEL = "link"
+#: Second label threaded through every shape to blur the unlabelled graph.
+NOISE_LABEL = "cross"
+
+SHAPES = ("tree", "dag", "cyclic", "disconnected")
+
+
+def generate_shape(shape: str, vertices: int = 64, seed: int = 7) -> Dataset:
+    """Return the seeded :class:`Dataset` for one structural ``shape``."""
+    if shape not in SHAPES:
+        raise BenchmarkError(f"unknown reachability shape {shape!r}; pick one of {SHAPES}")
+    if vertices < 4:
+        raise BenchmarkError("reachability shapes need at least 4 vertices")
+    rng = random.Random(f"{shape}:{seed}")
+    vertex_rows = [
+        {"id": f"r{position}", "label": "node", "properties": {"rank": position}}
+        for position in range(vertices)
+    ]
+    edges: list[dict[str, object]] = []
+
+    def link(source: int, target: int, label: str = STRUCTURE_LABEL) -> None:
+        edges.append({"source": f"r{source}", "target": f"r{target}", "label": label})
+
+    if shape == "tree":
+        for child in range(1, vertices):
+            link(rng.randrange(child), child)
+    elif shape == "disconnected":
+        roots = max(3, vertices // 16)
+        isolated = max(2, vertices // 20)
+        for child in range(roots, vertices - isolated):
+            link(rng.randrange(child), child)
+        # the last `isolated` vertices get no structure edges at all
+    elif shape == "dag":
+        for child in range(1, vertices):
+            link(rng.randrange(child), child)
+        for _ in range(max(2, vertices // 8)):
+            target = rng.randrange(2, vertices)
+            link(rng.randrange(target), target)  # second parent, still acyclic
+    else:  # cyclic
+        for child in range(1, vertices):
+            link(rng.randrange(child), child)
+        link(1, 0)  # vertex 1's tree parent is 0, so this closes 0 -> 1 -> 0
+        for _ in range(max(2, vertices // 10)):
+            source = rng.randrange(1, vertices)
+            link(source, rng.randrange(source))  # back edges toward ancestors
+    # Noise edges under the second label never touch the indexed subgraph.
+    for _ in range(max(2, vertices // 6)):
+        source = rng.randrange(vertices)
+        target = rng.randrange(vertices)
+        link(source, target, label=NOISE_LABEL)
+
+    dataset = Dataset(
+        name=f"reach-{shape}-{vertices}-{seed}",
+        vertices=vertex_rows,
+        edges=edges,
+        description=f"seeded {shape} shape for the reachability suite",
+    )
+    dataset.validate()
+    return dataset

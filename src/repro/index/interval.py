@@ -1,0 +1,253 @@
+"""The interval-labelled reachability index.
+
+Labelling scheme (the XPath-accelerator idea): number the vertices of every
+*tree-shaped* weakly-connected component of the label-induced subgraph in
+DFS preorder and record each vertex's subtree size.  A vertex ``v`` then
+owns the half-open interval ``[pre(v), pre(v) + size(v))`` and
+
+* ``reachable(u, w)``  ⇔  ``pre(u) <= pre(w) < pre(u) + size(u)``  — one
+  O(1) containment check per pair;
+* ``descendants(u)``  =  ``preorder[pre(u)+1 : pre(u)+size(u)]`` — one
+  contiguous slice, because a component's DFS numbers one root to
+  completion before the next.
+
+A component is tree-shaped iff every member has in-degree <= 1 within the
+label subgraph and some member has in-degree 0 (weak connectivity then
+forces exactly one root and no cycle).  Components with shared children,
+parallel edges, or cycles are *fallback regions*: queries touching them run
+the charged BFS oracle instead, so the index is always exact, just not
+always O(1).  Cross-component pairs answer ``False`` from the component
+ids alone.
+
+Charging: the build pass books one index update per vertex labelled and
+per edge examined into a dedicated ``interval-index`` sink in the engine's
+metrics registry (so ``combined_metrics`` sees it), on top of the engine's
+own scan/expansion charges; each interval query books one index probe, and
+``descendants`` additionally one record read per emitted id.  Fallback
+queries charge whatever the BFS charges through the engine.
+
+Staleness: the index snapshots ``graph.structure_version()`` at build time
+and every query re-checks it, raising
+:class:`~repro.exceptions.StaleIndexError` after any structural mutation.
+The :class:`~repro.index.manager.StructuralIndexManager` facade turns that
+into a lazy rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ElementNotFoundError, StaleIndexError
+from repro.index.oracle import bfs_descendants, bfs_reachable
+from repro.model.elements import Direction
+from repro.model.graph import GraphDatabase
+from repro.storage.metrics import StorageMetrics
+
+#: Vertex chunk handed to ``neighbors_many`` during the build scan.
+_BUILD_CHUNK = 256
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Shape summary of one built index (reported by the benchmark)."""
+
+    total_vertices: int
+    tree_vertices: int
+    edges_scanned: int
+    components: int
+    tree_components: int
+
+    @property
+    def tree_coverage(self) -> float:
+        """Fraction of vertices answerable in O(1) (1.0 for forests)."""
+        if self.total_vertices == 0:
+            return 1.0
+        return self.tree_vertices / self.total_vertices
+
+
+class IntervalReachabilityIndex:
+    """Pre/post-order interval labelling of one label-induced subgraph."""
+
+    def __init__(self, graph: GraphDatabase, label: str | None = None) -> None:
+        self._graph = graph
+        self._label = label
+        registry = getattr(graph, "metrics_registry", None)
+        if registry is not None:
+            self._metrics = registry.get("interval-index")
+        else:  # engines without a registry still get charged bookkeeping
+            self._metrics = StorageMetrics(owner="interval-index")
+        self._built_version: int | None = None
+        self._index_of: dict[Any, int] = {}
+        self._vertices: list[Any] = []
+        self._component: list[int] = []
+        self._tree_component: list[bool] = []
+        self._pre: list[int] = []
+        self._size: list[int] = []
+        self._preorder: list[Any] = []
+        self.stats = IndexStats(0, 0, 0, 0, 0)
+
+    @property
+    def label(self) -> str | None:
+        return self._label
+
+    @property
+    def built_version(self) -> int | None:
+        """Structure version the labels were computed at (None = unbuilt)."""
+        return self._built_version
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    def build(self) -> "IntervalReachabilityIndex":
+        """Run the charged labelling pass over the current graph."""
+        graph = self._graph
+        metrics = self._metrics
+        self._built_version = graph.structure_version()
+
+        vertices = list(graph.vertex_ids())  # engine-charged full scan
+        index_of = {vertex: position for position, vertex in enumerate(vertices)}
+        count = len(vertices)
+        adjacency: list[list[int]] = [[] for _ in range(count)]
+        in_degree = [0] * count
+        parent = list(range(count))  # union-find over weak connectivity
+
+        def find(node: int) -> int:
+            root = node
+            while parent[root] != root:
+                root = parent[root]
+            while parent[node] != root:  # path compression
+                parent[node], node = root, parent[node]
+            return root
+
+        # One index update per vertex entered into the labelling structure.
+        metrics.index_updates += count
+
+        edges_scanned = 0
+        for start in range(0, count, _BUILD_CHUNK):
+            chunk = vertices[start : start + _BUILD_CHUNK]
+            for src, dst in graph.neighbors_many(chunk, Direction.OUT, self._label):
+                src_pos = index_of[src]
+                dst_pos = index_of[dst]
+                adjacency[src_pos].append(dst_pos)
+                in_degree[dst_pos] += 1
+                root_a, root_b = find(src_pos), find(dst_pos)
+                if root_a != root_b:
+                    parent[root_b] = root_a
+                edges_scanned += 1
+                metrics.charge_index_update()
+
+        # Group members per weak component and classify tree shapes.
+        components: dict[int, list[int]] = {}
+        for position in range(count):
+            components.setdefault(find(position), []).append(position)
+        component_of = [0] * count
+        tree_flags: list[bool] = []
+        roots: list[tuple[int, int]] = []  # (component id, root position)
+        for component_id, members in enumerate(components.values()):
+            zero_in = [m for m in members if in_degree[m] == 0]
+            is_tree = len(zero_in) == 1 and all(in_degree[m] <= 1 for m in members)
+            tree_flags.append(is_tree)
+            for member in members:
+                component_of[member] = component_id
+            if is_tree:
+                roots.append((component_id, zero_in[0]))
+
+        # DFS-number each tree component root-to-completion, so every
+        # subtree owns one contiguous preorder interval.
+        pre = [-1] * count
+        size = [0] * count
+        preorder: list[Any] = [None] * count
+        counter = 0
+        for _component_id, root in roots:
+            stack: list[tuple[int, int]] = [(root, 0)]
+            pre[root] = counter
+            preorder[counter] = vertices[root]
+            counter += 1
+            while stack:
+                node, child_cursor = stack[-1]
+                children = adjacency[node]
+                if child_cursor < len(children):
+                    stack[-1] = (node, child_cursor + 1)
+                    child = children[child_cursor]
+                    pre[child] = counter
+                    preorder[counter] = vertices[child]
+                    counter += 1
+                    stack.append((child, 0))
+                else:
+                    stack.pop()
+                    size[node] = counter - pre[node]
+
+        self._vertices = vertices
+        self._index_of = index_of
+        self._component = component_of
+        self._tree_component = tree_flags
+        self._pre = pre
+        self._size = size
+        self._preorder = preorder[:counter]
+        self.stats = IndexStats(
+            total_vertices=count,
+            tree_vertices=counter,
+            edges_scanned=edges_scanned,
+            components=len(components),
+            tree_components=len(roots),
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Staleness
+    # ------------------------------------------------------------------
+
+    def is_stale(self) -> bool:
+        """True if the graph's shape changed since :meth:`build`."""
+        return self._built_version != self._graph.structure_version()
+
+    def check_fresh(self) -> None:
+        """Raise :class:`StaleIndexError` when the labels are invalid."""
+        current = self._graph.structure_version()
+        if self._built_version != current:
+            raise StaleIndexError(self._label, self._built_version or 0, current)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _position(self, vertex_id: Any) -> int:
+        position = self._index_of.get(vertex_id)
+        if position is None:
+            raise ElementNotFoundError("vertex", vertex_id)
+        return position
+
+    def reachable(self, src: Any, dst: Any) -> bool:
+        """Interval containment inside trees, charged BFS elsewhere."""
+        self.check_fresh()
+        src_pos = self._position(src)
+        dst_pos = self._position(dst)
+        self._metrics.charge_index_probe()
+        if src_pos == dst_pos:
+            return True
+        if self._component[src_pos] != self._component[dst_pos]:
+            return False
+        if self._tree_component[self._component[src_pos]]:
+            pre = self._pre
+            return pre[src_pos] <= pre[dst_pos] < pre[src_pos] + self._size[src_pos]
+        return bfs_reachable(self._graph, src, dst, self._label)
+
+    def descendants(self, src: Any) -> list[Any]:
+        """Preorder-slice inside trees, charged BFS elsewhere.
+
+        Tree answers come back in DFS preorder, fallback answers in BFS
+        order; both are the same *set* (differentially pinned by
+        ``tests/index/test_oracle.py``), and ``src`` is never included.
+        """
+        self.check_fresh()
+        src_pos = self._position(src)
+        self._metrics.charge_index_probe()
+        if not self._tree_component[self._component[src_pos]]:
+            return bfs_descendants(self._graph, src, self._label)
+        start = self._pre[src_pos]
+        result = self._preorder[start + 1 : start + self._size[src_pos]]
+        if result:
+            self._metrics.charge_record_read(len(result))
+        return result

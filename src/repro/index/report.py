@@ -1,0 +1,78 @@
+"""Rendering and persistence of the reachability-index benchmark.
+
+``BENCH_reachability.json`` is the machine-readable artifact gated by
+``benchmarks/check_regression.py --kind reachability``;
+``benchmarks/reports/fig14_reachability.txt`` is the human-readable
+figure, following the repo's per-figure report convention.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.concurrency.report import _write_report
+
+DEFAULT_REACHABILITY_JSON = "BENCH_reachability.json"
+DEFAULT_REACHABILITY_REPORT = "benchmarks/reports/fig14_reachability.txt"
+
+_COLUMNS = (
+    ("shape", "shape", "{:s}"),
+    ("coverage", "tree-cov", "{:.0%}"),
+    ("build", "build", "{:d}"),
+    ("bfs_total", "bfs-chg", "{:d}"),
+    ("indexed_total", "idx-chg", "{:d}"),
+    ("speedup", "speedup", "{:.1f}x"),
+    ("amortize", "amortize", "{:s}"),
+)
+
+
+def format_reachability_report(report: dict[str, Any]) -> str:
+    """Render the engine × shape matrix as aligned per-engine tables."""
+    lines = [
+        "Figure 14: reachability charges — interval index vs charged BFS, "
+        "per engine and structural shape",
+        f"|V|={report['vertices']}  label={report['label']!r}  "
+        f"{report['reachable_pairs']} reachable pairs + "
+        f"{report['descendant_sources']} descendant sources per cell  "
+        f"seed={report['seed']}",
+    ]
+    header = "  " + "".join(f" {title:>9}" for _key, title, _fmt in _COLUMNS)
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for cell in report["cells"]:
+        groups.setdefault(cell["engine"], []).append(cell)
+    for engine_id, cells in groups.items():
+        best = max(cells, key=lambda c: c["charge_speedup"])
+        lines.append("")
+        lines.append(
+            f"{engine_id} — best charge speedup {best['charge_speedup']:.1f}x "
+            f"on {best['shape']}"
+        )
+        lines.append(header)
+        for cell in cells:
+            amortize = cell["amortize_after_queries"]
+            values = {
+                "shape": cell["shape"],
+                "coverage": cell["index"]["tree_coverage"],
+                "build": cell["index"]["build_charge"],
+                "bfs_total": cell["bfs"]["total_charge"],
+                "indexed_total": cell["indexed"]["total_charge"],
+                "speedup": cell["charge_speedup"],
+                "amortize": f"{amortize:g}q" if amortize is not None else "never",
+            }
+            lines.append(
+                "  "
+                + "".join(
+                    f" {fmt.format(values[key]):>9}" for key, _title, fmt in _COLUMNS
+                )
+            )
+    return "\n".join(lines)
+
+
+def write_reachability_report(
+    report: dict[str, Any],
+    json_path: str | Path | None = DEFAULT_REACHABILITY_JSON,
+    text_path: str | Path | None = DEFAULT_REACHABILITY_REPORT,
+) -> list[Path]:
+    """Persist the payload and/or rendered figure; return the paths written."""
+    return _write_report(report, format_reachability_report, json_path, text_path)

@@ -1,0 +1,83 @@
+"""Kernel selection for the vectorized hot paths.
+
+The cost model is logical: every engine books the same simulated I/O no
+matter how the interpreter computes the answer.  That leaves the *physical*
+loop free to be vectorized — decode an incidence bitmap with ``numpy``
+instead of big-integer bit isolation, gather edge endpoints with one fancy
+index instead of a dict lookup per edge, merge a bulk chunk with
+``np.unique`` instead of a Python dict — as long as charges and yield order
+stay byte-identical to the scalar path.
+
+This module is the single switch those kernels consult:
+
+* :func:`vectorized_enabled` — True when numpy is importable, the
+  ``REPRO_SCALAR_KERNELS`` environment variable is unset, and no
+  :func:`scalar_kernels` context is active;
+* :func:`scalar_kernels` — context manager forcing every kernel back to
+  the scalar implementation (the A/B lever used by the charge-parity
+  tests and the benchmark harness);
+* :func:`vectorized_kernels` — context manager forcing vectorized
+  kernels on (fails fast if numpy is unavailable).
+
+The container may lack numpy entirely (the dependency is optional and is
+never installed on demand); in that case every kernel silently runs the
+scalar path and the parity suite's vectorized half is skipped.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+try:  # pragma: no cover - exercised implicitly on import
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - environment without numpy
+    _numpy = None
+
+#: Whether numpy is importable at all in this interpreter.
+NUMPY_AVAILABLE = _numpy is not None
+
+#: Tri-state override: None = default (numpy present and env unset),
+#: True/False = forced by a context manager.
+_FORCED: bool | None = None
+
+
+def numpy():
+    """Return the numpy module (None when unavailable)."""
+    return _numpy
+
+
+def vectorized_enabled() -> bool:
+    """True when kernels should take their vectorized fast path."""
+    if _FORCED is not None:
+        return _FORCED
+    if _numpy is None:
+        return False
+    return not os.environ.get("REPRO_SCALAR_KERNELS")
+
+
+@contextmanager
+def scalar_kernels() -> Iterator[None]:
+    """Force every kernel to its scalar implementation inside the context."""
+    global _FORCED
+    previous = _FORCED
+    _FORCED = False
+    try:
+        yield
+    finally:
+        _FORCED = previous
+
+
+@contextmanager
+def vectorized_kernels() -> Iterator[None]:
+    """Force vectorized kernels on inside the context (requires numpy)."""
+    global _FORCED
+    if _numpy is None:
+        raise RuntimeError("vectorized kernels require numpy, which is not installed")
+    previous = _FORCED
+    _FORCED = True
+    try:
+        yield
+    finally:
+        _FORCED = previous

@@ -493,6 +493,64 @@ class GraphDatabase(abc.ABC):
         return GraphTraversal(self)
 
     # ------------------------------------------------------------------
+    # Structural reachability index (repro.index)
+    # ------------------------------------------------------------------
+
+    def structure_version(self) -> int:
+        """Monotonic counter bumped on every shape mutation.
+
+        Engines built on :class:`~repro.engines.base.BaseEngine` bump it
+        from their WAL hook on vertex/edge add/remove; structural indexes
+        compare it against the version they were built at to detect
+        staleness.  Property writes do not bump it.
+        """
+        return getattr(self, "_structure_version", 0)
+
+    def structural_index(self, label: str | None = None):
+        """Return a fresh interval reachability index over ``label``.
+
+        The per-database :class:`~repro.index.StructuralIndexManager` is a
+        lazy singleton (like :meth:`transactions`); it caches one index per
+        label and rebuilds, with a charged pass, whenever the structure
+        version moved.  Pass ``label=None`` for the unlabelled edge set.
+        """
+        manager = getattr(self, "_structural_index_manager", None)
+        if manager is None:
+            from repro.index import StructuralIndexManager
+
+            manager = StructuralIndexManager(self)
+            self._structural_index_manager = manager
+        return manager.get(label)
+
+    def has_structural_index(self, label: str | None = None) -> bool:
+        """True if a *fresh* structural index over ``label`` is cached.
+
+        The optimizer's routing predicate: it only reroutes reachability
+        steps onto an index that already exists, never builds one as a
+        query side effect.
+        """
+        manager = getattr(self, "_structural_index_manager", None)
+        return manager is not None and manager.has_fresh(label)
+
+    def reachable(self, src: Any, dst: Any, label: str | None = None) -> bool:
+        """True if ``dst`` is reachable from ``src`` over out-edges.
+
+        Answered through the structural index (built or rebuilt lazily):
+        O(1) interval containment inside tree-shaped regions of the
+        ``label``-induced subgraph, charged BFS fallback elsewhere.
+        """
+        return self.structural_index(label).reachable(src, dst)
+
+    def descendants(self, src: Any, label: str | None = None) -> list[Any]:
+        """Every vertex reachable from ``src`` over one or more out-edges.
+
+        Tree regions answer with one slice of the index's preorder array;
+        non-tree regions fall back to a charged BFS.  The result excludes
+        ``src`` itself.
+        """
+        return self.structural_index(label).descendants(src)
+
+    # ------------------------------------------------------------------
     # Transactional sessions (concurrency layer)
     # ------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator
 
+from repro import kernels
 from repro.storage.metrics import StorageMetrics
 
 
@@ -100,6 +101,25 @@ class Bitmap:
 
     def to_list(self) -> list[int]:
         return list(self)
+
+    def to_array(self):
+        """Decode the set bit positions into a numpy ``int64`` array.
+
+        One ``to_bytes`` + ``unpackbits`` + ``flatnonzero`` pass in C,
+        ascending order — the vectorized equivalent of :meth:`__iter__`.
+        Decoding is pure interpreter work (the scalar iterator charges
+        nothing either); callers guard on numpy availability through
+        :mod:`repro.kernels`.
+        """
+        np = kernels.numpy()
+        if np is None:  # pragma: no cover - guarded by vectorized_enabled()
+            raise RuntimeError("Bitmap.to_array requires numpy")
+        bits = self._bits
+        if not bits:
+            return np.empty(0, dtype=np.int64)
+        raw = bits.to_bytes((bits.bit_length() + 7) // 8, "little")
+        packed = np.frombuffer(raw, dtype=np.uint8)
+        return np.flatnonzero(np.unpackbits(packed, bitorder="little")).astype(np.int64)
 
     @property
     def size_in_bytes(self) -> int:

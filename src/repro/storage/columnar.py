@@ -18,6 +18,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro import kernels
 from repro.exceptions import ElementNotFoundError
 from repro.storage.metrics import StorageMetrics
 
@@ -30,6 +31,8 @@ class _Row:
     columns: dict[str, Any] = field(default_factory=dict)
     tombstones: set[str] = field(default_factory=set)
     deleted: bool = False
+    #: Bumped on every cell write/tombstone; invalidates cached slices.
+    version: int = 0
 
     def live_columns(self) -> dict[str, Any]:
         return {
@@ -100,6 +103,10 @@ class ColumnFamilyStore:
         self.consistency_checks = consistency_checks
         self._rows: list[_Row] = []
         self.row_index = RowKeyIndex(f"{name}-rowkeys", metrics=self.metrics)
+        #: parse-once cache for adjacency slices, keyed (row key, prefix) ->
+        #: (row version, edge-id tuple, opposite-endpoint array).  A pure
+        #: interpreter memo: hits re-book the full slice read charge.
+        self._slice_cache: dict[tuple[Any, str], tuple[int, tuple, Any]] = {}
 
     def __len__(self) -> int:
         """Number of live (non-deleted) rows."""
@@ -135,6 +142,7 @@ class ColumnFamilyStore:
         """Mark the row as deleted with a tombstone (data stays on disk)."""
         row = self._row(key)
         row.deleted = True
+        row.version += 1
         self.row_index.remove(key)
         self.metrics.charge_record_write(1)
 
@@ -150,6 +158,7 @@ class ColumnFamilyStore:
             self.metrics.charge_record_read(1)
         row.columns[column] = value
         row.tombstones.discard(column)
+        row.version += 1
         self.metrics.charge_record_write(1)
 
     def get(self, key: Any, column: str) -> Any:
@@ -164,6 +173,7 @@ class ColumnFamilyStore:
         """Tombstone one cell."""
         row = self._row(key)
         row.tombstones.add(column)
+        row.version += 1
         self.metrics.charge_record_write(1)
 
     def row_columns(self, key: Any, prefix: str | None = None) -> dict[str, Any]:
@@ -181,6 +191,39 @@ class ColumnFamilyStore:
         selected = {name: value for name, value in live.items() if name.startswith(prefix)}
         self.metrics.charge_record_read(max(1, len(selected)))
         return selected
+
+    def adjacency_slice(self, key: Any, prefix: str) -> tuple[tuple, Any]:
+        """Return ``(edge ids, opposite endpoints)`` for one adjacency slice.
+
+        The vectorized frontier kernel's entry point: the columns under
+        ``prefix`` must be edge payload cells (``{"id", "other", ...}``).
+        Charges exactly what :meth:`row_columns` charges for the same slice
+        — one record read per selected cell (minimum one) — on hits *and*
+        misses; only the parse of the payloads into flat arrays is memoised
+        per row version.  Endpoints come back as a numpy ``int64`` array
+        when numpy is available, a tuple otherwise.
+        """
+        row = self._row(key)
+        cached = self._slice_cache.get((key, prefix))
+        if cached is not None and cached[0] == row.version:
+            self.metrics.charge_record_read(max(1, len(cached[1])))
+            return cached[1], cached[2]
+        payloads = [
+            value
+            for name, value in row.columns.items()
+            if name not in row.tombstones and name.startswith(prefix)
+        ]
+        self.metrics.charge_record_read(max(1, len(payloads)))
+        ids = tuple(payload["id"] for payload in payloads)
+        others: Any = tuple(payload["other"] for payload in payloads)
+        np = kernels.numpy()
+        if np is not None:
+            try:
+                others = np.array(others, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError):
+                pass  # non-integer endpoint ids stay a tuple
+        self._slice_cache[(key, prefix)] = (row.version, ids, others)
+        return ids, others
 
     # -- scans ------------------------------------------------------------------------
 

@@ -9,12 +9,54 @@ from repro.config import EngineConfig
 from repro.datasets import get_dataset
 from repro.datasets.base import Dataset
 from repro.engines import ALL_ENGINES, DEFAULT_ENGINES, create_engine
+from repro.partition import partition_dataset
 
 
 @pytest.fixture(params=DEFAULT_ENGINES)
 def engine(request):
     """A fresh instance of each default engine (one version per system)."""
     return create_engine(request.param)
+
+
+@pytest.fixture(params=DEFAULT_ENGINES)
+def identifier(request):
+    """Each default engine identifier, for suites that construct engines
+    (and shard clones from the same id) themselves rather than taking the
+    ``engine`` instance."""
+    return request.param
+
+
+@pytest.fixture
+def fresh_loaded(small_dataset):
+    """Factory: a fresh engine with a dataset loaded and metrics reset.
+
+    The scale-out suites (partition, replication, txn) all open with this
+    exact prefix before layering the deployment under test on top; the
+    boilerplate lives here once so those modules only build their layer.
+    ``dataset`` defaults to ``small_dataset``.
+    """
+
+    def build(identifier, dataset=None):
+        dataset = small_dataset if dataset is None else dataset
+        engine = create_engine(identifier)
+        loaded = load_dataset_into(engine, dataset)
+        engine.reset_metrics()
+        return engine, loaded
+
+    return build
+
+
+@pytest.fixture
+def sharded(fresh_loaded, small_dataset):
+    """Factory: :func:`fresh_loaded` plus a partition plan over the dataset."""
+
+    def build(identifier, shards, strategy="hash", dataset=None):
+        dataset = small_dataset if dataset is None else dataset
+        engine, loaded = fresh_loaded(identifier, dataset)
+        plan = partition_dataset(dataset, shards, strategy)
+        return engine, loaded, plan
+
+    return build
 
 
 @pytest.fixture(params=ALL_ENGINES)

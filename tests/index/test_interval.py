@@ -1,0 +1,172 @@
+"""Unit tests of the interval index internals: charges, regimes, staleness.
+
+The oracle suite (``test_oracle.py``) pins *what* the index answers; this
+file pins *how*: O(1) charges inside tree regions, charged BFS fallback in
+non-tree regions, cross-component short-circuits, the label-induced
+subgraph contract, and the manager's rebuild accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import load_dataset_into
+from repro.engines import create_engine
+from repro.exceptions import BenchmarkError, ElementNotFoundError
+from repro.index import IntervalReachabilityIndex, StructuralIndexManager
+from repro.index.generators import SHAPES, STRUCTURE_LABEL, generate_shape
+
+ENGINE = "nativelinked-3.0"
+
+
+def _load(shape, vertices=32, seed=5, engine_id=ENGINE):
+    engine = create_engine(engine_id)
+    loaded = load_dataset_into(engine, generate_shape(shape, vertices, seed=seed))
+    ordered = [loaded.vertex_map[f"r{position}"] for position in range(vertices)]
+    return engine, ordered
+
+
+def _engine_io(engine) -> int:
+    """Engine-side logical I/O, excluding the index's own sink."""
+    return sum(
+        metrics.logical_io
+        for name, metrics in engine.metrics_registry.metrics.items()
+        if name != "interval-index"
+    )
+
+
+class TestTreeRegime:
+    def test_tree_queries_are_o1_no_engine_traversal(self):
+        engine, ids = _load("tree")
+        index = engine.structural_index(STRUCTURE_LABEL)
+        sink = engine.metrics_registry.get("interval-index")
+        before_engine = _engine_io(engine)
+        before_probes = sink.index_probes
+        assert index.reachable(ids[0], ids[-1]) in (True, False)
+        assert _engine_io(engine) == before_engine  # no BFS, no engine charges
+        assert sink.index_probes == before_probes + 1
+
+    def test_descendants_slice_charges_one_probe_plus_reads(self):
+        engine, ids = _load("tree")
+        index = engine.structural_index(STRUCTURE_LABEL)
+        sink = engine.metrics_registry.get("interval-index")
+        before_engine = _engine_io(engine)
+        probes, reads = sink.index_probes, sink.records_read
+        result = index.descendants(ids[0])
+        assert len(result) == len(ids) - 1  # root reaches the whole tree
+        assert _engine_io(engine) == before_engine
+        assert sink.index_probes == probes + 1
+        assert sink.records_read == reads + len(result)
+
+    def test_self_reachability_is_true(self):
+        engine, ids = _load("tree")
+        index = engine.structural_index(STRUCTURE_LABEL)
+        assert index.reachable(ids[7], ids[7]) is True
+
+    def test_build_charges_land_in_dedicated_sink(self):
+        engine, ids = _load("tree")
+        engine.structural_index(STRUCTURE_LABEL)
+        sink = engine.metrics_registry.get("interval-index")
+        # One update per vertex labelled plus one per structure edge scanned.
+        assert sink.index_updates == len(ids) + (len(ids) - 1)
+        combined = engine.combined_metrics()
+        assert combined.index_updates >= sink.index_updates
+
+
+class TestFallbackRegime:
+    def test_cross_component_answers_false_without_bfs(self):
+        engine, ids = _load("disconnected", vertices=48)
+        index = engine.structural_index(STRUCTURE_LABEL)
+        # The trailing vertices are isolated: different component than r0.
+        before = _engine_io(engine)
+        assert index.reachable(ids[0], ids[-1]) is False
+        assert _engine_io(engine) == before
+
+    def test_non_tree_component_falls_back_to_charged_bfs(self):
+        engine, ids = _load("dag")
+        index = engine.structural_index(STRUCTURE_LABEL)
+        assert index.stats.tree_coverage < 1.0
+        before = _engine_io(engine)
+        index.reachable(ids[0], ids[-1])
+        assert _engine_io(engine) > before  # the BFS ran through the engine
+
+    def test_cyclic_shape_has_real_cycle_and_stays_exact(self):
+        engine, ids = _load("cyclic")
+        index = engine.structural_index(STRUCTURE_LABEL)
+        # generate_shape closes 0 -> 1 -> 0, so both directions hold.
+        assert index.reachable(ids[0], ids[1]) is True
+        assert index.reachable(ids[1], ids[0]) is True
+
+    def test_index_is_label_induced(self):
+        """Noise edges under another label never affect the indexed answers."""
+        engine, ids = _load("tree")
+        index = engine.structural_index(STRUCTURE_LABEL)
+        assert index.stats.tree_coverage == 1.0
+        # The unlabelled index sees tree + "cross" noise: shape degrades,
+        # answers may widen, but the "link" index is untouched by it.
+        unlabelled = engine.structural_index(None)
+        assert unlabelled.stats.edges_scanned > index.stats.edges_scanned
+
+    def test_unknown_vertex_raises(self):
+        engine, ids = _load("tree")
+        index = engine.structural_index(STRUCTURE_LABEL)
+        with pytest.raises(ElementNotFoundError):
+            index.reachable("nope", ids[0])
+        with pytest.raises(ElementNotFoundError):
+            index.descendants("nope")
+
+
+class TestManager:
+    def test_rebuild_counter_and_peek(self):
+        engine, ids = _load("tree")
+        manager = StructuralIndexManager(engine)
+        first = manager.get(STRUCTURE_LABEL)
+        assert manager.rebuilds == 0
+        assert manager.get(STRUCTURE_LABEL) is first  # fresh -> cached
+        engine.add_edge(ids[0], ids[3], STRUCTURE_LABEL)
+        assert manager.peek(STRUCTURE_LABEL) is first  # stale but peekable
+        assert not manager.has_fresh(STRUCTURE_LABEL)
+        second = manager.get(STRUCTURE_LABEL)
+        assert second is not first
+        assert manager.rebuilds == 1
+        assert manager.has_fresh(STRUCTURE_LABEL)
+
+    def test_drop_forgets_the_cached_index(self):
+        engine, _ids = _load("tree")
+        manager = StructuralIndexManager(engine)
+        manager.get(STRUCTURE_LABEL)
+        manager.drop(STRUCTURE_LABEL)
+        assert manager.peek(STRUCTURE_LABEL) is None
+        assert not manager.has_fresh(STRUCTURE_LABEL)
+
+    def test_empty_graph_index_is_total(self):
+        engine = create_engine(ENGINE)
+        index = IntervalReachabilityIndex(engine).build()
+        assert index.stats.total_vertices == 0
+        assert index.stats.tree_coverage == 1.0
+
+
+class TestGenerators:
+    def test_shapes_are_deterministic(self):
+        for shape in SHAPES:
+            first = generate_shape(shape, 24, seed=3)
+            second = generate_shape(shape, 24, seed=3)
+            assert first.edges == second.edges
+            assert first.vertices == second.vertices
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(BenchmarkError):
+            generate_shape("torus")
+        with pytest.raises(BenchmarkError):
+            generate_shape("tree", vertices=3)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_expected_coverage_regime(self, shape):
+        engine, _ids = _load(shape, vertices=64)
+        stats = engine.structural_index(STRUCTURE_LABEL).stats
+        if shape in ("tree", "disconnected"):
+            assert stats.tree_coverage == 1.0
+        else:
+            assert stats.tree_coverage < 1.0
+        if shape == "disconnected":
+            assert stats.components > 1

@@ -1,0 +1,110 @@
+"""The oracle differential suite: interval index vs charged BFS, under churn.
+
+The correctness contract of :mod:`repro.index`: for every engine, every
+structural shape, and every point of a randomized create/update/delete
+stream, ``reachable`` and ``descendants`` answered through the index are
+*identical* to the BFS oracle — and a raw index is unusable (raises) the
+moment the graph's shape moves under it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.workload import load_dataset_into
+from repro.engines import ALL_ENGINES, create_engine
+from repro.exceptions import StaleIndexError
+from repro.index.generators import SHAPES, STRUCTURE_LABEL, generate_shape
+from repro.index.oracle import bfs_descendants, bfs_reachable
+
+#: Vertices per generated shape — small enough to cross-check exhaustively
+#: against the oracle, large enough for multi-level structure.
+SHAPE_SIZE = 40
+#: Randomized (src, dst) pairs checked per verification sweep.
+PAIRS_PER_SWEEP = 30
+#: Mutation batches applied per engine/shape in the churn test.
+CHURN_BATCHES = 4
+
+
+def _load(engine_id, shape, seed=11):
+    engine = create_engine(engine_id)
+    loaded = load_dataset_into(engine, generate_shape(shape, SHAPE_SIZE, seed=seed))
+    ordered = [loaded.vertex_map[key] for key in sorted(loaded.vertex_map, key=repr)]
+    return engine, ordered
+
+
+def _assert_matches_oracle(engine, vertex_ids, rng, label=STRUCTURE_LABEL):
+    """One verification sweep: random pairs + descendant sets vs the oracle."""
+    index = engine.structural_index(label)
+    for _ in range(PAIRS_PER_SWEEP):
+        src = rng.choice(vertex_ids)
+        dst = rng.choice(vertex_ids)
+        expected = bfs_reachable(engine, src, dst, label)
+        assert index.reachable(src, dst) == expected, (src, dst)
+        assert engine.reachable(src, dst, label) == expected
+    for src in rng.sample(vertex_ids, min(8, len(vertex_ids))):
+        expected_set = set(bfs_descendants(engine, src, label))
+        assert set(index.descendants(src)) == expected_set, src
+        assert set(engine.descendants(src, label)) == expected_set
+
+
+@pytest.mark.parametrize("engine_id", ALL_ENGINES)
+@pytest.mark.parametrize("shape", SHAPES)
+def test_index_matches_oracle_on_static_shapes(engine_id, shape):
+    engine, vertex_ids = _load(engine_id, shape)
+    _assert_matches_oracle(engine, vertex_ids, random.Random(f"{engine_id}:{shape}"))
+
+
+@pytest.mark.parametrize("engine_id", ALL_ENGINES)
+@pytest.mark.parametrize("shape", SHAPES)
+def test_index_matches_oracle_under_churn(engine_id, shape):
+    """Apply CUD batches; after each one, the rebuilt index matches the oracle."""
+    engine, vertex_ids = _load(engine_id, shape)
+    rng = random.Random(f"churn:{engine_id}:{shape}")
+    _assert_matches_oracle(engine, vertex_ids, rng)
+    for _batch in range(CHURN_BATCHES):
+        # Create: a vertex wired into the structure, plus a loose edge.
+        fresh = engine.add_vertex({"rank": -1}, label="node")
+        engine.add_edge(rng.choice(vertex_ids), fresh, STRUCTURE_LABEL)
+        engine.add_edge(rng.choice(vertex_ids), rng.choice(vertex_ids), STRUCTURE_LABEL)
+        vertex_ids.append(fresh)
+        # Update: property writes must NOT invalidate (no shape change).
+        engine.set_vertex_property(rng.choice(vertex_ids), "touched", True)
+        # Delete: an existing structure edge, then sometimes a whole vertex.
+        structure_edges = list(engine.edges_by_label(STRUCTURE_LABEL))
+        if structure_edges:
+            engine.remove_edge(rng.choice(structure_edges))
+        if rng.random() < 0.5 and len(vertex_ids) > 4:
+            victim = vertex_ids.pop(rng.randrange(len(vertex_ids)))
+            engine.remove_vertex(victim)
+        _assert_matches_oracle(engine, vertex_ids, rng)
+
+
+@pytest.mark.parametrize("engine_id", ALL_ENGINES)
+def test_stale_index_raises_after_structural_delete(engine_id):
+    engine, vertex_ids = _load(engine_id, "tree")
+    index = engine.structural_index(STRUCTURE_LABEL)
+    assert not index.is_stale()
+    edge = next(iter(engine.edges_by_label(STRUCTURE_LABEL)))
+    engine.remove_edge(edge)
+    assert index.is_stale()
+    with pytest.raises(StaleIndexError):
+        index.reachable(vertex_ids[0], vertex_ids[1])
+    with pytest.raises(StaleIndexError):
+        index.descendants(vertex_ids[0])
+    # The facade transparently rebuilds and stays exact.
+    src, dst = vertex_ids[0], vertex_ids[-1]
+    assert engine.reachable(src, dst, STRUCTURE_LABEL) == bfs_reachable(
+        engine, src, dst, STRUCTURE_LABEL
+    )
+
+
+@pytest.mark.parametrize("engine_id", ALL_ENGINES)
+def test_property_writes_do_not_invalidate(engine_id):
+    engine, vertex_ids = _load(engine_id, "tree")
+    index = engine.structural_index(STRUCTURE_LABEL)
+    engine.set_vertex_property(vertex_ids[0], "rank", 1000)
+    assert not index.is_stale()
+    assert engine.has_structural_index(STRUCTURE_LABEL)

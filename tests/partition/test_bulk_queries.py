@@ -18,26 +18,17 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.workload import load_dataset_into
-from repro.engines import DEFAULT_ENGINES, create_engine
+from repro.engines import create_engine
 from repro.exceptions import BenchmarkError
 from repro.partition import (
     build_distributed,
     direct_degree_at_least,
     direct_values,
-    partition_dataset,
 )
 
 
-@pytest.fixture(params=DEFAULT_ENGINES)
-def identifier(request):
-    return request.param
-
-
-def _distributed(identifier, small_dataset, shards):
-    engine = create_engine(identifier)
-    loaded = load_dataset_into(engine, small_dataset)
-    plan = partition_dataset(small_dataset, shards, "hash")
-    engine.reset_metrics()
+def _distributed(sharded, identifier, shards):
+    engine, loaded, plan = sharded(identifier, shards)
     executor, _build = build_distributed(
         engine,
         loaded.vertex_map,
@@ -49,8 +40,8 @@ def _distributed(identifier, small_dataset, shards):
 
 @pytest.mark.parametrize("shards", [1, 3])
 class TestAnswersMatchDirect:
-    def test_values_match_the_direct_probe(self, identifier, small_dataset, shards):
-        executor, loaded, engine = _distributed(identifier, small_dataset, shards)
+    def test_values_match_the_direct_probe(self, identifier, sharded, shards):
+        executor, loaded, engine = _distributed(sharded, identifier, shards)
         ids = sorted(loaded.vertex_map, key=repr)
         result = executor.values(ids, "rank")
         direct = direct_values(engine, [loaded.vertex_map[i] for i in ids], "rank")
@@ -59,9 +50,9 @@ class TestAnswersMatchDirect:
         ]
 
     def test_degree_threshold_matches_the_direct_probe(
-        self, identifier, small_dataset, shards
+        self, identifier, sharded, shards
     ):
-        executor, loaded, engine = _distributed(identifier, small_dataset, shards)
+        executor, loaded, engine = _distributed(sharded, identifier, shards)
         ids = sorted(loaded.vertex_map, key=repr)
         for k in (1, 2, 5):
             result = executor.degree_at_least(ids, k)
@@ -74,8 +65,8 @@ class TestAnswersMatchDirect:
 
 
 class TestChargeAccounting:
-    def test_k1_bulk_read_has_charge_parity(self, identifier, small_dataset):
-        executor, loaded, engine = _distributed(identifier, small_dataset, 1)
+    def test_k1_bulk_read_has_charge_parity(self, identifier, sharded, small_dataset):
+        executor, loaded, engine = _distributed(sharded, identifier, 1)
         ids = sorted(loaded.vertex_map, key=repr)
         result = executor.values(ids, "rank")
         assert result.messages == 0
@@ -89,9 +80,9 @@ class TestChargeAccounting:
         assert result.makespan_charge == result.compute_charge
 
     def test_cross_shard_ids_pay_request_and_response_batches(
-        self, identifier, small_dataset
+        self, identifier, sharded
     ):
-        executor, loaded, engine = _distributed(identifier, small_dataset, 3)
+        executor, loaded, engine = _distributed(sharded, identifier, 3)
         ids = sorted(loaded.vertex_map, key=repr)
         result = executor.values(ids, "rank")
         spanned = {executor.owner[i] for i in ids}
@@ -101,8 +92,8 @@ class TestChargeAccounting:
         assert result.network_charge > 0
         assert result.home_shard == executor.owner[ids[0]]
 
-    def test_home_only_ids_move_no_messages(self, identifier, small_dataset):
-        executor, loaded, engine = _distributed(identifier, small_dataset, 3)
+    def test_home_only_ids_move_no_messages(self, identifier, sharded):
+        executor, loaded, engine = _distributed(sharded, identifier, 3)
         home = executor.owner[sorted(loaded.vertex_map, key=repr)[0]]
         ids = [i for i in sorted(loaded.vertex_map, key=repr) if executor.owner[i] == home]
         result = executor.values(ids, "rank")
@@ -110,10 +101,10 @@ class TestChargeAccounting:
         assert result.network_charge == 0
 
     def test_cut_edges_can_answer_degree_without_touching_the_engine(
-        self, identifier, small_dataset
+        self, identifier, sharded
     ):
         """A vertex whose cut edges alone clear the bar probes nothing."""
-        executor, loaded, engine = _distributed(identifier, small_dataset, 3)
+        executor, loaded, engine = _distributed(sharded, identifier, 3)
         cut_heavy = [
             external
             for shard in executor.shards
@@ -131,12 +122,12 @@ class TestChargeAccounting:
 
 
 class TestGuards:
-    def test_empty_id_list_is_refused(self, identifier, small_dataset):
-        executor, _loaded, _engine = _distributed(identifier, small_dataset, 2)
+    def test_empty_id_list_is_refused(self, identifier, sharded):
+        executor, _loaded, _engine = _distributed(sharded, identifier, 2)
         with pytest.raises(BenchmarkError):
             executor.values([], "rank")
 
-    def test_unknown_id_is_refused(self, identifier, small_dataset):
-        executor, _loaded, _engine = _distributed(identifier, small_dataset, 2)
+    def test_unknown_id_is_refused(self, identifier, sharded):
+        executor, _loaded, _engine = _distributed(sharded, identifier, 2)
         with pytest.raises(BenchmarkError):
             executor.degree_at_least(["missing"], 1)

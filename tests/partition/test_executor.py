@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.workload import load_dataset_into
 from repro.concurrency.scheduler import BarrierClock
 from repro.datasets import get_dataset
 from repro.engines import ALL_ENGINES, create_engine
@@ -27,11 +26,8 @@ from repro.partition import (
 STRATEGIES = tuple(PARTITIONERS)
 
 
-def _distributed(identifier, dataset, shards, strategy, network=None):
-    engine = create_engine(identifier)
-    loaded = load_dataset_into(engine, dataset)
-    engine.reset_metrics()
-    plan = partition_dataset(dataset, shards, strategy)
+def _distributed(sharded, identifier, dataset, shards, strategy, network=None):
+    engine, loaded, plan = sharded(identifier, shards, strategy, dataset=dataset)
     executor, build = build_distributed(
         engine,
         loaded.vertex_map,
@@ -42,10 +38,8 @@ def _distributed(identifier, dataset, shards, strategy, network=None):
     return executor, build, loaded
 
 
-def _direct_distances(identifier, dataset, source_external, depth):
-    engine = create_engine(identifier)
-    loaded = load_dataset_into(engine, dataset)
-    engine.reset_metrics()
+def _direct_distances(fresh_loaded, identifier, dataset, source_external, depth):
+    engine, loaded = fresh_loaded(identifier, dataset)
     before = engine.io_cost()
     distances = direct_bfs(engine, loaded.vertex_map[source_external], depth)
     charge = engine.io_cost() - before
@@ -59,11 +53,15 @@ class TestChargeParityAtK1:
     @pytest.mark.parametrize("identifier", ALL_ENGINES)
     @pytest.mark.parametrize("strategy", STRATEGIES)
     def test_bfs_results_and_charges_match_direct(
-        self, identifier, strategy, small_dataset
+        self, identifier, strategy, sharded, fresh_loaded, small_dataset
     ):
         source = small_dataset.vertices[0]["id"]
-        expected, direct_charge = _direct_distances(identifier, small_dataset, source, 3)
-        executor, _build, _loaded = _distributed(identifier, small_dataset, 1, strategy)
+        expected, direct_charge = _direct_distances(
+            fresh_loaded, identifier, small_dataset, source, 3
+        )
+        executor, _build, _loaded = _distributed(
+            sharded, identifier, small_dataset, 1, strategy
+        )
         result = executor.bfs(source, 3)
         assert result.distances == expected
         assert result.total_charge == direct_charge
@@ -73,26 +71,28 @@ class TestChargeParityAtK1:
         assert result.messages == 0
 
     @pytest.mark.parametrize("identifier", ALL_ENGINES)
-    def test_shortest_path_matches_direct(self, identifier, small_dataset):
+    def test_shortest_path_matches_direct(
+        self, identifier, sharded, fresh_loaded, small_dataset
+    ):
         source = small_dataset.vertices[0]["id"]
         target = small_dataset.vertices[4]["id"]
-        engine = create_engine(identifier)
-        loaded = load_dataset_into(engine, small_dataset)
-        engine.reset_metrics()
+        engine, loaded = fresh_loaded(identifier)
         before = engine.io_cost()
         expected = direct_shortest_path(
             engine, loaded.vertex_map[source], loaded.vertex_map[target]
         )
         direct_charge = engine.io_cost() - before
 
-        executor, _build, _loaded = _distributed(identifier, small_dataset, 1, "hash")
+        executor, _build, _loaded = _distributed(
+            sharded, identifier, small_dataset, 1, "hash"
+        )
         result = executor.shortest_path(source, target)
         assert result.distances.get(target, -1) == expected
         assert result.total_charge == direct_charge
 
-    def test_source_equals_target_charges_nothing(self, small_dataset):
+    def test_source_equals_target_charges_nothing(self, sharded, small_dataset):
         executor, _build, _loaded = _distributed(
-            "nativelinked-1.9", small_dataset, 2, "hash"
+            sharded, "nativelinked-1.9", small_dataset, 2, "hash"
         )
         vertex = small_dataset.vertices[0]["id"]
         result = executor.shortest_path(vertex, vertex)
@@ -118,46 +118,56 @@ class TestDistributedCorrectness:
 
     @pytest.mark.parametrize("strategy", STRATEGIES)
     @pytest.mark.parametrize("shards", [2, 4])
-    def test_bfs_distances_are_partition_invariant(self, yeast, hub, strategy, shards):
-        expected, _charge = _direct_distances("nativelinked-1.9", yeast, hub, 3)
+    def test_bfs_distances_are_partition_invariant(
+        self, yeast, hub, strategy, shards, sharded, fresh_loaded
+    ):
+        expected, _charge = _direct_distances(
+            fresh_loaded, "nativelinked-1.9", yeast, hub, 3
+        )
         executor, _build, _loaded = _distributed(
-            "nativelinked-1.9", yeast, shards, strategy
+            sharded, "nativelinked-1.9", yeast, shards, strategy
         )
         result = executor.bfs(hub, 3)
         assert result.distances == expected
 
-    def test_hash_partition_actually_crosses_the_network(self, yeast, hub):
-        executor, _build, _loaded = _distributed("nativelinked-1.9", yeast, 4, "hash")
+    def test_hash_partition_actually_crosses_the_network(self, yeast, hub, sharded):
+        executor, _build, _loaded = _distributed(
+            sharded, "nativelinked-1.9", yeast, 4, "hash"
+        )
         result = executor.bfs(hub, 3)
         assert result.messages > 0
         assert result.network_charge > 0
         assert result.makespan_charge < result.busy_charge  # genuine parallelism
 
-    def test_network_charge_is_exactly_latency_plus_items(self, yeast, hub):
+    def test_network_charge_is_exactly_latency_plus_items(self, yeast, hub, sharded):
         network = NetworkCostModel(latency_per_message=17, cost_per_item=3)
         executor, _build, _loaded = _distributed(
-            "nativelinked-1.9", yeast, 4, "hash", network=network
+            sharded, "nativelinked-1.9", yeast, 4, "hash", network=network
         )
         result = executor.bfs(hub, 3)
         assert result.network_charge == 17 * result.messages + 3 * result.message_items
         assert result.busy_charge == result.compute_charge + result.network_charge
 
-    def test_makespan_bounded_by_busy_and_critical_path(self, yeast, hub):
-        executor, _build, _loaded = _distributed("nativelinked-1.9", yeast, 4, "greedy")
+    def test_makespan_bounded_by_busy_and_critical_path(self, yeast, hub, sharded):
+        executor, _build, _loaded = _distributed(
+            sharded, "nativelinked-1.9", yeast, 4, "greedy"
+        )
         result = executor.bfs(hub, 3)
         assert result.makespan_charge <= result.busy_charge
         # The critical path can never beat perfect K-way splitting.
         assert result.makespan_charge * 4 >= result.busy_charge
 
-    def test_deterministic_across_runs(self, yeast, hub):
-        first_exec, _b, _l = _distributed("nativelinked-1.9", yeast, 4, "hash")
-        second_exec, _b2, _l2 = _distributed("nativelinked-1.9", yeast, 4, "hash")
+    def test_deterministic_across_runs(self, yeast, hub, sharded):
+        first_exec, _b, _l = _distributed(sharded, "nativelinked-1.9", yeast, 4, "hash")
+        second_exec, _b2, _l2 = _distributed(sharded, "nativelinked-1.9", yeast, 4, "hash")
         first = first_exec.bfs(hub, 3)
         second = second_exec.bfs(hub, 3)
         assert first == second
 
-    def test_build_report_accounts_the_extraction(self, yeast):
-        _executor, build, loaded = _distributed("nativelinked-1.9", yeast, 4, "hash")
+    def test_build_report_accounts_the_extraction(self, yeast, sharded):
+        _executor, build, loaded = _distributed(
+            sharded, "nativelinked-1.9", yeast, 4, "hash"
+        )
         assert build.extract_charge > 0
         assert sum(build.shard_sizes) == yeast.vertex_count
         plan = partition_dataset(yeast, 4, "hash")
@@ -197,16 +207,16 @@ class TestNetworkCostModel:
 
 
 class TestExecutorErrors:
-    def test_unknown_source_raises(self, small_dataset):
+    def test_unknown_source_raises(self, sharded, small_dataset):
         executor, _build, _loaded = _distributed(
-            "nativelinked-1.9", small_dataset, 2, "hash"
+            sharded, "nativelinked-1.9", small_dataset, 2, "hash"
         )
         with pytest.raises(BenchmarkError, match="source vertex"):
             executor.bfs("no-such-vertex", 2)
 
-    def test_unknown_shortest_path_target_raises(self, small_dataset):
+    def test_unknown_shortest_path_target_raises(self, sharded, small_dataset):
         executor, _build, _loaded = _distributed(
-            "nativelinked-1.9", small_dataset, 2, "hash"
+            sharded, "nativelinked-1.9", small_dataset, 2, "hash"
         )
         source = small_dataset.vertices[0]["id"]
         with pytest.raises(BenchmarkError, match="target"):

@@ -22,9 +22,8 @@ import zlib
 
 import pytest
 
-from repro.bench.workload import load_dataset_into
 from repro.engines import ALL_ENGINES, create_engine
-from repro.partition import PARTITIONERS, partition_dataset
+from repro.partition import PARTITIONERS
 from repro.replication.routing import build_readscale
 
 STRATEGIES = tuple(PARTITIONERS)
@@ -78,11 +77,10 @@ def _co_located_pairs(dataset, plan):
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
 @pytest.mark.parametrize("identifier", ALL_ENGINES)
-def test_random_interleavings_stay_coherent(identifier, strategy, small_dataset):
-    engine = create_engine(identifier)
-    loaded = load_dataset_into(engine, small_dataset)
-    engine.reset_metrics()
-    plan = partition_dataset(small_dataset, SHARDS, strategy)
+def test_random_interleavings_stay_coherent(
+    identifier, strategy, sharded, small_dataset
+):
+    engine, loaded, plan = sharded(identifier, SHARDS, strategy)
     deployment, _report = build_readscale(
         engine,
         loaded.vertex_map,

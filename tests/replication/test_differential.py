@@ -22,20 +22,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.workload import load_dataset_into
 from repro.engines import ALL_ENGINES, create_engine
-from repro.partition import partition_dataset
 from repro.replication.replica import _fetch_record
 from repro.replication.routing import build_readscale
 
 SHARDS = 2
 
 
-def _build(identifier, dataset, **kwargs):
-    engine = create_engine(identifier)
-    loaded = load_dataset_into(engine, dataset)
-    engine.reset_metrics()
-    plan = partition_dataset(dataset, SHARDS, "hash")
+def _build(sharded, identifier, **kwargs):
+    engine, loaded, plan = sharded(identifier, SHARDS)
     deployment, _report = build_readscale(
         engine,
         loaded.vertex_map,
@@ -75,14 +70,14 @@ def _intra_pair(deployment, ids):
 
 
 @pytest.mark.parametrize("identifier", ALL_ENGINES)
-def test_replicated_run_matches_primary_only(identifier, small_dataset):
-    engine_a, primary_only = _build(identifier, small_dataset)
+def test_replicated_run_matches_primary_only(identifier, sharded, small_dataset):
+    engine_a, primary_only = _build(sharded, identifier)
     baseline = _drive_canned(primary_only, small_dataset)
     primary_only.close()
     engine_a.close()
 
     engine_b, replicated = _build(
-        identifier, small_dataset, replicas=2, cache_capacity=0, apply_interval=4
+        sharded, identifier, replicas=2, cache_capacity=0, apply_interval=4
     )
     lagged = _drive_canned(replicated, small_dataset)
     overhead = replicated.ledger()["clusters"]
@@ -101,10 +96,10 @@ def test_replicated_run_matches_primary_only(identifier, small_dataset):
 
 @pytest.mark.parametrize("identifier", ALL_ENGINES)
 def test_replica_read_equals_primary_read_at_same_snapshot(
-    identifier, small_dataset
+    identifier, sharded, small_dataset
 ):
     engine, deployment = _build(
-        identifier, small_dataset, replicas=1, apply_interval=100_000
+        sharded, identifier, replicas=1, apply_interval=100_000
     )
     ids = [vertex["id"] for vertex in small_dataset.vertices]
     target = ids[0]
@@ -148,8 +143,8 @@ def test_replica_read_equals_primary_read_at_same_snapshot(
 
 
 @pytest.mark.parametrize("identifier", ALL_ENGINES)
-def test_cache_hit_is_cold_read_minus_saved_io(identifier, small_dataset):
-    engine, deployment = _build(identifier, small_dataset, cache_capacity=16)
+def test_cache_hit_is_cold_read_minus_saved_io(identifier, sharded, small_dataset):
+    engine, deployment = _build(sharded, identifier, cache_capacity=16)
     target = small_dataset.vertices[0]["id"]
 
     cold = deployment.read_record(target)

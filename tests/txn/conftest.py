@@ -4,22 +4,25 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.workload import load_dataset_into
 from repro.engines import create_engine
 from repro.faults.txn_faults import TxnFaultPlan
 from repro.partition.executor import build_distributed
 from repro.partition.messages import NetworkCostModel
-from repro.partition.partitioners import partition_dataset
 from repro.txn import DistributedSessionManager
 
 
 class TxnHarness:
-    """A partitioned engine with a distributed session manager on top."""
+    """A partitioned engine with a distributed session manager on top.
+
+    ``sharded`` is the shared conftest factory (engine + loaded dataset +
+    partition plan); the harness layers the BSP executor and the
+    distributed session manager on top of that prefix.
+    """
 
     def __init__(
         self,
         engine_id: str,
-        dataset,
+        sharded,
         shards: int = 2,
         strategy: str = "hash",
         isolation: str = "si",
@@ -27,10 +30,7 @@ class TxnHarness:
     ) -> None:
         self.engine_id = engine_id
         self.network = NetworkCostModel()
-        source = create_engine(engine_id)
-        loaded = load_dataset_into(source, dataset)
-        plan = partition_dataset(dataset, shards, strategy)
-        source.reset_metrics()
+        source, loaded, plan = sharded(engine_id, shards, strategy)
         self.executor, _build = build_distributed(
             source,
             loaded.vertex_map,
@@ -69,11 +69,11 @@ class TxnHarness:
 
 
 @pytest.fixture
-def make_harness(small_dataset):
+def make_harness(sharded):
     """Factory for harnesses with custom engine/isolation/fault plans."""
 
     def build(engine_id: str = "nativelinked-1.9", **kwargs) -> TxnHarness:
-        return TxnHarness(engine_id, small_dataset, **kwargs)
+        return TxnHarness(engine_id, sharded, **kwargs)
 
     return build
 
