@@ -59,6 +59,14 @@ fixed ceiling, the abort rate at the largest K must not fall below K=1,
 and ``--require-identical`` demands the byte-exact payload — arrivals,
 footprints, and commit windows are all seeded virtual time.
 
+``--kind versions`` gates ``BENCH_versions.json``: every (engine, depth,
+mix, retention) cell's as-of replay must match its recorded live results
+with exact head charge parity, the structural diff must stay under a
+fixed per-element charge ceiling, pruning retention policies must retain
+no more bytes — and reclaim no fewer undo entries — than keep-all while
+actually releasing commits, and ``--require-identical`` demands the
+byte-exact payload — churn is seeded and every charge is logical.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf_smoke --output BENCH_current.json
@@ -492,6 +500,89 @@ def check_reachability_regressions(
     return failures
 
 
+#: The structural diff may cost at most this many logical charges per visited
+#: element: one walk-sink record read plus both-side materialisation, with
+#: headroom — not a full re-scan of the graph per changed element.
+DEFAULT_VERSIONS_DIFF_CEILING = 8.0
+
+
+def check_versions_regressions(
+    baseline: dict,
+    current: dict,
+    diff_ceiling: float = DEFAULT_VERSIONS_DIFF_CEILING,
+) -> list[str]:
+    """Return one failure per broken graph-versioning invariant.
+
+    The versions payload is fully deterministic (seeded churn, logical
+    charges), so the gate checks semantics rather than thresholds-with-
+    slack: every cell's as-of replay must match its recorded live results
+    with exact head charge parity, the structural diff must stay under a
+    fixed per-element charge ceiling, and — per (engine, depth, mix) —
+    pruning retention policies must actually prune: retained bytes at or
+    below keep-all's and GC-reclaimed undo entries at or above keep-all's,
+    with at least one commit released.
+    """
+    failures: list[str] = []
+
+    def key(cell: dict) -> tuple:
+        return (cell["engine"], cell["depth"], cell["mix"], cell["retention"])
+
+    current_cells = {key(cell): cell for cell in current.get("cells", [])}
+    for base_cell in baseline.get("cells", []):
+        name = "/".join(str(part) for part in key(base_cell))
+        cell = current_cells.get(key(base_cell))
+        if cell is None:
+            failures.append(f"{name}: missing from the current report")
+            continue
+        asof = cell["asof"]
+        if asof["results_match"] is not True:
+            failures.append(f"{name}: as-of replay diverged from the live run")
+        if asof["head_overhead"] != 0:
+            failures.append(
+                f"{name}: head as-of charge overhead {asof['head_overhead']} "
+                "(the head replay must be charge-identical to the live run)"
+            )
+        if asof["replayed"] < 1:
+            failures.append(f"{name}: no retained commit was replayed")
+        if cell["diff"]["charge_per_element"] > diff_ceiling:
+            failures.append(
+                f"{name}: diff charge {cell['diff']['charge_per_element']:.2f} "
+                f"per element above the {diff_ceiling:g} ceiling"
+            )
+
+    groups: dict[tuple, dict[str, dict]] = {}
+    for cell in current.get("cells", []):
+        groups.setdefault(
+            (cell["engine"], cell["depth"], cell["mix"]), {}
+        )[cell["retention"]] = cell["catalog"]
+    for (engine_name, depth, mix), by_policy in sorted(groups.items()):
+        keep_all = by_policy.get("keep-all")
+        if keep_all is None:
+            continue
+        for policy, catalog in sorted(by_policy.items()):
+            if policy == "keep-all":
+                continue
+            name = f"{engine_name}/{depth}/{mix}/{policy}"
+            if catalog["retained_bytes"] > keep_all["retained_bytes"]:
+                failures.append(
+                    f"{name}: retained {catalog['retained_bytes']} bytes, more "
+                    f"than keep-all's {keep_all['retained_bytes']} (pruning "
+                    "retention must not retain more than no retention)"
+                )
+            if catalog["gc_reclaimed_undo"] < keep_all["gc_reclaimed_undo"]:
+                failures.append(
+                    f"{name}: reclaimed {catalog['gc_reclaimed_undo']} undo "
+                    f"entries, fewer than keep-all's "
+                    f"{keep_all['gc_reclaimed_undo']}"
+                )
+            if catalog["released_commits"] == 0:
+                failures.append(
+                    f"{name}: pruning retention released no commits "
+                    "(the retention axis collapsed)"
+                )
+    return failures
+
+
 def check_saturation_regressions(
     baseline: dict,
     current: dict,
@@ -531,6 +622,7 @@ def main(argv: list[str] | None = None) -> int:
             "readscale",
             "txn",
             "reachability",
+            "versions",
         ],
         help="which report family to gate",
     )
@@ -569,6 +661,7 @@ def main(argv: list[str] | None = None) -> int:
             "readscale": "BENCH_readscale.json",
             "txn": "BENCH_txn.json",
             "reachability": "BENCH_reachability.json",
+            "versions": "BENCH_versions.json",
         }.get(args.kind, "BENCH_traversal.json")
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
@@ -653,6 +746,21 @@ def main(argv: list[str] | None = None) -> int:
             "on every tree-covered cell, build under the "
             f"{DEFAULT_REACH_BUILD_CEILING:g}/element ceiling, speedups within "
             f"-{args.max_regression * 100:.0f}%"
+            + (", payload identical to the baseline" if args.require_identical else "")
+        )
+    elif args.kind == "versions":
+        failures = check_versions_regressions(baseline, current)
+        if args.require_identical:
+            failures.extend(
+                check_payload_identity(
+                    baseline, current, "python -m benchmarks.versions_smoke"
+                )
+            )
+        passed = (
+            "versions regression gate passed: as-of replay matches the live "
+            "run with exact head charge parity in every cell, diff under the "
+            f"{DEFAULT_VERSIONS_DIFF_CEILING:g}/element ceiling, pruning "
+            "retention reclaims at least as much as keep-all"
             + (", payload identical to the baseline" if args.require_identical else "")
         )
     elif args.kind == "saturation":

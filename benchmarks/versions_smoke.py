@@ -1,0 +1,85 @@
+"""Versions smoke: the engine × depth × mix × retention matrix behind CI.
+
+Runs the deterministic graph-versioning benchmark (:mod:`repro.versions.bench`)
+over the default matrix — three engines × two chain depths × two query
+mixes × three retention policies — and writes the JSON payload consumed by
+the regression gate.  Each cell seeds a base graph, churns it through a
+chain of commits, then replays every retained commit as-of; an in-bench
+differential check aborts the run if any as-of replay diverges from the
+recorded live results (or if the head replay's charge differs at all), so
+the payload is byte-identical across machines and CI gates it exactly.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.versions_smoke \
+        [--engines ID...] [--depths N...] [--mixes MIX...] \
+        [--retentions POLICY...] [--output BENCH_versions.json] [--report PATH]
+
+Gate a fresh run against the committed report with
+``python -m benchmarks.check_regression --kind versions``.
+
+The defaults mirror ``graphbench versions`` and the committed
+``BENCH_versions.json`` baseline; regenerate that baseline with the
+defaults after any intentional change to the MVCC overlay's visibility
+rules, the catalog's retention/GC accounting, or the engines' charge
+model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engines import resolve_engine_id
+from repro.versions.bench import (
+    DEFAULT_VERSION_BASE_VERTICES,
+    DEFAULT_VERSION_CHURN_OPS,
+    DEFAULT_VERSION_DEPTHS,
+    DEFAULT_VERSION_ENGINES,
+    DEFAULT_VERSION_MIXES,
+    DEFAULT_VERSION_RETENTIONS,
+    DEFAULT_VERSION_TAG_EVERY,
+    run_versions_benchmark,
+)
+from repro.versions.report import (
+    DEFAULT_VERSIONS_JSON,
+    format_versions_report,
+    write_versions_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engines", nargs="+", default=list(DEFAULT_VERSION_ENGINES))
+    parser.add_argument("--depths", type=int, nargs="+", default=list(DEFAULT_VERSION_DEPTHS))
+    parser.add_argument("--mixes", nargs="+", default=list(DEFAULT_VERSION_MIXES))
+    parser.add_argument("--retentions", nargs="+", default=list(DEFAULT_VERSION_RETENTIONS))
+    parser.add_argument("--base-vertices", type=int, default=DEFAULT_VERSION_BASE_VERTICES)
+    parser.add_argument("--churn-ops", type=int, default=DEFAULT_VERSION_CHURN_OPS)
+    parser.add_argument("--tag-every", type=int, default=DEFAULT_VERSION_TAG_EVERY)
+    parser.add_argument("--seed", type=int, default=20181204)
+    parser.add_argument("--output", default=DEFAULT_VERSIONS_JSON)
+    parser.add_argument("--report", default=None)
+    args = parser.parse_args(argv)
+
+    report = run_versions_benchmark(
+        [resolve_engine_id(name) for name in args.engines],
+        depths=args.depths,
+        mixes=args.mixes,
+        retentions=args.retentions,
+        base_vertices=args.base_vertices,
+        churn_ops=args.churn_ops,
+        tag_every=args.tag_every,
+        seed=args.seed,
+    )
+    print(format_versions_report(report))
+    for path in write_versions_report(
+        # None skips the text report, matching `graphbench versions --report ''`.
+        report, json_path=args.output, text_path=args.report or None
+    ):
+        print(f"\nwrote {path.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,10 @@ Sub-commands mirror the workflow of the paper's test suite:
   2PC) under SI and SSI (Figure 13);
 * ``graphbench reachability`` — benchmark the interval reachability index
   against the charged BFS oracle per engine × structural shape
-  (Figure 14).
+  (Figure 14);
+* ``graphbench versions`` — graph versioning: commit chains under CUD
+  churn, as-of replay (byte-identical to the live run), structural diff,
+  and retained-bytes vs GC-reclaim per retention policy (Figure 15).
 """
 
 from __future__ import annotations
@@ -77,7 +80,7 @@ from repro.concurrency.versioning import DEFAULT_SHARDS
 from repro.config import BenchConfig
 from repro.datasets import available_datasets, compute_statistics, get_dataset
 from repro.engines import DEFAULT_ENGINES, available_engines, engine_info, resolve_engine_id
-from repro.exceptions import BenchmarkError
+from repro.exceptions import BenchmarkError, VersionError
 from repro.faults import (
     CHAOS_MIXES,
     DEFAULT_CHAOS_ENGINES,
@@ -158,6 +161,22 @@ from repro.txn.bench import (
     DEFAULT_BASE_DURATION,
     DEFAULT_FOOTPRINT,
     DEFAULT_TXN_COUNT,
+)
+from repro.versions.bench import (
+    DEFAULT_VERSION_BASE_VERTICES,
+    DEFAULT_VERSION_CHURN_OPS,
+    DEFAULT_VERSION_DEPTHS,
+    DEFAULT_VERSION_ENGINES,
+    DEFAULT_VERSION_MIXES,
+    DEFAULT_VERSION_RETENTIONS,
+    DEFAULT_VERSION_TAG_EVERY,
+    run_versions_benchmark,
+)
+from repro.versions.report import (
+    DEFAULT_VERSIONS_JSON,
+    DEFAULT_VERSIONS_REPORT,
+    format_versions_report,
+    write_versions_report,
 )
 
 
@@ -699,6 +718,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_TXN_REPORT,
         help="write the rendered figure here ('' to skip)",
     )
+
+    versions_parser = subparsers.add_parser(
+        "versions",
+        help="benchmark graph versioning: as-of replay, structural diff, "
+        "and retained bytes vs GC reclaim per retention policy (Figure 15)",
+    )
+    # Defaults deliberately mirror benchmarks/versions_smoke.py: a plain
+    # `graphbench versions` regenerates the committed BENCH_versions.json
+    # byte-identically rather than clobbering the CI baseline.
+    versions_parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=list(DEFAULT_VERSION_ENGINES),
+        help="engines to version; identifiers or unambiguous prefixes",
+    )
+    versions_parser.add_argument(
+        "--depths",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_VERSION_DEPTHS),
+        help="commit-chain depths to sweep (churn steps per chain)",
+    )
+    versions_parser.add_argument(
+        "--mixes",
+        nargs="+",
+        default=list(DEFAULT_VERSION_MIXES),
+        choices=["read", "traversal"],
+        help="query mixes replayed as-of every retained commit",
+    )
+    versions_parser.add_argument(
+        "--retentions",
+        nargs="+",
+        default=list(DEFAULT_VERSION_RETENTIONS),
+        help="retention policies to sweep: keep-all, keep-tagged, depth-N",
+    )
+    versions_parser.add_argument(
+        "--base-vertices",
+        type=int,
+        default=DEFAULT_VERSION_BASE_VERTICES,
+        help="vertices in the seeded base graph",
+    )
+    versions_parser.add_argument(
+        "--churn-ops",
+        type=int,
+        default=DEFAULT_VERSION_CHURN_OPS,
+        help="CUD operations between consecutive commits",
+    )
+    versions_parser.add_argument(
+        "--tag-every",
+        type=int,
+        default=DEFAULT_VERSION_TAG_EVERY,
+        help="tag every Nth commit (what keep-tagged retains)",
+    )
+    versions_parser.add_argument("--seed", type=int, default=20181204)
+    versions_parser.add_argument(
+        "--output",
+        default=DEFAULT_VERSIONS_JSON,
+        help="write the JSON payload here ('' to skip)",
+    )
+    versions_parser.add_argument(
+        "--report",
+        default=DEFAULT_VERSIONS_REPORT,
+        help="write the rendered figure here ('' to skip)",
+    )
     return parser
 
 
@@ -1049,6 +1132,33 @@ def _command_txn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_versions(args: argparse.Namespace) -> int:
+    try:
+        engine_ids = [resolve_engine_id(name) for name in args.engines]
+        report = run_versions_benchmark(
+            engine_ids,
+            depths=args.depths,
+            mixes=args.mixes,
+            retentions=args.retentions,
+            base_vertices=args.base_vertices,
+            churn_ops=args.churn_ops,
+            tag_every=args.tag_every,
+            seed=args.seed,
+        )
+    except (BenchmarkError, VersionError) as error:
+        print(f"graphbench versions: {error}", file=sys.stderr)
+        return 2
+    print(format_versions_report(report))
+    written = write_versions_report(
+        report,
+        json_path=args.output or None,
+        text_path=args.report or None,
+    )
+    for path in written:
+        print(f"wrote {path.resolve()}")
+    return 0
+
+
 def _command_space(args: argparse.Namespace) -> int:
     datasets = [get_dataset(name, scale=args.scale, seed=args.seed) for name in args.datasets]
     measurements = measure_space_matrix(list(args.engines), datasets)
@@ -1084,6 +1194,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_reachability(args)
     if args.command == "txn":
         return _command_txn(args)
+    if args.command == "versions":
+        return _command_versions(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

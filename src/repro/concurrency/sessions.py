@@ -211,7 +211,7 @@ class Session:
 
 
 class SnapshotPin:
-    """A replica's standing claim on a historical snapshot.
+    """A standing claim on a historical snapshot.
 
     A pin behaves like a session that never writes and never closes: it
     holds the garbage-collection low-water mark at its timestamp so that
@@ -221,26 +221,53 @@ class SnapshotPin:
     replication tier advances it monotonically as the replica applies log
     records, releasing retained versions the moment no replica can still
     observe them.
+
+    Pins are also *reference counted* for the versioning tier: a commit
+    object and every tag ref pointing at it share one pin via
+    :meth:`retain`, and the pin only leaves the manager (raising the
+    low-water mark) when the last reference calls :meth:`release`.  A pin
+    held by more than one reference refuses to move — a shared snapshot
+    is a promise to every holder that the timestamp stays put.
     """
 
-    __slots__ = ("manager", "id", "snapshot_ts", "released")
+    __slots__ = ("manager", "id", "snapshot_ts", "released", "refs")
 
     def __init__(self, manager: "SessionManager", pin_id: int, snapshot_ts: int) -> None:
         self.manager = manager
         self.id = pin_id
         self.snapshot_ts = snapshot_ts
         self.released = False
+        #: Reference count; the pin is released from the manager (and GC
+        #: runs) only when the count reaches zero.
+        self.refs = 1
+
+    def retain(self) -> "SnapshotPin":
+        """Add a reference; the pin survives until every holder releases."""
+        if self.released:
+            raise SessionStateError(f"pin {self.id} is already released")
+        self.refs += 1
+        return self
 
     def move(self, snapshot_ts: int) -> None:
         """Advance the pin (monotonic); triggers GC at the new low-water mark."""
+        if self.refs > 1:
+            raise GraphBenchError(
+                f"pin {self.id} is shared by {self.refs} references and cannot move"
+            )
         self.manager._move_pin(self, snapshot_ts)
 
     def release(self) -> None:
-        """Drop the pin; retained versions behind it become collectable."""
-        self.manager._release_pin(self)
+        """Drop one reference; at zero, retained versions become collectable."""
+        if self.released:
+            # Preserve the loud double-release error path.
+            self.manager._release_pin(self)
+            return
+        self.refs -= 1
+        if self.refs <= 0:
+            self.manager._release_pin(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        state = "released" if self.released else "held"
+        state = "released" if self.released else f"held refs={self.refs}"
         return f"<SnapshotPin {self.id} @{self.snapshot_ts} {state}>"
 
 
@@ -373,6 +400,19 @@ class SessionManager:
         """A read-only graph view that tracks ``pin``'s moving snapshot."""
         return SnapshotView(self.engine, self.store, _PinnedSession(pin))
 
+    def historical(self, snapshot_ts: int | None = None) -> "SnapshotView":
+        """A read-only session fixed at a historical snapshot.
+
+        Pins ``snapshot_ts`` (default: the current clock) with a fresh
+        refcount-1 pin and returns the :class:`SnapshotView` over it; the
+        caller ends the historical session by releasing the pin
+        (``view.pin.release()``).  This is the primitive the versioning
+        tier builds :class:`~repro.versions.Commit` views on — unlike a
+        replica's pin it never moves, so the view answers for one instant
+        forever (or until the last reference lets GC reclaim it).
+        """
+        return self.snapshot_view(self.pin(snapshot_ts))
+
     def _finish(self, session: Session, state: str) -> None:
         """Close a session and let the store reclaim newly-dead versions.
 
@@ -504,7 +544,7 @@ class SessionManager:
         # session (which also garbage-collects versions that just became
         # unobservable, including this commit's own marks when it ran
         # uncontended).
-        self._publish(session, commit_ts, id_map, removed_edge_states, cascade_keys)
+        self._publish(session, commit_ts, id_map, removed_edge_states, cascade_keys, capture)
 
         invalidation_keys: tuple[tuple[str, Any], ...] = ()
         if capture:
@@ -824,6 +864,7 @@ class SessionManager:
         id_map: dict[ProvisionalId, Any],
         removed_edge_states: dict[Any, EdgeState],
         cascade_keys: set[tuple[str, Any]],
+        capture: bool = False,
     ) -> None:
         store = self.store
         ws = session.write_set
@@ -837,11 +878,18 @@ class SessionManager:
             store.mark_committed(key, commit_ts)
             store.mark_removed(key, commit_ts)
 
-        # Objects created by this commit.
+        # Objects created by this commit.  Under capture, each creation
+        # also records a lifetime boundary in the undo chain — readers at
+        # older snapshots reconstruct ``None`` ("did not exist yet") even
+        # if the engine handed out a freed id an older incarnation used
+        # (capture ran pre-apply, so the boundary lands after any
+        # before-image this commit captured for the old incarnation).
         for pid, engine_id in id_map.items():
             key = vertex_key(engine_id) if pid.kind == "vertex" else edge_key(engine_id)
             store.mark_committed(key, commit_ts)
             store.mark_created(key, commit_ts)
+            if capture and not store.has_undo_at(key, commit_ts):
+                store.push_undo(key, commit_ts, None)
         for pid, state in ws.created_edges.items():
             engine_id = id_map.get(pid)
             if engine_id is None:

@@ -127,6 +127,7 @@ class VersionShard:
         "removed_edges_by_vertex",
         "adj_changed_at",
         "oldest_ts",
+        "newest_ts",
     )
 
     def __init__(self, index: int) -> None:
@@ -149,11 +150,18 @@ class VersionShard:
         self.adj_changed_at: dict[Any, int] = {}
         #: Smallest timestamp held by any entry, or None when empty.
         self.oldest_ts: int | None = None
+        #: Largest timestamp held by any entry, or None when empty.  The
+        #: structural diff walk skips shards whose ``(oldest_ts,
+        #: newest_ts)`` interval misses the commit window entirely — an
+        #: untouched shard costs one comparison, not a scan.
+        self.newest_ts: int | None = None
 
     def note(self, ts: int) -> None:
         """Record that an entry with timestamp ``ts`` entered this shard."""
         if self.oldest_ts is None or ts < self.oldest_ts:
             self.oldest_ts = ts
+        if self.newest_ts is None or ts > self.newest_ts:
+            self.newest_ts = ts
 
     # -- garbage collection -------------------------------------------------
 
@@ -196,12 +204,32 @@ class VersionShard:
                 del self.removed_edges_by_vertex[vid]
 
     def recompute_oldest(self) -> None:
+        """Refresh the ``(oldest_ts, newest_ts)`` bounds after a sweep."""
         timestamps: list[int] = []
         for mapping in (self.committed_at, self.created_at, self.removed_at, self.adj_changed_at):
             timestamps.extend(mapping.values())
         for chain in self.undo.values():
             timestamps.extend(ts for ts, _state in chain)
         self.oldest_ts = min(timestamps) if timestamps else None
+        self.newest_ts = max(timestamps) if timestamps else None
+
+    def touched_keys_between(self, lo: int, hi: int) -> Iterator[tuple[str, Any]]:
+        """Object keys carrying any version mark in the window ``(lo, hi]``.
+
+        Scans the committed/created/removed maps *and* the undo chains:
+        ``committed_at`` only remembers a key's latest commit, so a key
+        rewritten again after ``hi`` is findable only through the undo
+        entry its in-window commit pushed (which exists whenever the
+        window's low end was pinned at commit time — the versioning
+        tier's invariant).  May yield a key more than once; callers dedup.
+        """
+        for mapping in (self.committed_at, self.created_at, self.removed_at):
+            for key, ts in mapping.items():
+                if lo < ts <= hi:
+                    yield key
+        for key, chain in self.undo.items():
+            if any(lo < ts <= hi for ts, _state in chain):
+                yield key
 
     def entry_count(self) -> int:
         return (
@@ -365,8 +393,25 @@ class VersionStore:
         return CURRENT
 
     def hidden_from(self, key: tuple[str, Any], snapshot: int) -> bool:
-        """True if the object was created by a commit newer than ``snapshot``."""
-        return self.created_ts(key) > snapshot
+        """True if the object did not exist yet at ``snapshot``.
+
+        ``created_at`` only remembers a key's *latest* creation, and
+        engines reuse freed ids — so a key created after the snapshot may
+        still have had an older incarnation that WAS visible at it.  The
+        undo chain holds the lifetime boundaries: the first entry after
+        the snapshot is what a reader there would reconstruct (a real
+        state for an old incarnation, ``None`` for a creation boundary or
+        a pre-removal gap).  Uncaptured creations have no boundary entry,
+        but they only happen when no older reader existed — then nothing
+        can observe the difference and the key stays hidden.
+        """
+        shard = self.shard_of(key)
+        if shard.created_at.get(key, 0) <= snapshot:
+            return False
+        for commit_ts, state in shard.undo.get(key, ()):
+            if commit_ts > snapshot:
+                return state is None
+        return True
 
     def removed_as_of(self, key: tuple[str, Any], snapshot: int) -> bool:
         """True if ``key`` was overlay-removed at/before ``snapshot`` (and not re-created).
@@ -384,7 +429,12 @@ class VersionStore:
         removed_ts = shard.removed_at.get(key)
         if removed_ts is None or removed_ts > snapshot:
             return False
-        return shard.created_at.get(key, 0) <= removed_ts
+        # Strict <: equal timestamps mean one commit removed the old object
+        # and created a new one that the engine assigned the same id — the
+        # id exists after that commit, so it is not removed.  (Creation
+        # followed by removal inside one session never leaves marks at
+        # all: the provisional object is dropped before apply.)
+        return shard.created_at.get(key, 0) < removed_ts
 
     def resurrected_edges(self, vertex_id: Any, snapshot: int) -> Iterator[tuple[Any, EdgeState]]:
         """Edges incident to ``vertex_id`` removed after ``snapshot``.
@@ -481,7 +531,68 @@ class VersionStore:
         self.gc.runs += 1
         return self.gc.reclaimed_total - before
 
+    # -- version windows (the structural diff's candidate scan) -------------
+
+    def keys_touched_between(
+        self, lo: int, hi: int
+    ) -> tuple[list[tuple[str, Any]], dict[str, int]]:
+        """Object keys that *may* differ between snapshots ``lo`` and ``hi``.
+
+        A key's state at two snapshots can only differ if some commit with
+        timestamp in ``(lo, hi]`` touched it, and every such commit leaves
+        a mark (committed/created/removed entry, or the undo entry a
+        pinned low end forces).  Shards whose ``(oldest_ts, newest_ts)``
+        interval misses the window are skipped without scanning — the
+        fast path that makes diffing two near-identical versions of a
+        heavily-versioned graph cheap.  Returns the candidate keys sorted
+        by ``repr`` (cross-process deterministic) plus scan statistics.
+        All of this is RAM bookkeeping and charges nothing; the diff walk
+        charges per candidate it actually visits.
+        """
+        if hi < lo:
+            lo, hi = hi, lo
+        if hi == lo:
+            # Same snapshot on both sides: nothing can differ and no shard
+            # needs scanning at all.
+            return [], {"shards_scanned": 0, "shards_skipped": len(self.shards)}
+        stats = {"shards_scanned": 0, "shards_skipped": 0}
+        candidates: dict[tuple[str, Any], None] = {}
+        for shard in self.shards:
+            if (
+                shard.newest_ts is None
+                or shard.newest_ts <= lo
+                or (shard.oldest_ts is not None and shard.oldest_ts > hi)
+            ):
+                stats["shards_skipped"] += 1
+                continue
+            stats["shards_scanned"] += 1
+            for key in shard.touched_keys_between(lo, hi):
+                candidates[key] = None
+        return sorted(candidates, key=repr), stats
+
     # -- introspection ------------------------------------------------------
+
+    def retained_bytes(self) -> int:
+        """Deterministic estimate of the retained version state's footprint.
+
+        16 bytes per timestamp mark (key-pointer plus int, the dict-entry
+        shape) plus the ``repr`` length of every retained undo state —
+        stable across processes (dataclass reprs follow insertion order),
+        unlike ``sys.getsizeof``, so benchmark payloads can gate on it.
+        """
+        total = 0
+        for shard in self.shards:
+            total += 16 * (
+                len(shard.committed_at)
+                + len(shard.created_at)
+                + len(shard.removed_at)
+                + len(shard.adj_changed_at)
+                + sum(len(edges) for edges in shard.removed_edges_by_vertex.values())
+            )
+            for chain in shard.undo.values():
+                for _ts, state in chain:
+                    total += 16 + len(repr(state))
+        return total
 
     def retained_undo_entries(self) -> int:
         return sum(
@@ -698,14 +809,20 @@ class VersionedGraph(GraphDatabase):
             yield from self._engine.vertex_ids()
             return
         ws = self._ws
+        seen: set[Any] = set()
         for vertex_id in self._engine.vertex_ids():
             if self._store.hidden_from(vertex_key(vertex_id), snapshot):
                 continue
             if vertex_id in ws.removed_vertices:
                 continue
+            seen.add(vertex_id)
             yield vertex_id
+        # Engines reuse freed ids, so an id the scan above already yielded
+        # (its snapshot incarnation reconstructed from the undo chain) can
+        # also sit in the removed-object index for an *older* incarnation;
+        # one id names one visible object per snapshot, so dedup here.
         for vertex_id in self._store.removed_object_ids("vertex", snapshot):
-            if vertex_id not in ws.removed_vertices:
+            if vertex_id not in ws.removed_vertices and vertex_id not in seen:
                 yield vertex_id
         yield from ws.created_vertices
 
@@ -910,14 +1027,18 @@ class VersionedGraph(GraphDatabase):
             yield from self._engine.edge_ids()
             return
         ws = self._ws
+        seen: set[Any] = set()
         for edge_id in self._engine.edge_ids():
             if self._store.hidden_from(edge_key(edge_id), snapshot):
                 continue
             if edge_id in ws.removed_edges:
                 continue
+            seen.add(edge_id)
             yield edge_id
+        # Same id-reuse dedup as ``vertex_ids``: a reused edge id can be
+        # both live in the engine and indexed as removed-after-snapshot.
         for edge_id in self._store.removed_object_ids("edge", snapshot):
-            if edge_id not in ws.removed_edges:
+            if edge_id not in ws.removed_edges and edge_id not in seen:
                 yield edge_id
         yield from ws.created_edges
 
@@ -1101,8 +1222,36 @@ class VersionedGraph(GraphDatabase):
             yield from self._overlay_incident(vertex_id, direction, label, snapshot)
             return
         for edge_id in self._engine.edges_for(vertex_id, direction, label):
-            if self._edge_visible(edge_id, snapshot):
+            if not self._edge_visible(edge_id, snapshot):
+                continue
+            state = self._store.state_at(edge_key(edge_id), snapshot)
+            if state is CURRENT:
                 yield edge_id
+                continue
+            if state is None:
+                continue
+            # The engine listed this id from its *current* adjacency, but
+            # the snapshot sees a reconstructed state — after freed-id
+            # reuse that can be a different edge entirely.  If the old
+            # incarnation was removed after the snapshot, the resurrection
+            # index below owns it (skip here to avoid double-yield);
+            # otherwise this is the same edge with older properties, and
+            # the snapshot state decides incidence.
+            if self._store.removed_ts(edge_key(edge_id)) > snapshot:
+                continue
+            if label is not None and state.label != label:
+                continue
+            if direction is Direction.OUT:
+                if state.source == vertex_id:
+                    yield edge_id
+            elif direction is Direction.IN:
+                if state.target == vertex_id:
+                    yield edge_id
+            else:
+                if state.source == vertex_id:
+                    yield edge_id
+                if state.target == vertex_id:
+                    yield edge_id
         yield from self._overlay_incident(vertex_id, direction, label, snapshot)
 
     def edges_for(
@@ -1357,6 +1506,17 @@ class VersionedGraph(GraphDatabase):
     def has_vertex_index(self, key: str) -> bool:
         return self._engine.has_vertex_index(key)
 
+    def structure_version(self) -> int:
+        """Delegate to the engine's structural counter.
+
+        Without this a view would report the :class:`GraphDatabase`
+        default of 0 forever, so a structural index built through a
+        session could never detect engine-side shape changes.  Historical
+        views override this again with the *captured* version of their
+        commit — their root is immutable by construction.
+        """
+        return self._engine.structure_version()
+
     def space_breakdown(self) -> dict[str, int]:
         return self._engine.space_breakdown()
 
@@ -1381,6 +1541,11 @@ class SnapshotView(VersionedGraph):
     Mutations are rejected before buffering anything: a replica that
     accepted writes would silently fork the primary's history.
     """
+
+    @property
+    def pin(self):
+        """The :class:`~repro.concurrency.sessions.SnapshotPin` backing this view."""
+        return self._session.pin
 
     def _read_only(self, operation: str) -> None:
         raise SessionStateError(

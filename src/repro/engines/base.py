@@ -156,6 +156,18 @@ class BaseEngine(GraphDatabase):
         # harness; flushing here keeps standalone use safe as well.
         self.wal.flush()
 
+    def structure_version(self) -> int:
+        """Monotonic shape counter; every engine answers from its WAL hook.
+
+        Two consumers pin their validity to this number: structural
+        indexes (:mod:`repro.index`) compare it against the version they
+        were built at, and the version catalog (:mod:`repro.versions`)
+        *captures* it at commit time so an index built over a historical
+        view validates against the commit's frozen shape — the live
+        counter keeps moving, the captured one never does.
+        """
+        return self._structure_version
+
     # ------------------------------------------------------------------
     # Attribute-index bookkeeping
     # ------------------------------------------------------------------

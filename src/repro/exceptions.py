@@ -187,6 +187,24 @@ class StaleIndexError(GraphBenchError):
         self.current_version = current_version
 
 
+class VersionError(GraphBenchError):
+    """A version-catalog operation was invalid (released commit, bad ref)."""
+
+
+class UnknownVersionError(VersionError):
+    """A version ref did not resolve to any commit.
+
+    Raised by :meth:`~repro.versions.VersionCatalog.resolve` (and therefore
+    :meth:`~repro.model.graph.GraphDatabase.at_version`) for a tag name the
+    ref store has never seen, a commit id the catalog does not hold, or a
+    ``HEAD`` lookup on a catalog with no commits yet.
+    """
+
+    def __init__(self, ref: object) -> None:
+        super().__init__(f"unknown version ref {ref!r}")
+        self.ref = ref
+
+
 class DatasetError(GraphBenchError):
     """A dataset could not be generated, loaded, or parsed."""
 

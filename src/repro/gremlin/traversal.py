@@ -118,6 +118,23 @@ class GraphTraversal:
         """Return a one-line description of the (unoptimised) pipeline."""
         return " -> ".join(step.describe() for step in self._steps)
 
+    def at_version(self, ref: Any = "HEAD") -> "GraphTraversal":
+        """Re-root this traversal at a named version of the bound graph.
+
+        Must be called before any step is added: the whole pipeline runs
+        against the historical view, and mixing live and as-of steps in
+        one pipeline has no coherent snapshot.  The view mirrors the
+        engine's planner surface, so the optimizer builds the same plan
+        it would for the live graph — the as-of differential contract
+        depends on that.
+        """
+        if self._steps:
+            raise QueryError(
+                "at_version() must come before any traversal step; "
+                "call it directly on g.traversal()"
+            )
+        return GraphTraversal(self.graph.at_version(ref))
+
     # -- start steps ------------------------------------------------------------
 
     def V(self, *ids: Any) -> "GraphTraversal":  # noqa: N802 - Gremlin naming

@@ -46,6 +46,7 @@ from repro.model.elements import Direction, Edge, Vertex
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.concurrency.sessions import Session, SessionManager
     from repro.gremlin.traversal import GraphTraversal
+    from repro.versions.catalog import VersionCatalog
 
 
 class GraphDatabase(abc.ABC):
@@ -599,6 +600,36 @@ class GraphDatabase(abc.ABC):
         rw-antidependency validation).
         """
         return self.transactions().begin(isolation=isolation)
+
+    # ------------------------------------------------------------------
+    # Versioning & time travel (repro.versions)
+    # ------------------------------------------------------------------
+
+    def versions(self) -> "VersionCatalog":
+        """Return this database's version catalog (created lazily, cached).
+
+        The catalog shares the engine's session manager — commits pin the
+        same commit clock sessions advance — so, like :meth:`transactions`,
+        it is a singleton per engine instance.
+        """
+        catalog = getattr(self, "_version_catalog", None)
+        if catalog is None:
+            from repro.versions.catalog import VersionCatalog
+
+            catalog = VersionCatalog(self)
+            self._version_catalog = catalog
+        return catalog
+
+    def at_version(self, ref: Any = "HEAD"):
+        """A read-only view of this graph as-of a named version.
+
+        ``ref`` is a tag name, a commit id, a :class:`Commit`, or
+        ``"HEAD"``.  The view routes every read through the MVCC overlay
+        pinned at the commit's snapshot, so any existing query or
+        traversal runs against the historical state unchanged; mutations
+        raise.  Requires at least one prior ``versions().commit()``.
+        """
+        return self.versions().view(ref)
 
     # ------------------------------------------------------------------
     # Misc

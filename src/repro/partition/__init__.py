@@ -25,6 +25,7 @@ from repro.partition.executor import (
     BulkQueryResult,
     DistributedExecutor,
     DistributedResult,
+    RebalanceDecision,
     ShardRuntime,
     build_distributed,
     direct_bfs,
@@ -73,6 +74,7 @@ __all__ = [
     "PARTITIONERS",
     "PartitionPlan",
     "Partitioner",
+    "RebalanceDecision",
     "ShardRuntime",
     "build_distributed",
     "direct_bfs",

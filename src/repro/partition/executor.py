@@ -51,7 +51,11 @@ from repro.exceptions import BenchmarkError
 from repro.model.elements import Direction
 from repro.model.graph import GraphDatabase
 from repro.partition.messages import MessageBatch, NetworkCostModel, NetworkStats
-from repro.partition.partitioners import PartitionPlan
+from repro.partition.partitioners import (
+    DEFAULT_DRIFT_THRESHOLD,
+    PartitionPlan,
+    partition_dataset,
+)
 
 
 def direct_bfs(
@@ -208,6 +212,22 @@ class BulkQueryResult:
         return self.compute_charge + self.network_charge
 
 
+@dataclass
+class RebalanceDecision:
+    """What :meth:`DistributedExecutor.maybe_rebalance` decided and did."""
+
+    #: The plan the decision produced: the in-place patch, or the fresh
+    #: re-partition the caller must rebuild shards from.
+    plan: PartitionPlan
+    #: Measured drift of the routing state against the dataset.
+    drift: float
+    #: True when drift crossed the threshold and a full re-partition was
+    #: computed.
+    repartitioned: bool
+    #: True when the executor's routing was updated in place (patch path).
+    applied: bool
+
+
 class DistributedExecutor:
     """Run traversal queries over K shard engines in deterministic supersteps."""
 
@@ -216,12 +236,64 @@ class DistributedExecutor:
         shards: list[ShardRuntime],
         owner: dict[Any, int],
         network: NetworkCostModel | None = None,
+        plan: PartitionPlan | None = None,
     ) -> None:
         if not shards:
             raise BenchmarkError("a distributed executor needs at least one shard")
         self.shards = shards
         self.owner = owner
         self.network = network or NetworkCostModel()
+        #: The partition plan the routing was built from (drift baseline).
+        self.plan = plan
+
+    # ------------------------------------------------------------------
+    # Drift-triggered re-partitioning
+    # ------------------------------------------------------------------
+
+    def _current_plan(self) -> PartitionPlan:
+        if self.plan is not None:
+            return self.plan
+        # An executor assembled without a plan (tests, hand-built shards)
+        # still has routing truth in its owner table.
+        return PartitionPlan(
+            strategy="hash", shards=len(self.shards), assignment=dict(self.owner)
+        )
+
+    def maybe_rebalance(
+        self,
+        dataset: Any,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        partitioner: str | None = None,
+    ) -> RebalanceDecision:
+        """Check plan drift after a CUD batch and patch or re-partition.
+
+        Below ``drift_threshold`` the plan is :meth:`~PartitionPlan.patch`-ed
+        and the repair is applied *in place*: the owner table this executor
+        (and any :class:`~repro.txn.distributed.DistributedSessionManager`
+        sharing it) routes by is updated without moving any resident data.
+        At or above the threshold a full re-partition is computed and
+        returned with ``repartitioned=True`` — but **not** applied, because
+        honouring it means re-sharding the engines
+        (:func:`build_distributed`); the caller owns that rebuild and its
+        one-off cost.
+        """
+        if not 0.0 <= drift_threshold <= 1.0:
+            raise BenchmarkError(
+                f"drift threshold must be within [0, 1], not {drift_threshold}"
+            )
+        current = self._current_plan()
+        drift = current.drift(dataset)
+        if drift < drift_threshold:
+            patched = current.patch(dataset)
+            # In-place: the txn manager holds a reference to this dict.
+            self.owner.clear()
+            self.owner.update(patched.assignment)
+            self.plan = patched
+            return RebalanceDecision(patched, drift, repartitioned=False, applied=True)
+        fresh = partition_dataset(
+            dataset, len(self.shards), partitioner or current.strategy
+        )
+        return RebalanceDecision(fresh, drift, repartitioned=True, applied=False)
 
     # ------------------------------------------------------------------
     # Queries
@@ -580,7 +652,7 @@ def build_distributed(
                 (source_external, index)
             )
 
-    executor = DistributedExecutor(shards, dict(plan.assignment), network=network)
+    executor = DistributedExecutor(shards, dict(plan.assignment), network=network, plan=plan)
     report = BuildReport(
         extract_charge=extract_charge,
         shard_sizes=[len(shard.id_map) for shard in shards],

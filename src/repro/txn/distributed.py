@@ -61,7 +61,6 @@ from repro.exceptions import (
     SessionStateError,
     TransactionError,
     TransactionInDoubtError,
-    UnsupportedOperationError,
 )
 from repro.faults.txn_faults import (
     COORDINATOR_CRASH,
@@ -79,10 +78,12 @@ from repro.storage.wal import DurabilityMode, ValueLog, WriteAheadLog
 COORDINATOR = -1
 
 #: Operation kinds a shard transaction WAL can journal (and recovery can
-#: re-apply).  The distributed write surface is deliberately small — the
-#: benchmark's transactions are property updates and same-shard edge
-#: inserts, mirroring the paper's CUD microbenchmarks.
-LOGGED_OPS = ("set_vertex_property", "remove_vertex_property", "add_edge")
+#: re-apply).  The distributed write surface is deliberately small —
+#: property updates and edge inserts, mirroring the paper's CUD
+#: microbenchmarks.  ``add_cut_edge`` is a cross-shard insert: both
+#: endpoint owners journal it, and applying it updates the shard's cut
+#: routing table rather than its engine.
+LOGGED_OPS = ("set_vertex_property", "remove_vertex_property", "add_edge", "add_cut_edge")
 
 
 class TxnShard:
@@ -213,6 +214,9 @@ class DistributedSession:
         self.state = "open"
         self._sessions: dict[int, Session] = {}
         self._ops: dict[int, list[tuple[Any, ...]]] = {}
+        #: External id → cut edges this transaction has buffered for it
+        #: (read-your-writes for :meth:`degree` before the install lands).
+        self._pending_cut: dict[Any, int] = {}
 
     @property
     def is_open(self) -> bool:
@@ -265,7 +269,8 @@ class DistributedSession:
         """Global degree: shard-local edges plus this vertex's cut edges."""
         shard = self._shard_of(vertex_id)
         local = self._session(shard).graph.degree(shard.runtime.id_map[vertex_id])
-        return local + len(shard.runtime.remote.get(vertex_id, ()))
+        remote = len(shard.runtime.remote.get(vertex_id, ()))
+        return local + remote + self._pending_cut.get(vertex_id, 0)
 
     # -- writes -----------------------------------------------------------
 
@@ -290,20 +295,30 @@ class DistributedSession:
         label: str = "related",
         properties: dict[str, Any] | None = None,
     ) -> None:
-        """Insert an edge whose endpoints live on the *same* shard.
+        """Insert an edge; endpoints may live on different shards.
 
-        Cross-shard edge creation would have to mutate two shards' cut
-        tables atomically with the query plane's routing — a roadmap item,
-        refused loudly rather than half-done.
+        Same-shard inserts go to the owner's MVCC session like any other
+        write.  A *cross-shard* edge lives in the cut routing tables, not
+        in either engine, so both endpoint owners become 2PC writers:
+        each journals the ``add_cut_edge`` at PREPARE, and each installs
+        its half of the routing entry only after the coordinator's COMMIT
+        (or at :meth:`DistributedSessionManager.recover` if it crashed
+        after voting).  The two halves therefore appear atomically with
+        the transaction, never singly.
         """
         src_shard = self._shard_of(source)
         dst_shard = self._shard_of(target)
         if src_shard.index != dst_shard.index:
-            raise UnsupportedOperationError(
-                f"cross-shard edge {source!r}->{target!r} "
-                f"(shards {src_shard.index} and {dst_shard.index}): distributed "
-                "transactions support same-shard edge inserts only"
-            )
+            op = ("add_cut_edge", source, target, label, dict(properties or {}))
+            # Open both sessions so both shards participate in 2PC (the
+            # recorded op is what makes each a writer).
+            self._session(src_shard)
+            self._session(dst_shard)
+            self._record(src_shard, op)
+            self._record(dst_shard, op)
+            self._pending_cut[source] = self._pending_cut.get(source, 0) + 1
+            self._pending_cut[target] = self._pending_cut.get(target, 0) + 1
+            return
         self._session(src_shard).graph.add_edge(
             src_shard.runtime.id_map[source],
             src_shard.runtime.id_map[target],
@@ -367,9 +382,10 @@ class DistributedSessionManager:
         #: Count of commits that entered the full 2PC protocol — the
         #: coordinate :class:`TxnFaultPlan` events match against.
         self._distributed_count = 0
-        #: txn id -> [(shard index, prepared session)] for transactions
-        #: orphaned by a coordinator crash; resolved by :meth:`recover`.
-        self._in_doubt: dict[int, list[tuple[int, Session]]] = {}
+        #: txn id -> [(shard index, prepared session, recorded ops)] for
+        #: transactions orphaned by a coordinator crash; resolved by
+        #: :meth:`recover`.
+        self._in_doubt: dict[int, list[tuple[int, Session, list[tuple[Any, ...]]]]] = {}
         #: (txn id, shard index) pairs whose participant crashed after
         #: voting on a committed transaction; re-applied by :meth:`recover`.
         self._pending: list[tuple[int, int]] = []
@@ -593,6 +609,7 @@ class DistributedSessionManager:
                 continue
             engine_before = shard.engine.io_cost()
             txn._sessions[index].commit_prepared()
+            self._install_cut_edges(shard, txn._ops[index])
             apply_charge = shard.engine.io_cost() - engine_before
             ack = MessageBatch(
                 superstep=2,
@@ -641,7 +658,7 @@ class DistributedSessionManager:
             return {"txn": txn_id, "vertex": op[1], "key": op[2], "value": op[3]}
         if name == "remove_vertex_property":
             return {"txn": txn_id, "vertex": op[1], "key": op[2]}
-        if name == "add_edge":
+        if name in ("add_edge", "add_cut_edge"):
             return {
                 "txn": txn_id,
                 "source": op[1],
@@ -650,6 +667,27 @@ class DistributedSessionManager:
                 "properties": op[4],
             }
         raise TransactionError(f"unknown distributed operation {name!r}")
+
+    def _install_cut_edges(self, shard: TxnShard, ops: list[tuple[Any, ...]]) -> None:
+        """Install ``shard``'s halves of a transaction's cut-edge inserts.
+
+        The cut table is coordinator-RAM routing state (uncharged, exactly
+        like the one built at partition time); each owner installs only
+        the half it routes for, and the install is idempotent so recovery
+        can re-run it after a crash-restart.
+        """
+        runtime = shard.runtime
+        for op in ops:
+            if op[0] != "add_cut_edge":
+                continue
+            _name, source, target, _label, _properties = op
+            for local, remote in ((source, target), (target, source)):
+                if self.owner[local] != shard.index:
+                    continue
+                entry = (remote, self.owner[remote])
+                routes = runtime.remote.setdefault(local, [])
+                if entry not in routes:
+                    routes.append(entry)
 
     def _decide(self, txn: DistributedSession, outcome: str) -> None:
         """Journal the coordinator's decision (SYNC, charged)."""
@@ -693,7 +731,8 @@ class DistributedSessionManager:
     def _orphan(self, txn: DistributedSession, prepared: list[int]) -> None:
         """Park a transaction whose coordinator crashed mid-protocol."""
         self._in_doubt[txn.id] = [
-            (index, txn._sessions[index]) for index in prepared
+            (index, txn._sessions[index], list(txn._ops.get(index, ())))
+            for index in prepared
         ]
         txn.state = "in-doubt"
         self.stats.in_doubt += 1
@@ -723,11 +762,12 @@ class DistributedSessionManager:
         # re-run of recover() (or a later reader of the log) agrees.
         for txn_id in sorted(self._in_doubt):
             outcome = decisions.get(txn_id, "aborted")
-            for index, session in self._in_doubt[txn_id]:
+            for index, session, ops in self._in_doubt[txn_id]:
                 if not session.is_open:
                     continue
                 if outcome == "committed":
                     session.commit_prepared()
+                    self._install_cut_edges(self.txn_shards[index], ops)
                 else:
                     session.abort()
                     self.txn_shards[index].journal.append("abort", {"txn": txn_id})
@@ -800,5 +840,22 @@ class DistributedSessionManager:
                     id_map[payload["target"]],
                     payload["label"],
                     properties=dict(payload["properties"]),
+                )
+            elif name == "add_cut_edge":
+                # Routing state, not engine state: install this shard's
+                # half of the cut edge (idempotent, so a re-run of
+                # recovery or a survivor's phase-2 install cannot double
+                # it).
+                self._install_cut_edges(
+                    shard,
+                    [
+                        (
+                            "add_cut_edge",
+                            payload["source"],
+                            payload["target"],
+                            payload["label"],
+                            payload["properties"],
+                        )
+                    ],
                 )
         session.commit()

@@ -1,0 +1,95 @@
+"""Rendering and persistence of the graph-versioning benchmark.
+
+``BENCH_versions.json`` is the machine-readable artifact gated by
+``benchmarks/check_regression.py --kind versions``;
+``benchmarks/reports/fig15_versions.txt`` is the human-readable figure,
+following the repo's per-figure report convention.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.concurrency.report import _write_report
+
+DEFAULT_VERSIONS_JSON = "BENCH_versions.json"
+DEFAULT_VERSIONS_REPORT = "benchmarks/reports/fig15_versions.txt"
+
+_COLUMNS = (
+    ("depth", "depth", "{:d}"),
+    ("mix", "mix", "{:s}"),
+    ("retention", "  retention", "{:s}"),
+    ("retained", "commits", "{:s}"),
+    ("retained_bytes", "ret-bytes", "{:d}"),
+    ("reclaimed_undo", "gc-undo", "{:d}"),
+    ("asof_overhead", "asof-ovh", "{:+d}"),
+    ("diff_entries", "diff", "{:d}"),
+    ("diff_cpe", "chg/elem", "{:.2f}"),
+    ("shards_skipped", "skip", "{:s}"),
+)
+
+
+def format_versions_report(report: dict[str, Any]) -> str:
+    """Render the engine × depth × mix × retention matrix per engine."""
+    lines = [
+        "Figure 15: graph versioning — retained bytes vs GC reclaim vs as-of "
+        "overhead, per retention policy",
+        f"base |V|={report['base_vertices']}  {report['churn_ops']} churn ops/step  "
+        f"tag every {report['tag_every']} commits  seed={report['seed']}",
+        "as-of parity held on every cell (head charge-identical; "
+        "older commits report charge overhead)",
+    ]
+    header = "  " + "".join(
+        f" {title:>{max(9, len(title))}}" for _key, title, _fmt in _COLUMNS
+    )
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for cell in report["cells"]:
+        groups.setdefault(cell["engine"], []).append(cell)
+    for engine_id, cells in groups.items():
+        keep_all = [c for c in cells if c["retention"] == "keep-all"]
+        pruned = [c for c in cells if c["retention"] != "keep-all"]
+        saved = 0
+        if keep_all and pruned:
+            saved = max(
+                ka["catalog"]["retained_bytes"] - pr["catalog"]["retained_bytes"]
+                for ka in keep_all
+                for pr in pruned
+                if (ka["depth"], ka["mix"]) == (pr["depth"], pr["mix"])
+            )
+        lines.append("")
+        lines.append(f"{engine_id} — pruning retention reclaims up to {saved} bytes")
+        lines.append(header)
+        for cell in cells:
+            catalog = cell["catalog"]
+            diff = cell["diff"]
+            values = {
+                "depth": cell["depth"],
+                "mix": cell["mix"],
+                "retention": cell["retention"],
+                "retained": f"{catalog['retained_commits']}/{catalog['commits']}",
+                "retained_bytes": catalog["retained_bytes"],
+                "reclaimed_undo": catalog["gc_reclaimed_undo"],
+                "asof_overhead": cell["asof"]["total_overhead"],
+                "diff_entries": diff["entries"],
+                "diff_cpe": diff["charge_per_element"],
+                "shards_skipped": f"{diff['shards_skipped']}/"
+                f"{diff['shards_skipped'] + diff['shards_scanned']}",
+            }
+            lines.append(
+                "  "
+                + "".join(
+                    f" {fmt.format(values[key]):>{max(9, len(title))}}"
+                    for key, title, fmt in _COLUMNS
+                )
+            )
+    return "\n".join(lines)
+
+
+def write_versions_report(
+    report: dict[str, Any],
+    json_path: str | Path | None = DEFAULT_VERSIONS_JSON,
+    text_path: str | Path | None = DEFAULT_VERSIONS_REPORT,
+) -> list[Path]:
+    """Persist the payload and/or rendered figure; return the paths written."""
+    return _write_report(report, format_versions_report, json_path, text_path)

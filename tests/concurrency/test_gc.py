@@ -243,3 +243,65 @@ class TestBoundedUnderContention:
         manager = SessionManager(loaded.engine, shards=3)
         assert manager.store.n_shards == 3
         assert len(manager.store.shards) == 3
+
+
+class TestPinnedTags:
+    """Version-catalog refs hold the GC low-water mark (PR: time travel)."""
+
+    def test_tagged_commit_keeps_undo_chains_alive(self, loaded_native):
+        engine = loaded_native.engine
+        manager = engine.transactions()
+        vid = loaded_native.vertex_map["n1"]
+        catalog = engine.versions()
+        catalog.commit(tag="release", message="before the churn")
+        for value in range(3):
+            writer = engine.begin_session()
+            writer.graph.set_vertex_property(vid, "rank", value)
+            writer.commit()
+        # No session is open, yet every before-image survives: the tag's
+        # pin holds the low-water mark at the tagged snapshot.
+        assert manager.store.retained_undo_entries() == 3
+        assert manager.store.gc.reclaimed_undo == 0
+        # And the tagged version still reads its own world.
+        assert engine.at_version("release").vertex_property(vid, "rank") == 1
+
+    def test_deleting_last_ref_releases_on_next_collect(self, loaded_native):
+        engine = loaded_native.engine
+        manager = engine.transactions()
+        vid = loaded_native.vertex_map["n2"]
+        catalog = engine.versions()
+        commit = catalog.commit(tag="keep", message="pinned by one ref")
+        catalog.apply_retention("depth-1")  # head keeps its own base ref
+        writer = engine.begin_session()
+        writer.graph.set_vertex_property(vid, "rank", 99)
+        writer.commit()
+        later = catalog.commit()  # new head; old commit now lives on refs
+        catalog.apply_retention("depth-1")
+        assert manager.store.retained_undo_entries() == 1  # tag still pins
+        assert commit.retained
+
+        catalog.delete_tag("keep")
+        # The pin hit zero: the release triggers collection immediately and
+        # the chain the tag was protecting is reclaimed.
+        assert not commit.retained
+        assert manager.store.retained_undo_entries() == 0
+        assert manager.store.gc.reclaimed_undo == 1
+        # The released commit refuses reads; the retained head still works.
+        from repro.exceptions import VersionError
+
+        with pytest.raises(VersionError):
+            catalog.view(commit.id)
+        assert catalog.view(later.id).vertex_property(vid, "rank") == 99
+
+    def test_retag_never_lets_the_pin_transiently_drop(self, loaded_native):
+        engine = loaded_native.engine
+        catalog = engine.versions()
+        first = catalog.commit(tag="stable")
+        writer = engine.begin_session()
+        writer.graph.set_vertex_property(loaded_native.vertex_map["n3"], "rank", 7)
+        writer.commit()
+        second = catalog.commit()
+        catalog.tag("stable", second)  # move the ref
+        assert first.retained  # base ref still held
+        assert second.retained
+        assert "stable" in second.tags and "stable" not in first.tags

@@ -1,0 +1,176 @@
+"""Cross-shard edge inserts: two-writer 2PC over the cut routing tables.
+
+A cross-shard edge lives in the executor's cut tables, not in either
+shard engine, so inserting one makes *both* endpoint owners 2PC writers:
+each journals the ``add_cut_edge`` operation at PREPARE, and each
+installs its routing half only after the coordinator's durable COMMIT
+decision.  These tests pin atomicity (both halves or neither), query
+visibility (degree and BFS see the new edge), journaling, recovery after
+a participant crash, and that the same-shard path — the K=1 parity
+surface — is untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TransactionInDoubtError
+from repro.faults.txn_faults import (
+    COORDINATOR_CRASH,
+    PARTICIPANT_CRASH_AFTER_VOTE,
+    TxnFaultEvent,
+    TxnFaultPlan,
+)
+
+
+def _cut_pair(harness):
+    """A cross-shard vertex pair with *no* existing cut edge between them.
+
+    The partitioned dataset already has cut edges; picking an unconnected
+    pair keeps "the insert appeared" distinguishable from "it was already
+    there" (the install is idempotent, so a duplicate would be a no-op).
+    """
+    grouped = harness.vertices_by_shard()
+    shards = sorted(grouped)
+    assert len(shards) >= 2, "dataset did not spread over 2+ shards"
+    for a in grouped[shards[0]]:
+        routes = {
+            external for external, _shard in _routes(harness, a)
+        }
+        for b in grouped[shards[1]]:
+            if b not in routes:
+                return a, b, harness.manager.owner[a], harness.manager.owner[b]
+    raise AssertionError("no unconnected cross-shard pair in the dataset")
+
+
+def _routes(harness, external):
+    shard = harness.manager.txn_shards[harness.manager.owner[external]]
+    return shard.runtime.remote.get(external, [])
+
+
+class TestCommit:
+    def test_both_halves_install_atomically_at_commit(self, harness):
+        a, b, owner_a, owner_b = _cut_pair(harness)
+        before_a = list(_routes(harness, a))
+        before_b = list(_routes(harness, b))
+        txn = harness.manager.begin()
+        txn.add_edge(a, b, "crosses", properties={"w": 3})
+        # Nothing is routed before the decision.
+        assert _routes(harness, a) == before_a
+        assert _routes(harness, b) == before_b
+        result = txn.commit()
+
+        assert result.outcome == "committed"
+        assert result.mode == "2pc"
+        assert result.writers == tuple(sorted({owner_a, owner_b}))
+        assert (b, owner_b) in _routes(harness, a)
+        assert (a, owner_a) in _routes(harness, b)
+
+    def test_degree_sees_buffered_and_committed_cut_edge(self, harness):
+        a, b, _owner_a, _owner_b = _cut_pair(harness)
+        txn = harness.manager.begin()
+        base_a = txn.degree(a)
+        base_b = txn.degree(b)
+        txn.add_edge(a, b, "crosses")
+        # Read-your-writes before commit...
+        assert txn.degree(a) == base_a + 1
+        assert txn.degree(b) == base_b + 1
+        txn.commit()
+        # ...and the routing table answers after.
+        check = harness.manager.begin()
+        assert check.degree(a) == base_a + 1
+        assert check.degree(b) == base_b + 1
+        check.abort()
+
+    def test_traversal_crosses_the_new_edge(self, harness):
+        a, b, _owner_a, _owner_b = _cut_pair(harness)
+        before = harness.manager.begin()
+        txn = harness.manager.begin()
+        txn.add_edge(a, b, "crosses")
+        txn.commit()
+        result = harness.executor.bfs(a, 1)
+        assert result.distances.get(b) == 1
+        before.abort()
+
+    def test_both_owners_journal_the_insert(self, harness):
+        a, b, owner_a, owner_b = _cut_pair(harness)
+        txn = harness.manager.begin()
+        txn.add_edge(a, b, "crosses")
+        txn.commit()
+        for owner in (owner_a, owner_b):
+            shard = harness.manager.txn_shards[owner]
+            operations = [record.operation for record in shard.journal.replay()]
+            assert operations == ["add_cut_edge", "prepare"]
+
+    def test_install_is_idempotent(self, harness):
+        a, b, owner_a, owner_b = _cut_pair(harness)
+        txn = harness.manager.begin()
+        txn.add_edge(a, b, "crosses")
+        txn.commit()
+        again = harness.manager.begin()
+        again.add_edge(a, b, "crosses")
+        again.commit()
+        assert _routes(harness, a).count((b, owner_b)) == 1
+        assert _routes(harness, b).count((a, owner_a)) == 1
+
+
+class TestAbortAndRecovery:
+    def test_coordinator_crash_installs_neither_half(self, make_harness):
+        plan = TxnFaultPlan.explicit(TxnFaultEvent(COORDINATOR_CRASH, txn=0))
+        harness = make_harness(fault_plan=plan)
+        a, b, _owner_a, _owner_b = _cut_pair(harness)
+        before_a = list(_routes(harness, a))
+        before_b = list(_routes(harness, b))
+        txn = harness.manager.begin()
+        txn.add_edge(a, b, "crosses")
+        with pytest.raises(TransactionInDoubtError):
+            txn.commit()
+        assert harness.manager.recover() == {txn.id: "aborted"}
+        assert _routes(harness, a) == before_a
+        assert _routes(harness, b) == before_b
+
+    def test_participant_crash_after_vote_installs_at_recovery(self, make_harness):
+        plan = TxnFaultPlan.explicit(
+            TxnFaultEvent(PARTICIPANT_CRASH_AFTER_VOTE, txn=0)
+        )
+        harness = make_harness(fault_plan=plan)
+        a, b, owner_a, owner_b = _cut_pair(harness)
+        txn = harness.manager.begin()
+        txn.add_edge(a, b, "crosses")
+        result = txn.commit()
+
+        # The global commit stands; the crashed owner's half is missing
+        # until recovery replays its journal.
+        assert result.outcome == "committed"
+        crashed = set(result.in_doubt_shards)
+        assert crashed
+        for external, owner in ((a, owner_a), (b, owner_b)):
+            other = b if external == a else a
+            other_owner = owner_b if external == a else owner_a
+            installed = (other, other_owner) in _routes(harness, external)
+            assert installed == (owner not in crashed)
+
+        assert harness.manager.recover() == {txn.id: "committed"}
+        assert (b, owner_b) in _routes(harness, a)
+        assert (a, owner_a) in _routes(harness, b)
+        # Recovery is idempotent: nothing doubles on a re-run.
+        assert harness.manager.recover() == {}
+        assert _routes(harness, a).count((b, owner_b)) == 1
+        assert _routes(harness, b).count((a, owner_a)) == 1
+
+
+class TestSameShardParity:
+    def test_same_shard_insert_still_takes_the_local_path(self, harness):
+        grouped = harness.vertices_by_shard()
+        shard_index, members = max(grouped.items(), key=lambda item: len(item[1]))
+        assert len(members) >= 2
+        a, b = members[0], members[1]
+        txn = harness.manager.begin()
+        txn.add_edge(a, b, "linked")
+        result = txn.commit()
+        assert result.mode == "local"
+        assert result.messages == 0
+        # No cut-table rows, no journal rows: it was an ordinary local write.
+        assert (b, shard_index) not in _routes(harness, a)
+        for shard in harness.manager.txn_shards:
+            assert len(shard.journal) == 0

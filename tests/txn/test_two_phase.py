@@ -13,7 +13,6 @@ from repro.exceptions import (
     BenchmarkError,
     SerializationFailureError,
     SessionStateError,
-    UnsupportedOperationError,
     WriteConflictError,
 )
 
@@ -181,11 +180,20 @@ class TestRoutingGuards:
         with pytest.raises(BenchmarkError):
             txn.vertex_property("nope", "rank")
 
-    def test_cross_shard_edge_insert_is_refused_loudly(self, harness):
+    def test_cross_shard_edge_insert_runs_two_writer_2pc(self, harness):
         a, b = harness.two_shard_pair()
         txn = harness.manager.begin()
-        with pytest.raises(UnsupportedOperationError):
-            txn.add_edge(a, b, "crosses")
+        txn.add_edge(a, b, "crosses")
+        result = txn.commit()
+        assert result.mode == "2pc"
+        assert result.writers == tuple(
+            sorted({harness.manager.owner[a], harness.manager.owner[b]})
+        )
+        # Both owners route the new cut edge.
+        shard_a = harness.manager.txn_shards[harness.manager.owner[a]]
+        shard_b = harness.manager.txn_shards[harness.manager.owner[b]]
+        assert (b, harness.manager.owner[b]) in shard_a.runtime.remote[a]
+        assert (a, harness.manager.owner[a]) in shard_b.runtime.remote[b]
 
     def test_same_shard_edge_insert_commits(self, harness):
         grouped = harness.vertices_by_shard()

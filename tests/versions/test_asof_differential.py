@@ -1,0 +1,58 @@
+"""The as-of differential contract, pinned on every registered engine.
+
+A query executed as-of commit v must return byte-identical results to the
+same query run live at the moment v was created; when v is still the head,
+the base charges must match too.  ``run_versions_cell`` enforces both and
+raises ``BenchmarkError`` on any violation, so each cell below is itself
+the assertion — the payload checks on top document what "green" means.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines import ALL_ENGINES
+from repro.versions.bench import run_versions_cell
+
+# Small enough to keep 9 engines x 2 mixes fast, deep enough that ids get
+# freed and reused by the churn (the regime where as-of replay can break).
+CELL = dict(depth=3, base_vertices=16, churn_ops=8, tag_every=2, seed=20181204)
+
+
+@pytest.mark.parametrize("engine_id", ALL_ENGINES)
+@pytest.mark.parametrize("mix", ["read", "traversal"])
+def test_asof_replay_matches_live_run(engine_id, mix):
+    cell = run_versions_cell(engine_id, mix=mix, retention="keep-all", **CELL)
+    asof = cell["asof"]
+    assert asof["results_match"] is True
+    assert asof["head_overhead"] == 0
+    # keep-all retains every churn commit, so every one was replayed.
+    assert asof["replayed"] == CELL["depth"]
+    heads = [row for row in asof["rows"] if row["head"]]
+    assert len(heads) == 1
+    assert heads[0]["overhead"] == 0
+    assert heads[0]["asof_charge"] == heads[0]["live_charge"]
+
+
+@pytest.mark.parametrize("engine_id", ALL_ENGINES)
+def test_differential_survives_retention_pruning(engine_id):
+    """Pruning reclaims undo chains + tombstones; survivors must still replay."""
+    cell = run_versions_cell(engine_id, mix="traversal", retention="depth-2", **CELL)
+    asof = cell["asof"]
+    assert asof["results_match"] is True
+    assert asof["head_overhead"] == 0
+    # depth-2 keeps the head and one ancestor of the churn chain.
+    assert 1 <= asof["replayed"] <= 2
+    assert cell["catalog"]["released_commits"] > 0
+
+
+def test_historical_replay_charge_is_reported_not_contractual():
+    """Older commits pin results only; their charge delta is surfaced as
+    overhead (often negative: undo-chain reads are uncharged RAM)."""
+    cell = run_versions_cell(
+        "nativelinked-1.9", mix="read", retention="keep-all", **CELL
+    )
+    rows = cell["asof"]["rows"]
+    non_head = [row for row in rows if not row["head"]]
+    assert non_head, "keep-all at depth 3 must retain non-head commits"
+    assert cell["asof"]["total_overhead"] == sum(r["overhead"] for r in rows)

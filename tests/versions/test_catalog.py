@@ -1,0 +1,178 @@
+"""Commit/tag/retention semantics of the version catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines import create_engine
+from repro.exceptions import QueryError, UnknownVersionError, VersionError
+from repro.versions import HEAD, VersionCatalog
+
+
+@pytest.fixture
+def engine():
+    engine = create_engine("nativelinked-1.9")
+    yield engine
+    engine.close()
+
+
+def _seed(engine, count=4):
+    session = engine.begin_session()
+    provisional = [
+        session.graph.add_vertex({"name": f"s{index}", "rank": index}, label="person")
+        for index in range(count)
+    ]
+    result = session.commit()
+    return [result.id_map[p] for p in provisional]
+
+
+def _set_rank(engine, vid, value):
+    session = engine.begin_session()
+    session.graph.set_vertex_property(vid, "rank", value)
+    session.commit()
+
+
+class TestCommitsAndRefs:
+    def test_engine_caches_one_catalog(self, engine):
+        assert engine.versions() is engine.versions()
+        assert isinstance(engine.versions(), VersionCatalog)
+
+    def test_commit_chain_records_parents_and_head(self, engine):
+        catalog = engine.versions()
+        first = catalog.commit(message="one")
+        second = catalog.commit(message="two")
+        assert first.parent_id is None
+        assert second.parent_id == first.id
+        assert catalog.head is second
+        assert catalog.resolve(HEAD) is second
+        assert catalog.resolve(second.id) is second
+        assert catalog.resolve(second) is second
+
+    def test_tags_resolve_and_are_charged(self, engine):
+        catalog = engine.versions()
+        commit = catalog.commit(tag="v1")
+        charge_before = catalog.refs.charge
+        assert catalog.resolve("v1") is commit
+        assert catalog.refs.charge > charge_before  # resolve paid a probe
+        assert "v1" in commit.tags
+
+    def test_unknown_and_reserved_refs_are_refused(self, engine):
+        catalog = engine.versions()
+        catalog.commit()
+        with pytest.raises(UnknownVersionError):
+            catalog.resolve("nope")
+        with pytest.raises(UnknownVersionError):
+            catalog.resolve(999)
+        with pytest.raises(VersionError):
+            catalog.tag(HEAD)
+
+    def test_retag_moves_the_name(self, engine):
+        catalog = engine.versions()
+        first = catalog.commit(tag="latest")
+        second = catalog.commit()
+        catalog.tag("latest", second)
+        assert catalog.resolve("latest") is second
+        assert "latest" not in first.tags
+        assert first.retained  # its base ref still holds the pin
+
+
+class TestRetention:
+    def test_keep_all_drops_nothing(self, engine):
+        catalog = engine.versions()
+        for _ in range(3):
+            catalog.commit()
+        assert catalog.apply_retention("keep-all") == []
+        assert len(catalog.retained_commits()) == 3
+
+    def test_keep_tagged_keeps_tags_and_head(self, engine):
+        catalog = engine.versions()
+        plain = catalog.commit()
+        tagged = catalog.commit(tag="keep")
+        head = catalog.commit()
+        dropped = catalog.apply_retention("keep-tagged")
+        assert dropped == [plain.id]
+        assert not plain.retained
+        assert tagged.retained and head.retained
+
+    def test_depth_n_keeps_most_recent_ancestors(self, engine):
+        catalog = engine.versions()
+        commits = [catalog.commit() for _ in range(4)]
+        dropped = catalog.apply_retention("depth-2")
+        assert dropped == [commits[0].id, commits[1].id]
+        assert [c.id for c in catalog.retained_commits()] == [
+            commits[2].id,
+            commits[3].id,
+        ]
+
+    def test_released_commits_refuse_views_and_tags(self, engine):
+        catalog = engine.versions()
+        old = catalog.commit()
+        catalog.commit()
+        catalog.apply_retention("depth-1")
+        assert not old.retained
+        with pytest.raises(VersionError):
+            catalog.view(old.id)
+        with pytest.raises(VersionError):
+            catalog.tag("too-late", old)
+        # History metadata survives release.
+        assert catalog.resolve(old.id) is old
+        assert old.state == "released"
+
+    @pytest.mark.parametrize("policy", ["depth-0", "depth-x", "lru"])
+    def test_bad_policies_are_refused(self, engine, policy):
+        catalog = engine.versions()
+        catalog.commit()
+        with pytest.raises(VersionError):
+            catalog.apply_retention(policy)
+
+
+class TestViews:
+    def test_view_is_frozen_and_readonly(self, engine):
+        vids = _seed(engine)
+        catalog = engine.versions()
+        commit = catalog.commit(tag="frozen")
+        _set_rank(engine, vids[0], 77)
+        view = engine.at_version("frozen")
+        assert view.vertex_property(vids[0], "rank") == 0
+        assert engine.vertex_property(vids[0], "rank") == 77
+        with pytest.raises(Exception):
+            view.set_vertex_property(vids[0], "rank", 1)
+        assert view.commit is commit
+
+    def test_structure_version_is_captured_at_commit_time(self, engine):
+        vids = _seed(engine)
+        catalog = engine.versions()
+        commit = catalog.commit()
+        captured = commit.structure_version
+        session = engine.begin_session()
+        session.graph.add_vertex({"name": "later"}, label="person")
+        session.commit()
+        assert engine.structure_version() > captured
+        assert catalog.view(commit.id).structure_version() == captured
+        assert vids  # the seed stays visible live
+
+    def test_traversal_runs_as_of_a_version(self, engine):
+        _seed(engine, count=3)
+        catalog = engine.versions()
+        catalog.commit(tag="three")
+        session = engine.begin_session()
+        session.graph.add_vertex({"name": "fourth"}, label="person")
+        session.commit()
+        live = engine.traversal().V().has_label("person").count()
+        asof = engine.traversal().at_version("three").V().has_label("person").count()
+        assert live == 4
+        assert asof == 3
+        with pytest.raises(QueryError):
+            engine.traversal().V().at_version("three")
+
+    def test_snapshot_counters_are_consistent(self, engine):
+        catalog = engine.versions()
+        catalog.commit(tag="a")
+        catalog.commit()
+        catalog.apply_retention("keep-tagged")
+        snap = catalog.snapshot()
+        assert snap["commits"] == 2
+        assert snap["retained_commits"] == 2  # head + tagged
+        assert snap["released_commits"] == 0
+        assert snap["refs"] == 1
+        assert snap["ref_charge"] > 0
